@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: accuracy of the section-4.4 decision models.
+ *
+ * For a representative subset of workloads, compares the profiler's
+ * shared-mode predictions (ATD private miss rate, LSP, bandwidth
+ * model) against ground truth measured by actually running the
+ * private organization, and reports which rule drove each decision.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace amsc;
+using namespace amsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    const KvArgs args = KvArgs::parse(argc, argv);
+    const SimConfig base = benchConfig(args);
+
+    std::printf("# Ablation: profiler prediction accuracy (section "
+                "4.4 models)\n\n");
+    std::printf("| app | class | miss_s meas | miss_p pred | miss_p "
+                "meas | LSP_s | LSP_p pred | decision | rule |\n");
+    printRule(9);
+
+    for (const char *name :
+         {"LUD", "GEMM", "BP", "AN", "NN", "MM", "BS", "VA"}) {
+        const WorkloadSpec &spec = WorkloadSuite::byName(name);
+
+        // Adaptive run exposes the last profile snapshot + decision.
+        SimConfig cfg = base;
+        cfg.llcPolicy = LlcPolicy::Adaptive;
+        GpuSystem gpu(cfg);
+        gpu.setWorkload(0,
+                        WorkloadSuite::buildKernels(spec, cfg.seed));
+        const RunResult ra = gpu.run();
+        const ProfileSnapshot snap = gpu.llc().lastSnapshot();
+
+        // Ground truth under the private organization.
+        const RunResult rp =
+            runWorkload(base, spec, LlcPolicy::ForcePrivate);
+        const RunResult rs =
+            runWorkload(base, spec, LlcPolicy::ForceShared);
+
+        const char *rule = ra.llcCtrl.rule1Fires > 0 ? "#1"
+            : ra.llcCtrl.rule2Fires > 0              ? "#2"
+                                                     : "-";
+        std::printf("| %-5s | %-16s | %.3f | %.3f | %.3f | %4.1f | "
+                    "%4.1f | %-7s | %s |\n",
+                    spec.abbr.c_str(),
+                    workloadClassName(spec.klass).c_str(),
+                    rs.llcReadMissRate, snap.privateMissRate,
+                    rp.llcReadMissRate, snap.sharedLsp,
+                    snap.privateLsp,
+                    ra.llcCtrl.decisionsPrivate > 0 ? "private"
+                                                    : "shared",
+                    rule);
+    }
+    std::printf("\nA decision is correct when the chosen organization "
+                "matches the class (private-friendly -> private, "
+                "shared-friendly -> shared, neutral -> private for "
+                "power).\n");
+    args.warnUnused();
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench accepts SimConfig key=value overrides plus:
+ *   max_cycles=N   simulated cycles per run (default 60000)
+ *   quick=1        quarter-length runs for smoke testing
+ *
+ * Benches print GitHub-flavoured markdown tables plus ASCII bars so
+ * the series can be compared against the paper's figures directly.
+ */
+
+#ifndef AMSC_BENCH_BENCH_UTIL_HH
+#define AMSC_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/kvargs.hh"
+#include "sim/gpu_system.hh"
+#include "workloads/suite.hh"
+
+namespace amsc::bench
+{
+
+/** Baseline bench configuration: Table 1 at reduced runtime. */
+inline SimConfig
+benchConfig(const KvArgs &args)
+{
+    SimConfig cfg;
+    // Scaled run lengths: the profiling window and epoch shrink
+    // together with the simulated horizon (paper: 50 K / 1 M at 1 B
+    // instructions).
+    cfg.maxCycles = 60000;
+    cfg.profileLen = 5000;
+    cfg.epochLen = 50000;
+    cfg.applyKv(args);
+    if (args.getBool("quick", false)) {
+        cfg.maxCycles /= 4;
+        cfg.profileLen /= 4;
+    }
+    return cfg;
+}
+
+/** Run one workload under one LLC policy. */
+inline RunResult
+runWorkload(SimConfig cfg, const WorkloadSpec &spec, LlcPolicy policy)
+{
+    cfg.llcPolicy = policy;
+    GpuSystem gpu(cfg);
+    gpu.setWorkload(0, WorkloadSuite::buildKernels(spec, cfg.seed));
+    return gpu.run();
+}
+
+/** Render a fixed-width ASCII bar for value in [0, max]. */
+inline std::string
+bar(double value, double max, int width = 24)
+{
+    if (max <= 0.0)
+        max = 1.0;
+    int n = static_cast<int>(value / max * width + 0.5);
+    if (n < 0)
+        n = 0;
+    if (n > width)
+        n = width;
+    return std::string(static_cast<std::size_t>(n), '#');
+}
+
+/** Print a markdown table separator row of @p cols columns. */
+inline void
+printRule(int cols)
+{
+    for (int i = 0; i < cols; ++i)
+        std::printf("|---");
+    std::printf("|\n");
+}
+
+/** Pretty class name used in the figure groupings. */
+inline const char *
+className(WorkloadClass c)
+{
+    switch (c) {
+      case WorkloadClass::SharedFriendly:
+        return "shared cache friendly";
+      case WorkloadClass::PrivateFriendly:
+        return "private cache friendly";
+      case WorkloadClass::Neutral:
+        return "shared/private neutral";
+    }
+    return "?";
+}
+
+} // namespace amsc::bench
+
+#endif // AMSC_BENCH_BENCH_UTIL_HH

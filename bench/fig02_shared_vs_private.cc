@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 2: normalized performance of a private vs a shared
+ * memory-side LLC for all 17 workloads, grouped by class.
+ *
+ * Paper shape: private-cache-friendly apps gain (up to ~1.4x) from
+ * private caching; shared-cache-friendly apps lose ~18% on average;
+ * neutral apps are within noise.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace amsc;
+using namespace amsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    const KvArgs args = KvArgs::parse(argc, argv);
+    const SimConfig cfg = benchConfig(args);
+
+    std::printf("# Figure 2: shared vs private memory-side LLC "
+                "(normalized IPC)\n\n");
+    std::printf("Config: %u SMs, %u clusters, %s NoC, %llu cycles/run"
+                "\n\n",
+                cfg.numSms, cfg.numClusters, "H-Xbar",
+                static_cast<unsigned long long>(cfg.maxCycles));
+
+    for (const WorkloadClass klass :
+         {WorkloadClass::SharedFriendly, WorkloadClass::PrivateFriendly,
+          WorkloadClass::Neutral}) {
+        std::printf("## (%c) %s applications\n\n",
+                    klass == WorkloadClass::SharedFriendly ? 'a'
+                        : klass == WorkloadClass::PrivateFriendly
+                        ? 'b'
+                        : 'c',
+                    className(klass));
+        std::printf("| app | shared LLC | private LLC | private/shared "
+                    "|\n");
+        printRule(4);
+
+        std::vector<double> ratios;
+        for (const WorkloadSpec &spec : WorkloadSuite::byClass(klass)) {
+            const RunResult shared =
+                runWorkload(cfg, spec, LlcPolicy::ForceShared);
+            const RunResult priv =
+                runWorkload(cfg, spec, LlcPolicy::ForcePrivate);
+            const double ratio = priv.ipc / shared.ipc;
+            ratios.push_back(ratio);
+            std::printf("| %-6s | 1.00 | %.2f | %-24s |\n",
+                        spec.abbr.c_str(), ratio,
+                        bar(ratio, 1.6).c_str());
+        }
+        std::printf("| HM | 1.00 | %.2f | |\n\n",
+                    harmonicMean(ratios));
+    }
+    args.warnUnused();
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 3: inter-cluster locality under a shared LLC -- the fraction
+ * of LLC lines accessed by 1 / 2 / 3-4 / 5-8 clusters within
+ * 1000-cycle windows, per workload class.
+ *
+ * Paper shape: private-cache-friendly apps show >60% of lines shared
+ * by 2+ clusters; neutral apps show almost none; shared-cache-friendly
+ * apps sit in between (~20%).
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace amsc;
+using namespace amsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    const KvArgs args = KvArgs::parse(argc, argv);
+    SimConfig cfg = benchConfig(args);
+    cfg.trackSharing = true;
+
+    std::printf("# Figure 3: inter-cluster locality "
+                "(%% of LLC lines, 1000-cycle windows)\n\n");
+
+    for (const WorkloadClass klass :
+         {WorkloadClass::SharedFriendly, WorkloadClass::PrivateFriendly,
+          WorkloadClass::Neutral}) {
+        std::printf("## (%c) %s applications\n\n",
+                    klass == WorkloadClass::SharedFriendly ? 'a'
+                        : klass == WorkloadClass::PrivateFriendly
+                        ? 'b'
+                        : 'c',
+                    className(klass));
+        std::printf("| app | 1 cluster | 2 clusters | 3-4 clusters | "
+                    "5-8 clusters | 2+ total |\n");
+        printRule(6);
+
+        std::vector<double> multi;
+        for (const WorkloadSpec &spec : WorkloadSuite::byClass(klass)) {
+            SimConfig c = cfg;
+            c.llcPolicy = LlcPolicy::ForceShared;
+            GpuSystem gpu(c);
+            gpu.setWorkload(0,
+                            WorkloadSuite::buildKernels(spec, c.seed));
+            gpu.run();
+            gpu.llc().sharingTracker().flush(c.maxCycles + 1000);
+            const double b1 =
+                gpu.llc().sharingTracker().bucketFraction(0);
+            const double b2 =
+                gpu.llc().sharingTracker().bucketFraction(1);
+            const double b34 =
+                gpu.llc().sharingTracker().bucketFraction(2);
+            const double b58 =
+                gpu.llc().sharingTracker().bucketFraction(3);
+            multi.push_back(b2 + b34 + b58);
+            std::printf(
+                "| %-6s | %5.1f%% | %5.1f%% | %5.1f%% | %5.1f%% | "
+                "%5.1f%% |\n",
+                spec.abbr.c_str(), b1 * 100, b2 * 100, b34 * 100,
+                b58 * 100, (b2 + b34 + b58) * 100);
+        }
+        std::printf("| AVG | | | | | %5.1f%% |\n\n",
+                    mean(multi) * 100);
+    }
+    args.warnUnused();
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 12: LLC response rate for the private-cache-friendly
+ * workloads under shared, private and adaptive LLCs.
+ *
+ * Paper shape: private caching raises the response rate by ~1.35x on
+ * average (up to 1.46x) because replicated shared lines are served
+ * from multiple slices in parallel; adaptive matches private.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace amsc;
+using namespace amsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    const KvArgs args = KvArgs::parse(argc, argv);
+    const SimConfig cfg = benchConfig(args);
+    const std::uint32_t reply_flits =
+        (16 + cfg.lineBytes + cfg.channelWidthBytes - 1) /
+        cfg.channelWidthBytes;
+
+    std::printf("# Figure 12: LLC response rate (flits/cycle), "
+                "private-cache-friendly apps\n\n");
+    std::printf("| app | shared | private | adaptive | "
+                "private/shared |\n");
+    printRule(5);
+
+    std::vector<double> ratios;
+    for (const WorkloadSpec &spec :
+         WorkloadSuite::byClass(WorkloadClass::PrivateFriendly)) {
+        const RunResult s =
+            runWorkload(cfg, spec, LlcPolicy::ForceShared);
+        const RunResult p =
+            runWorkload(cfg, spec, LlcPolicy::ForcePrivate);
+        const RunResult a =
+            runWorkload(cfg, spec, LlcPolicy::Adaptive);
+        const double fs = s.llcResponseRate * reply_flits;
+        const double fp = p.llcResponseRate * reply_flits;
+        const double fa = a.llcResponseRate * reply_flits;
+        ratios.push_back(fp / fs);
+        std::printf("| %-6s | %5.2f | %5.2f | %5.2f | %.2fx |\n",
+                    spec.abbr.c_str(), fs, fp, fa, fp / fs);
+    }
+    std::printf("| HM | | | | %.2fx |\n", harmonicMean(ratios));
+    std::printf("\nPaper: private caching raises LLC response rate "
+                "1.35x on average (up to 1.46x).\n");
+    args.warnUnused();
+    return 0;
+}

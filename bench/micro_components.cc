@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot paths:
+ * cache lookups, MSHR churn, address mapping, Zipf sampling, router
+ * ticks and whole-system cycles per second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/tag_array.hh"
+#include "common/rng.hh"
+#include "mem/address_mapping.hh"
+#include "mem/memory_controller.hh"
+#include "noc/network_factory.hh"
+#include "sim/gpu_system.hh"
+#include "workloads/suite.hh"
+
+using namespace amsc;
+
+static void
+BM_TagArrayAccess(benchmark::State &state)
+{
+    TagArray tags(48, 16);
+    Eviction ev;
+    for (Addr a = 0; a < 48 * 16; ++a)
+        tags.insert(a, 0, ev);
+    Rng rng(1);
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tags.access(rng.below(48 * 16 * 2), ++now));
+    }
+}
+BENCHMARK(BM_TagArrayAccess);
+
+static void
+BM_MshrAllocateComplete(benchmark::State &state)
+{
+    MshrFile<std::uint32_t> mshrs(64, 16);
+    Addr a = 0;
+    for (auto _ : state) {
+        mshrs.allocate(a, 1);
+        mshrs.allocate(a, 2);
+        benchmark::DoNotOptimize(mshrs.complete(a));
+        ++a;
+    }
+}
+BENCHMARK(BM_MshrAllocateComplete);
+
+static void
+BM_AddressMappingPae(benchmark::State &state)
+{
+    MappingParams mp;
+    AddressMapping m(mp);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(m.decode(a));
+        benchmark::DoNotOptimize(m.sliceWithinMc(a));
+        ++a;
+    }
+}
+BENCHMARK(BM_AddressMappingPae);
+
+static void
+BM_ZipfSample(benchmark::State &state)
+{
+    ZipfSampler z(static_cast<std::uint64_t>(state.range(0)), 0.8);
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(z.sample(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(1024)->Arg(1 << 16)->Arg(1 << 20);
+
+static void
+BM_HXbarTickLoaded(benchmark::State &state)
+{
+    NocParams p;
+    p.topology = NocTopology::Hierarchical;
+    auto net = makeNetwork(p);
+    Rng rng(3);
+    Cycle now = 0;
+    for (auto _ : state) {
+        for (SmId sm = 0; sm < p.numSms; sm += 7) {
+            if (net->canInjectRequest(sm)) {
+                NocMessage m;
+                m.src = sm;
+                m.dst = static_cast<SliceId>(
+                    rng.below(p.numSlices()));
+                m.sizeBytes = 16;
+                net->injectRequest(m, now);
+            }
+        }
+        net->tick(now);
+        for (SliceId s = 0; s < p.numSlices(); ++s) {
+            while (net->hasRequestFor(s))
+                net->popRequestFor(s, now);
+        }
+        ++now;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(now));
+}
+BENCHMARK(BM_HXbarTickLoaded);
+
+static void
+BM_MemoryControllerTick(benchmark::State &state)
+{
+    DramParams d;
+    MemoryController mc(0, d);
+    mc.setReadCallback([](const DramRequest &, Cycle) {});
+    Rng rng(9);
+    Cycle now = 0;
+    for (auto _ : state) {
+        if (mc.canAccept()) {
+            DramRequest r;
+            r.bank = static_cast<std::uint32_t>(rng.below(16));
+            r.row = rng.below(64);
+            mc.enqueue(r, now);
+        }
+        mc.tick(now);
+        ++now;
+    }
+}
+BENCHMARK(BM_MemoryControllerTick);
+
+static void
+BM_FullSystemCycle(benchmark::State &state)
+{
+    SimConfig cfg;
+    cfg.maxCycles = 1u << 30;
+    GpuSystem gpu(cfg);
+    gpu.setWorkload(0, WorkloadSuite::buildKernels(
+                           WorkloadSuite::byName("AN"), 1));
+    gpu.step(2000); // warm up
+    for (auto _ : state)
+        gpu.step(1);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FullSystemCycle);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table 1: the baseline GPU architecture configuration.
+ *
+ * Prints the simulated configuration in the paper's Table-1 format,
+ * after applying any key=value overrides, plus the derived geometry
+ * the simulator computes from it.
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "cache/atd.hh"
+
+using namespace amsc;
+using namespace amsc::bench;
+
+int
+main(int argc, char **argv)
+{
+    const KvArgs args = KvArgs::parse(argc, argv);
+    SimConfig cfg;
+    cfg.applyKv(args);
+
+    std::printf("# Table 1: baseline GPU architecture\n\n");
+    cfg.print(std::cout);
+
+    std::printf("\nDerived geometry:\n");
+    std::printf("  L1 sets/ways           %u x %u\n",
+                static_cast<unsigned>(cfg.l1SizeBytes /
+                                      cfg.lineBytes / cfg.l1Assoc),
+                cfg.l1Assoc);
+    std::printf("  LLC slice sets/ways    %u x %u\n",
+                static_cast<unsigned>(cfg.llcSliceBytes /
+                                      cfg.lineBytes / cfg.llcAssoc),
+                cfg.llcAssoc);
+    std::printf("  LLC slices total       %u\n", cfg.numSlices());
+    std::printf("  SMs per cluster        %u\n", cfg.smsPerCluster());
+    std::printf("  DRAM bus               %u B/cycle/MC "
+                "(~%0.0f GB/s aggregate)\n",
+                cfg.dramBusBytesPerCycle,
+                cfg.dramBusBytesPerCycle * cfg.numMcs * 1.4);
+    std::printf("  Read reply flits       %u (at %u B channels)\n",
+                (16u + cfg.lineBytes + cfg.channelWidthBytes - 1) /
+                    cfg.channelWidthBytes,
+                cfg.channelWidthBytes);
+
+    const LlcParams lp = cfg.buildLlcParams();
+    Atd atd(lp.profiler.atd);
+    std::printf("\nReconfiguration hardware (paper: 448 B total):\n");
+    std::printf("  ATD cost               %llu B\n",
+                static_cast<unsigned long long>(
+                    atd.hardwareCostBytes()));
+    std::printf("  LSP counters           %u x 16-bit = %u B\n",
+                cfg.numMcs, cfg.numMcs * 2);
+    args.warnUnused();
+    return 0;
+}

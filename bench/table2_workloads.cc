@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Table 2: the benchmark suite -- abbreviation, full name, shared
+ * footprint, kernel count and classification, plus the synthetic
+ * substitution parameters used to model each one.
+ */
+
+#include <set>
+
+#include "bench/bench_util.hh"
+
+using namespace amsc;
+using namespace amsc::bench;
+
+namespace
+{
+
+const char *
+patternName(AccessPattern p)
+{
+    switch (p) {
+      case AccessPattern::Broadcast:
+        return "broadcast";
+      case AccessPattern::ZipfShared:
+        return "zipf-shared";
+      case AccessPattern::TiledShared:
+        return "tiled-shared";
+      case AccessPattern::PrivateStream:
+        return "private-stream";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const KvArgs args = KvArgs::parse(argc, argv);
+    (void)args;
+
+    std::printf("# Table 2: GPU benchmarks (synthetic stand-ins)\n\n");
+    std::printf("| abbr | benchmark | shared [MB] | kernels "
+                "(paper/sim) | class | pattern | shared frac | "
+                "compute/mem |\n");
+    printRule(8);
+    for (const WorkloadSpec &s : WorkloadSuite::all()) {
+        std::printf("| %-5s | %-18s | %6.3f | %2u / %u | %-16s | "
+                    "%-14s | %.2f | %u |\n",
+                    s.abbr.c_str(), s.fullName.c_str(), s.sharedMb,
+                    s.paperKernels, s.simKernels,
+                    workloadClassName(s.klass).c_str(),
+                    patternName(s.trace.pattern),
+                    s.trace.sharedFraction, s.trace.computePerMem);
+    }
+
+    std::printf("\nMeasured shared-region coverage (1M generator "
+                "draws each):\n\n");
+    std::printf("| abbr | configured lines | drawn distinct | "
+                "coverage |\n");
+    printRule(4);
+    for (const WorkloadSpec &s : WorkloadSuite::all()) {
+        const auto kernels = WorkloadSuite::buildKernels(s, 1);
+        auto gen = kernels[0].makeGen(0, 0);
+        std::set<Addr> distinct;
+        WarpInstr wi;
+        Cycle c = 0;
+        // Multiple generator instances mimic many warps.
+        for (int w = 0; w < 64; ++w) {
+            auto g = kernels[0].makeGen(static_cast<CtaId>(w / 8),
+                                        w % 8);
+            while (g->nextInstr(wi, c)) {
+                c += 3;
+                if (!wi.isWrite &&
+                    wi.addrs[0] < s.trace.sharedBase +
+                            s.trace.sharedLines)
+                    distinct.insert(wi.addrs[0]);
+            }
+        }
+        std::printf("| %-5s | %8llu | %8zu | %5.1f%% |\n",
+                    s.abbr.c_str(),
+                    static_cast<unsigned long long>(
+                        s.trace.sharedLines),
+                    distinct.size(),
+                    100.0 * static_cast<double>(distinct.size()) /
+                        static_cast<double>(s.trace.sharedLines));
+    }
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * amsc's general-purpose simulator driver.
+ *
+ * Runs any suite workload (or a synthetic one described on the
+ * command line) under any configuration and dumps the full statistics
+ * tree plus the power/energy evaluation -- the binary a downstream
+ * user scripts their own experiments with.
+ *
+ * Usage:
+ *   simulate workload=AN llc_policy=adaptive [any SimConfig key=value]
+ *   simulate pattern=broadcast shared_mb=2.0 shared_fraction=0.9 ...
+ *   simulate workload=AN stats=1         # full per-component stats
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/kvargs.hh"
+#include "power/gpu_energy.hh"
+#include "power/noc_power.hh"
+#include "sim/gpu_system.hh"
+#include "workloads/suite.hh"
+
+using namespace amsc;
+
+namespace
+{
+
+std::vector<KernelInfo>
+workloadFromArgs(const KvArgs &args, const SimConfig &cfg)
+{
+    if (args.has("workload")) {
+        const WorkloadSpec &spec =
+            WorkloadSuite::byName(args.getString("workload", "AN"));
+        std::printf("workload: %s (%s), %.3f MB shared, class %s\n",
+                    spec.abbr.c_str(), spec.fullName.c_str(),
+                    spec.sharedMb,
+                    workloadClassName(spec.klass).c_str());
+        return WorkloadSuite::buildKernels(spec, cfg.seed);
+    }
+    // Synthetic workload described inline.
+    TraceParams t;
+    const std::string pattern =
+        args.getString("pattern", "broadcast");
+    if (pattern == "broadcast")
+        t.pattern = AccessPattern::Broadcast;
+    else if (pattern == "zipf")
+        t.pattern = AccessPattern::ZipfShared;
+    else if (pattern == "tiled")
+        t.pattern = AccessPattern::TiledShared;
+    else if (pattern == "stream")
+        t.pattern = AccessPattern::PrivateStream;
+    else
+        fatal("unknown pattern '%s'", pattern.c_str());
+    t.sharedLines = static_cast<std::uint64_t>(
+        args.getDouble("shared_mb", 1.0) * 8192.0);
+    t.sharedFraction = args.getDouble("shared_fraction", 0.8);
+    t.zipfAlpha = args.getDouble("zipf_alpha", 0.6);
+    t.writeFraction = args.getDouble("write_fraction", 0.05);
+    t.atomicFraction = args.getDouble("atomic_fraction", 0.0);
+    t.computePerMem = static_cast<std::uint32_t>(
+        args.getUint("compute_per_mem", 4));
+    t.memInstrsPerWarp = args.getUint("mem_instrs", 600);
+    t.seed = cfg.seed;
+    std::printf("workload: synthetic %s (%.2f MB shared)\n",
+                pattern.c_str(),
+                static_cast<double>(t.sharedLines) * 128.0 / 1048576);
+    return {makeSyntheticKernel(
+        "cli", t,
+        static_cast<std::uint32_t>(args.getUint("ctas", 320)),
+        static_cast<std::uint32_t>(args.getUint("warps", 8)))};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const KvArgs args = KvArgs::parse(argc, argv);
+    SimConfig cfg;
+    cfg.maxCycles = 60000;
+    cfg.profileLen = 5000;
+    cfg.epochLen = 200000;
+    cfg.applyKv(args);
+
+    cfg.print(std::cout);
+    GpuSystem gpu(cfg);
+    gpu.setWorkload(0, workloadFromArgs(args, cfg));
+    const RunResult r = gpu.run();
+
+    std::printf("\n==== run summary ====\n");
+    std::printf("cycles               %llu%s\n",
+                static_cast<unsigned long long>(r.cycles),
+                r.finishedWork ? " (workload complete)"
+                               : " (horizon reached)");
+    std::printf("instructions         %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("IPC                  %.2f\n", r.ipc);
+    std::printf("LLC accesses         %llu (read miss rate %.3f)\n",
+                static_cast<unsigned long long>(r.llcAccesses),
+                r.llcReadMissRate);
+    std::printf("LLC response rate    %.2f replies/cycle\n",
+                r.llcResponseRate);
+    std::printf("DRAM accesses        %llu\n",
+                static_cast<unsigned long long>(r.dramAccesses));
+    std::printf("NoC latency          req %.1f / rep %.1f cycles\n",
+                r.avgRequestLatency, r.avgReplyLatency);
+    std::printf("final LLC mode       %s\n",
+                llcModeName(r.finalMode));
+    std::printf("mode transitions     %llu to private, %llu to "
+                "shared (%llu stall cycles)\n",
+                static_cast<unsigned long long>(
+                    r.llcCtrl.transitionsToPrivate),
+                static_cast<unsigned long long>(
+                    r.llcCtrl.transitionsToShared),
+                static_cast<unsigned long long>(
+                    r.llcCtrl.reconfigStallCycles));
+
+    const NocPowerModel noc_model;
+    const NocPowerResult noc =
+        noc_model.evaluate(r.nocActivity, r.cycles);
+    GpuActivity act = r.gpuActivity;
+    act.nocEnergyUj = noc.totalEnergyUj();
+    const GpuEnergyResult sys = GpuEnergyModel{}.evaluate(act);
+    std::printf("NoC power            %.1f mW (area %.2f mm^2)\n",
+                noc.totalPowerMw(), noc.totalAreaMm2());
+    std::printf("system energy        %.1f uJ (core %.1f, dram %.1f, "
+                "noc %.1f, static %.1f)\n",
+                sys.totalUj(), sys.coreDynamicUj, sys.dramDynamicUj,
+                sys.nocUj, sys.staticUj);
+
+    if (args.getBool("stats", false)) {
+        std::printf("\n==== full statistics ====\n");
+        StatSet set("amsc");
+        gpu.registerStats(set);
+        set.dump(std::cout);
+    }
+    args.warnUnused();
+    return 0;
+}

@@ -1,0 +1,131 @@
+#include "cache/atd.hh"
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+
+namespace amsc
+{
+
+Atd::Atd(const AtdParams &params) : params_(params)
+{
+    if (params_.sampledSets == 0 || params_.assoc == 0)
+        fatal("ATD requires non-zero sampled sets and associativity");
+    if (params_.sampledSets > params_.sliceSets)
+        fatal("ATD cannot sample more sets (%u) than the slice has (%u)",
+              params_.sampledSets, params_.sliceSets);
+    stride_ = params_.sliceSets / params_.sampledSets;
+    if (stride_ == 0)
+        stride_ = 1;
+    entries_.resize(static_cast<std::size_t>(params_.sampledSets) *
+                    params_.assoc);
+}
+
+std::uint32_t
+Atd::sliceSetOf(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>(line_addr % params_.sliceSets);
+}
+
+Atd::Entry &
+Atd::entryAt(std::uint32_t atd_set, std::uint32_t way)
+{
+    return entries_[static_cast<std::size_t>(atd_set) * params_.assoc +
+                    way];
+}
+
+bool
+Atd::sampled(Addr line_addr) const
+{
+    const std::uint32_t set = sliceSetOf(line_addr);
+    return set % stride_ == 0 &&
+        set / stride_ < params_.sampledSets;
+}
+
+void
+Atd::observe(Addr line_addr, std::uint32_t router, Cycle now)
+{
+    (void)now;
+    const std::uint32_t set = sliceSetOf(line_addr);
+    if (set % stride_ != 0)
+        return;
+    const std::uint32_t atd_set = set / stride_;
+    if (atd_set >= params_.sampledSets)
+        return;
+
+    ++samples_;
+
+    // Probe all ways of the sampled set.
+    Entry *hit = nullptr;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Entry &e = entryAt(atd_set, w);
+        if (e.valid && e.tag == line_addr) {
+            hit = &e;
+            break;
+        }
+    }
+
+    if (hit != nullptr) {
+        ++sharedHits_;
+        if (router < 32 && (hit->routerMask >> router) & 1u)
+            ++privateHits_;
+        if (router < 32)
+            hit->routerMask |= 1u << router;
+        hit->lruStamp = ++lruClock_;
+        return;
+    }
+
+    // Miss: install with LRU replacement (prefer invalid ways).
+    Entry *victim = nullptr;
+    for (std::uint32_t w = 0; w < params_.assoc; ++w) {
+        Entry &e = entryAt(atd_set, w);
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (victim == nullptr || e.lruStamp < victim->lruStamp)
+            victim = &e;
+    }
+    victim->tag = line_addr;
+    victim->valid = true;
+    victim->routerMask = router < 32 ? (1u << router) : 0;
+    victim->lruStamp = ++lruClock_;
+}
+
+double
+Atd::predictedPrivateMissRate() const
+{
+    if (samples_ == 0)
+        return 0.0;
+    return 1.0 -
+        static_cast<double>(privateHits_) /
+        static_cast<double>(samples_);
+}
+
+double
+Atd::sampledSharedMissRate() const
+{
+    if (samples_ == 0)
+        return 0.0;
+    return 1.0 -
+        static_cast<double>(sharedHits_) /
+        static_cast<double>(samples_);
+}
+
+void
+Atd::reset()
+{
+    samples_ = 0;
+    sharedHits_ = 0;
+    privateHits_ = 0;
+}
+
+std::uint64_t
+Atd::hardwareCostBytes(std::uint32_t tag_bits) const
+{
+    const std::uint64_t bits_per_entry = tag_bits + params_.numRouters;
+    const std::uint64_t entries =
+        static_cast<std::uint64_t>(params_.sampledSets) * params_.assoc;
+    return divCeil(bits_per_entry * entries, 8);
+}
+
+} // namespace amsc

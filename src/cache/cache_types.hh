@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared type definitions for the cache substrate.
+ */
+
+#ifndef AMSC_CACHE_CACHE_TYPES_HH
+#define AMSC_CACHE_CACHE_TYPES_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace amsc
+{
+
+/** Write hit handling. */
+enum class WritePolicy
+{
+    WriteBack,    ///< dirty lines written back on eviction/flush
+    WriteThrough, ///< every write forwarded to the next level
+};
+
+/** Write miss handling. */
+enum class WriteAllocPolicy
+{
+    Allocate,   ///< fetch line and install on write miss
+    NoAllocate, ///< forward write without installing the line
+};
+
+/** Replacement policy selector. */
+enum class ReplPolicy
+{
+    Lru,
+    Fifo,
+    Random,
+};
+
+/** State of one cache line (tag entry). */
+struct CacheLine
+{
+    /** Line-aligned address this entry caches; kNoAddr if invalid. */
+    Addr lineAddr = kNoAddr;
+    /** Valid bit. */
+    bool valid = false;
+    /** Dirty bit (write-back caches only). */
+    bool dirty = false;
+    /** Replacement-policy timestamp (LRU recency / FIFO insertion). */
+    std::uint64_t replState = 0;
+    /** Cycle the line was installed. */
+    Cycle insertCycle = 0;
+    /**
+     * Bitmask of SM clusters that accessed the line since installation
+     * or since the sharing tracker last cleared it (Figure 3 profiling
+     * and the ATD's last-accessor field reuse this storage).
+     */
+    std::uint32_t accessorMask = 0;
+    /** Last accessing cluster / SM-router (for the ATD estimator). */
+    std::uint32_t lastAccessor = kInvalidId;
+};
+
+} // namespace amsc
+
+#endif // AMSC_CACHE_CACHE_TYPES_HH

@@ -1,0 +1,50 @@
+#include "cache/replacement.hh"
+
+#include "common/log.hh"
+
+namespace amsc
+{
+
+std::unique_ptr<ReplacementPolicy>
+ReplacementPolicy::create(ReplPolicy kind, std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplPolicy::Lru:
+        return std::make_unique<LruPolicy>();
+      case ReplPolicy::Fifo:
+        return std::make_unique<FifoPolicy>();
+      case ReplPolicy::Random:
+        return std::make_unique<RandomPolicy>(seed);
+    }
+    panic("unknown replacement policy");
+}
+
+std::uint32_t
+LruPolicy::victim(const std::vector<CacheLine *> &ways)
+{
+    std::uint32_t best = 0;
+    for (std::uint32_t i = 1; i < ways.size(); ++i) {
+        if (ways[i]->replState < ways[best]->replState)
+            best = i;
+    }
+    return best;
+}
+
+std::uint32_t
+FifoPolicy::victim(const std::vector<CacheLine *> &ways)
+{
+    std::uint32_t best = 0;
+    for (std::uint32_t i = 1; i < ways.size(); ++i) {
+        if (ways[i]->replState < ways[best]->replState)
+            best = i;
+    }
+    return best;
+}
+
+std::uint32_t
+RandomPolicy::victim(const std::vector<CacheLine *> &ways)
+{
+    return static_cast<std::uint32_t>(rng_.below(ways.size()));
+}
+
+} // namespace amsc

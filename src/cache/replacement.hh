@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Replacement policies for set-associative tag arrays.
+ *
+ * The baseline GPU of Table 1 uses LRU everywhere; FIFO and Random are
+ * provided for ablation studies of the LLC organization.
+ */
+
+#ifndef AMSC_CACHE_REPLACEMENT_HH
+#define AMSC_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_types.hh"
+#include "common/rng.hh"
+
+namespace amsc
+{
+
+/**
+ * Replacement policy interface.
+ *
+ * Policies receive touch/insert notifications and pick a victim way
+ * within a set. Invalid ways are always preferred by the caller before
+ * the policy is consulted.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Called when @p line is installed. */
+    virtual void onInsert(CacheLine &line) = 0;
+
+    /** Called on every hit to @p line. */
+    virtual void onHit(CacheLine &line) = 0;
+
+    /**
+     * Choose a victim among @p ways (all valid).
+     *
+     * @return index into @p ways of the victim.
+     */
+    virtual std::uint32_t
+    victim(const std::vector<CacheLine *> &ways) = 0;
+
+    /** Factory for the policy selected by @p kind. */
+    static std::unique_ptr<ReplacementPolicy>
+    create(ReplPolicy kind, std::uint64_t seed = 1);
+};
+
+/** Least-recently-used replacement. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void onInsert(CacheLine &line) override { line.replState = ++clock_; }
+    void onHit(CacheLine &line) override { line.replState = ++clock_; }
+    std::uint32_t victim(const std::vector<CacheLine *> &ways) override;
+
+  private:
+    std::uint64_t clock_ = 0;
+};
+
+/** First-in-first-out replacement (insertion order only). */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    void onInsert(CacheLine &line) override { line.replState = ++clock_; }
+    void onHit(CacheLine &) override {}
+    std::uint32_t victim(const std::vector<CacheLine *> &ways) override;
+
+  private:
+    std::uint64_t clock_ = 0;
+};
+
+/** Pseudo-random replacement. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+    void onInsert(CacheLine &) override {}
+    void onHit(CacheLine &) override {}
+    std::uint32_t victim(const std::vector<CacheLine *> &ways) override;
+
+  private:
+    Rng rng_;
+};
+
+} // namespace amsc
+
+#endif // AMSC_CACHE_REPLACEMENT_HH

@@ -1,0 +1,149 @@
+#include "cache/tag_array.hh"
+
+#include "common/log.hh"
+
+namespace amsc
+{
+
+TagArray::TagArray(std::uint32_t num_sets, std::uint32_t assoc,
+                   ReplPolicy repl, std::uint64_t seed)
+    : numSets_(num_sets), assoc_(assoc),
+      repl_(ReplacementPolicy::create(repl, seed))
+{
+    if (num_sets == 0 || assoc == 0)
+        fatal("TagArray requires non-zero sets (%u) and assoc (%u)",
+              num_sets, assoc);
+    lines_.resize(static_cast<std::size_t>(num_sets) * assoc);
+    victimScratch_.reserve(assoc);
+}
+
+CacheLine *
+TagArray::probe(Addr line_addr)
+{
+    const std::uint32_t set = setIndex(line_addr);
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        CacheLine &line = lineAt(set, w);
+        if (line.valid && line.lineAddr == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+TagArray::probe(Addr line_addr) const
+{
+    return const_cast<TagArray *>(this)->probe(line_addr);
+}
+
+CacheLine *
+TagArray::access(Addr line_addr, Cycle now)
+{
+    (void)now;
+    CacheLine *line = probe(line_addr);
+    if (line != nullptr)
+        repl_->onHit(*line);
+    return line;
+}
+
+CacheLine *
+TagArray::insert(Addr line_addr, Cycle now, Eviction &evicted)
+{
+    evicted = Eviction{};
+    const std::uint32_t set = setIndex(line_addr);
+
+    // Prefer an invalid way.
+    CacheLine *target = nullptr;
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        CacheLine &line = lineAt(set, w);
+        if (!line.valid) {
+            target = &line;
+            break;
+        }
+    }
+
+    if (target == nullptr) {
+        victimScratch_.clear();
+        for (std::uint32_t w = 0; w < assoc_; ++w)
+            victimScratch_.push_back(&lineAt(set, w));
+        const std::uint32_t vic = repl_->victim(victimScratch_);
+        target = victimScratch_[vic];
+        evicted.valid = true;
+        evicted.dirty = target->dirty;
+        evicted.lineAddr = target->lineAddr;
+    }
+
+    target->lineAddr = line_addr;
+    target->valid = true;
+    target->dirty = false;
+    target->insertCycle = now;
+    target->accessorMask = 0;
+    target->lastAccessor = kInvalidId;
+    repl_->onInsert(*target);
+    return target;
+}
+
+Eviction
+TagArray::invalidate(Addr line_addr)
+{
+    Eviction out;
+    CacheLine *line = probe(line_addr);
+    if (line != nullptr) {
+        out.valid = true;
+        out.dirty = line->dirty;
+        out.lineAddr = line->lineAddr;
+        *line = CacheLine{};
+    }
+    return out;
+}
+
+void
+TagArray::invalidateAll()
+{
+    for (auto &line : lines_)
+        line = CacheLine{};
+}
+
+std::vector<Addr>
+TagArray::collectDirtyLines()
+{
+    std::vector<Addr> out;
+    for (auto &line : lines_) {
+        if (line.valid && line.dirty) {
+            out.push_back(line.lineAddr);
+            line.dirty = false;
+        }
+    }
+    return out;
+}
+
+void
+TagArray::forEachLine(const std::function<void(CacheLine &)> &fn)
+{
+    for (auto &line : lines_) {
+        if (line.valid)
+            fn(line);
+    }
+}
+
+void
+TagArray::forEachLine(
+    const std::function<void(const CacheLine &)> &fn) const
+{
+    for (const auto &line : lines_) {
+        if (line.valid)
+            fn(line);
+    }
+}
+
+std::uint64_t
+TagArray::numValidLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines_) {
+        if (line.valid)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace amsc

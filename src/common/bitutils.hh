@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by address mapping and cache indexing.
+ */
+
+#ifndef AMSC_COMMON_BITUTILS_HH
+#define AMSC_COMMON_BITUTILS_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace amsc
+{
+
+/** @return true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/**
+ * Integer base-2 logarithm of a power of two.
+ *
+ * @param v a power of two.
+ * @return log2(v).
+ */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** Ceiling base-2 logarithm (bits needed to index @p v items). */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    return v == 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** Extract bits [first, last] (inclusive, last >= first) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned last, unsigned first)
+{
+    assert(last >= first && last < 64);
+    const std::uint64_t width = last - first + 1;
+    const std::uint64_t mask =
+        width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+    return (v >> first) & mask;
+}
+
+/** Extract the single bit @p pos of @p v. */
+constexpr std::uint64_t
+bit(std::uint64_t v, unsigned pos)
+{
+    assert(pos < 64);
+    return (v >> pos) & 1;
+}
+
+/** Round @p v up to the next multiple of power-of-two @p align. */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    assert(isPowerOfTwo(align));
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round @p v down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+roundDown(std::uint64_t v, std::uint64_t align)
+{
+    assert(isPowerOfTwo(align));
+    return v & ~(align - 1);
+}
+
+/** Ceiling division for unsigned integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    assert(b != 0);
+    return (a + b - 1) / b;
+}
+
+/**
+ * XOR-fold the bits of @p v down to @p width bits.
+ *
+ * Used by the PAE address-mapping scheme to inject entropy from the
+ * high-order address bits into channel/bank/slice selector bits.
+ */
+constexpr std::uint64_t
+xorFold(std::uint64_t v, unsigned width)
+{
+    assert(width > 0 && width < 64);
+    std::uint64_t r = 0;
+    while (v != 0) {
+        r ^= v & ((std::uint64_t{1} << width) - 1);
+        v >>= width;
+    }
+    return r;
+}
+
+/** Population count. */
+constexpr unsigned
+popCount(std::uint64_t v)
+{
+    unsigned c = 0;
+    while (v != 0) {
+        v &= v - 1;
+        ++c;
+    }
+    return c;
+}
+
+} // namespace amsc
+
+#endif // AMSC_COMMON_BITUTILS_HH

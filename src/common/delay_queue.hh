@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Latency-tagged FIFO used for all inter-component handoffs.
+ *
+ * A DelayQueue models a pipeline or wire with a fixed (per-push) delay
+ * and optional bounded capacity. Items pushed at cycle c with latency L
+ * become visible to pop() at cycle c+L. Because every producer pushes
+ * with a monotonically non-decreasing ready cycle, the queue stays
+ * sorted and all operations are O(1).
+ */
+
+#ifndef AMSC_COMMON_DELAY_QUEUE_HH
+#define AMSC_COMMON_DELAY_QUEUE_HH
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <utility>
+
+#include "common/types.hh"
+
+namespace amsc
+{
+
+/**
+ * Bounded FIFO whose entries become visible after a configurable delay.
+ *
+ * @tparam T payload type (moved in/out).
+ */
+template <typename T>
+class DelayQueue
+{
+  public:
+    /**
+     * @param capacity maximum number of buffered items (0 = unbounded).
+     */
+    explicit DelayQueue(std::size_t capacity = 0)
+        : capacity_(capacity == 0
+              ? std::numeric_limits<std::size_t>::max()
+              : capacity)
+    {}
+
+    /** @return true if another item can be pushed. */
+    bool full() const { return q_.size() >= capacity_; }
+
+    /** @return true if no items are buffered (ready or not). */
+    bool empty() const { return q_.empty(); }
+
+    /** @return number of buffered items (ready or not). */
+    std::size_t size() const { return q_.size(); }
+
+    /** @return configured capacity. */
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Push an item that becomes visible at cycle @p now + @p latency.
+     *
+     * @pre !full()
+     * @pre ready cycles are pushed in non-decreasing order.
+     */
+    void
+    push(T item, Cycle now, Cycle latency)
+    {
+        assert(!full());
+        const Cycle ready = now + latency;
+        assert(q_.empty() || q_.back().first <= ready);
+        q_.emplace_back(ready, std::move(item));
+    }
+
+    /** @return true if the front item is visible at cycle @p now. */
+    bool
+    ready(Cycle now) const
+    {
+        return !q_.empty() && q_.front().first <= now;
+    }
+
+    /** Peek the front item. @pre ready(now). */
+    const T &
+    front() const
+    {
+        assert(!q_.empty());
+        return q_.front().second;
+    }
+
+    /** Mutable peek of the front item. @pre !empty(). */
+    T &
+    front()
+    {
+        assert(!q_.empty());
+        return q_.front().second;
+    }
+
+    /** Pop and return the front item. @pre ready(now). */
+    T
+    pop([[maybe_unused]] Cycle now)
+    {
+        assert(ready(now));
+        T item = std::move(q_.front().second);
+        q_.pop_front();
+        return item;
+    }
+
+    /** Remove all items. */
+    void clear() { q_.clear(); }
+
+    /** Iterate over all buffered items (for invariant checks). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &e : q_)
+            fn(e.second);
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<std::pair<Cycle, T>> q_;
+};
+
+} // namespace amsc
+
+#endif // AMSC_COMMON_DELAY_QUEUE_HH

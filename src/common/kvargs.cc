@@ -1,0 +1,136 @@
+#include "common/kvargs.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace amsc
+{
+
+KvArgs
+KvArgs::parse(int argc, const char *const *argv)
+{
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    return parse(args);
+}
+
+KvArgs
+KvArgs::parse(const std::vector<std::string> &args)
+{
+    KvArgs out;
+    for (const auto &arg : args) {
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            out.positionals_.push_back(arg);
+            continue;
+        }
+        const std::string key = arg.substr(0, eq);
+        const std::string value = arg.substr(eq + 1);
+        out.kv_[key] = value;
+        out.used_[key] = false;
+    }
+    return out;
+}
+
+bool
+KvArgs::has(const std::string &key) const
+{
+    return kv_.count(key) != 0;
+}
+
+std::string
+KvArgs::getString(const std::string &key, const std::string &def) const
+{
+    const auto it = kv_.find(key);
+    if (it == kv_.end())
+        return def;
+    used_[key] = true;
+    return it->second;
+}
+
+std::int64_t
+KvArgs::getInt(const std::string &key, std::int64_t def) const
+{
+    const auto it = kv_.find(key);
+    if (it == kv_.end())
+        return def;
+    used_[key] = true;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 0);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0')
+        fatal("malformed integer for key '%s': '%s'", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+std::uint64_t
+KvArgs::getUint(const std::string &key, std::uint64_t def) const
+{
+    const std::int64_t v =
+        getInt(key, static_cast<std::int64_t>(def));
+    if (v < 0)
+        fatal("negative value for unsigned key '%s'", key.c_str());
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+KvArgs::getDouble(const std::string &key, double def) const
+{
+    const auto it = kv_.find(key);
+    if (it == kv_.end())
+        return def;
+    used_[key] = true;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0')
+        fatal("malformed float for key '%s': '%s'", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+bool
+KvArgs::getBool(const std::string &key, bool def) const
+{
+    const auto it = kv_.find(key);
+    if (it == kv_.end())
+        return def;
+    used_[key] = true;
+    std::string v = it->second;
+    std::transform(v.begin(), v.end(), v.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("malformed bool for key '%s': '%s'", key.c_str(),
+          it->second.c_str());
+}
+
+std::vector<std::string>
+KvArgs::unusedKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, used] : used_) {
+        if (!used)
+            out.push_back(key);
+    }
+    return out;
+}
+
+std::size_t
+KvArgs::warnUnused() const
+{
+    const auto keys = unusedKeys();
+    for (const auto &k : keys)
+        warn("unused command-line key '%s'", k.c_str());
+    return keys.size();
+}
+
+} // namespace amsc

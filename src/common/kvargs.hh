@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal key=value argument parsing for benches and examples.
+ *
+ * All amsc executables accept overrides of the form `key=value`
+ * (e.g. `num_sms=40 channel_width=16 llc.mode=private`). KvArgs
+ * collects them, converts values on demand, and reports any key that
+ * was supplied but never consumed, which catches typos in experiment
+ * scripts.
+ */
+
+#ifndef AMSC_COMMON_KVARGS_HH
+#define AMSC_COMMON_KVARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace amsc
+{
+
+/** Parsed key=value command-line overrides. */
+class KvArgs
+{
+  public:
+    KvArgs() = default;
+
+    /**
+     * Parse argv-style arguments. Arguments without '=' are collected
+     * as positionals. A parse never fails; value conversion is checked
+     * at get-time.
+     */
+    static KvArgs parse(int argc, const char *const *argv);
+
+    /** Parse from a vector of "key=value" strings. */
+    static KvArgs parse(const std::vector<std::string> &args);
+
+    /** @return true if @p key was supplied. */
+    bool has(const std::string &key) const;
+
+    /** String value of @p key, or @p def if absent. */
+    std::string getString(const std::string &key,
+                          const std::string &def = "") const;
+
+    /** Integer value of @p key; fatal() on malformed value. */
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+
+    /** Unsigned value of @p key; fatal() on malformed/negative value. */
+    std::uint64_t getUint(const std::string &key,
+                          std::uint64_t def) const;
+
+    /** Floating-point value of @p key; fatal() on malformed value. */
+    double getDouble(const std::string &key, double def) const;
+
+    /** Boolean value: accepts 0/1/true/false/yes/no. */
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Positional (non key=value) arguments, in order. */
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
+    /** Keys supplied but never read through a getter. */
+    std::vector<std::string> unusedKeys() const;
+
+    /** warn() for each unused key; @return number of unused keys. */
+    std::size_t warnUnused() const;
+
+  private:
+    std::map<std::string, std::string> kv_;
+    mutable std::map<std::string, bool> used_;
+    std::vector<std::string> positionals_;
+};
+
+} // namespace amsc
+
+#endif // AMSC_COMMON_KVARGS_HH

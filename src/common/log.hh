@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  -- simulator bug; something that should never happen did.
+ *             Aborts so a debugger / core dump can inspect the state.
+ * fatal()  -- user error (bad configuration, invalid arguments); exits
+ *             with an error code.
+ * warn()   -- questionable but continuable condition.
+ * inform() -- status messages.
+ *
+ * All message functions accept printf-style format strings.
+ */
+
+#ifndef AMSC_COMMON_LOG_HH
+#define AMSC_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace amsc
+{
+
+/** Verbosity levels for inform()/debug-style output. */
+enum class LogLevel
+{
+    Quiet = 0,
+    Normal = 1,
+    Verbose = 2,
+    Debug = 3,
+};
+
+/** Set the global log verbosity (default Normal). */
+void setLogLevel(LogLevel level);
+
+/** @return the current global log verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal simulator error and abort.
+ *
+ * Use for conditions that indicate a bug in the simulator itself,
+ * regardless of user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a continuable, suspicious condition to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status to stdout (LogLevel >= Normal). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Verbose diagnostics (LogLevel >= Verbose). */
+void verbose(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, std::va_list ap);
+
+} // namespace amsc
+
+#endif // AMSC_COMMON_LOG_HH

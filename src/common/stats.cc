@@ -1,0 +1,125 @@
+#include "common/stats.hh"
+
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+
+#include "common/log.hh"
+
+namespace amsc
+{
+
+void
+StatSet::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string full =
+        prefix.empty() ? name_
+                       : (name_.empty() ? prefix : prefix + "." + name_);
+    for (const auto &e : entries_) {
+        const std::string label =
+            full.empty() ? e.name : full + "." + e.name;
+        os << std::left << std::setw(48) << label << " "
+           << std::setprecision(10) << e.getter();
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << "\n";
+    }
+    for (const auto *child : children_)
+        child->dump(os, full);
+}
+
+bool
+StatSet::find(const std::string &name, double &value_out) const
+{
+    for (const auto &e : entries_) {
+        const std::string label =
+            name_.empty() ? e.name : name_ + "." + e.name;
+        if (label == name || e.name == name) {
+            value_out = e.getter();
+            return true;
+        }
+    }
+    for (const auto *child : children_) {
+        if (child->find(name, value_out))
+            return true;
+    }
+    return false;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds))
+{
+    if (bounds_.empty())
+        panic("Histogram requires at least one bucket bound");
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+        if (bounds_[i] <= bounds_[i - 1])
+            panic("Histogram bounds must be strictly increasing");
+    }
+    counts_.assign(bounds_.size() + 1, 0.0); // +1 overflow bucket
+}
+
+void
+Histogram::record(double sample, double weight)
+{
+    std::size_t i = 0;
+    while (i < bounds_.size() && sample > bounds_[i])
+        ++i;
+    counts_[i] += weight;
+    total_ += weight;
+    sum_ += sample * weight;
+}
+
+void
+Histogram::clear()
+{
+    for (auto &c : counts_)
+        c = 0.0;
+    total_ = 0.0;
+    sum_ = 0.0;
+}
+
+double
+Histogram::bucketFraction(std::size_t i) const
+{
+    assert(i < counts_.size());
+    return total_ == 0.0 ? 0.0 : counts_[i] / total_;
+}
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+double
+harmonicMean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v) {
+        assert(x > 0.0);
+        s += 1.0 / x;
+    }
+    return static_cast<double>(v.size()) / s;
+}
+
+double
+geometricMean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v) {
+        assert(x > 0.0);
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(v.size()));
+}
+
+} // namespace amsc

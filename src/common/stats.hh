@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Lightweight statistics framework.
+ *
+ * Components keep raw counters as plain integral members for speed and
+ * register them (by reference or getter) in a StatSet for uniform
+ * reporting. A small fixed-bucket Histogram supports distribution-style
+ * statistics such as the inter-cluster sharing profile of Figure 3.
+ */
+
+#ifndef AMSC_COMMON_STATS_HH
+#define AMSC_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace amsc
+{
+
+/** A named scalar statistic resolved lazily through a getter. */
+struct StatEntry
+{
+    std::string name;
+    std::string desc;
+    std::function<double()> getter;
+};
+
+/**
+ * Named collection of scalar statistics.
+ *
+ * StatSets can nest via child groups; dump() renders a flat,
+ * dot-separated listing suitable for diffing across runs.
+ */
+class StatSet
+{
+  public:
+    explicit StatSet(std::string name = "") : name_(std::move(name)) {}
+
+    /** Register a statistic backed by a getter. */
+    void
+    add(std::string name, std::string desc, std::function<double()> getter)
+    {
+        entries_.push_back(
+            {std::move(name), std::move(desc), std::move(getter)});
+    }
+
+    /** Register a statistic backed by an integral counter reference. */
+    void
+    addCounter(std::string name, std::string desc,
+               const std::uint64_t &counter)
+    {
+        const std::uint64_t *p = &counter;
+        add(std::move(name), std::move(desc),
+            [p]() { return static_cast<double>(*p); });
+    }
+
+    /** Register a statistic backed by a double reference. */
+    void
+    addScalar(std::string name, std::string desc, const double &value)
+    {
+        const double *p = &value;
+        add(std::move(name), std::move(desc), [p]() { return *p; });
+    }
+
+    /** Attach a child group; its stats dump with a name prefix. */
+    void addChild(const StatSet *child) { children_.push_back(child); }
+
+    /** Render all statistics, one "prefix.name value # desc" per line. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Look up a statistic's current value by dot-separated name. */
+    bool find(const std::string &name, double &value_out) const;
+
+    const std::string &name() const { return name_; }
+    const std::vector<StatEntry> &entries() const { return entries_; }
+
+  private:
+    std::string name_;
+    std::vector<StatEntry> entries_;
+    std::vector<const StatSet *> children_;
+};
+
+/**
+ * Histogram over explicit, contiguous bucket upper bounds.
+ *
+ * Bucket i covers (bound[i-1], bound[i]]; samples above the last bound
+ * land in the overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** @param upper_bounds strictly increasing inclusive upper bounds. */
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    /** Record one sample with optional weight. */
+    void record(double sample, double weight = 1.0);
+
+    /** Reset all buckets. */
+    void clear();
+
+    /** Number of buckets including overflow. */
+    std::size_t numBuckets() const { return counts_.size(); }
+
+    /** Raw weighted count in bucket @p i. */
+    double bucketCount(std::size_t i) const { return counts_[i]; }
+
+    /** Fraction of total weight in bucket @p i (0 if empty). */
+    double bucketFraction(std::size_t i) const;
+
+    /** Total recorded weight. */
+    double total() const { return total_; }
+
+    /** Weighted mean of recorded samples. */
+    double mean() const { return total_ == 0 ? 0.0 : sum_ / total_; }
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<double> counts_;
+    double total_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Arithmetic mean of a vector (0 for empty input). */
+double mean(const std::vector<double> &v);
+
+/**
+ * Harmonic mean of a vector (as used for the paper's HM bars).
+ * Zero or negative entries are invalid; returns 0 for empty input.
+ */
+double harmonicMean(const std::vector<double> &v);
+
+/** Geometric mean of a vector of positive values. */
+double geometricMean(const std::vector<double> &v);
+
+} // namespace amsc
+
+#endif // AMSC_COMMON_STATS_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental scalar types and identifiers used across the simulator.
+ *
+ * All components of the amsc simulator share these aliases so that
+ * quantities with different meanings (cycles, byte addresses, component
+ * identifiers) are visually distinct at use sites even though they map
+ * onto plain integers for speed.
+ */
+
+#ifndef AMSC_COMMON_TYPES_HH
+#define AMSC_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace amsc
+{
+
+/** Simulated clock cycle count (core clock domain, 1400 MHz baseline). */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated global memory space. */
+using Addr = std::uint64_t;
+
+/** Streaming multiprocessor identifier, 0 .. numSms-1. */
+using SmId = std::uint32_t;
+
+/** SM cluster identifier, 0 .. numClusters-1. */
+using ClusterId = std::uint32_t;
+
+/** Memory controller (memory partition) identifier. */
+using McId = std::uint32_t;
+
+/**
+ * Global LLC slice identifier, 0 .. numSlices-1.
+ *
+ * Slice s belongs to memory controller s / slicesPerMc and is the
+ * (s % slicesPerMc)-th slice of that controller.
+ */
+using SliceId = std::uint32_t;
+
+/** Warp identifier, local to an SM. */
+using WarpId = std::uint32_t;
+
+/** Cooperative thread array (thread block) identifier, kernel-global. */
+using CtaId = std::uint32_t;
+
+/** Identifier of a co-running application in multi-program mode. */
+using AppId = std::uint32_t;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for an invalid address. */
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel for invalid 32-bit identifiers. */
+inline constexpr std::uint32_t kInvalidId =
+    std::numeric_limits<std::uint32_t>::max();
+
+} // namespace amsc
+
+#endif // AMSC_COMMON_TYPES_HH

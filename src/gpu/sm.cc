@@ -1,0 +1,353 @@
+#include "gpu/sm.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace amsc
+{
+
+Sm::Sm(const SmParams &params, Network *net, SliceFn slice_for)
+    : params_(params), net_(net), sliceFor_(std::move(slice_for)),
+      l1_(params.l1), mshrs_(params.l1Mshrs, params.l1MshrTargets)
+{
+    warps_.resize(params_.maxResidentWarps);
+    for (std::uint32_t i = 0; i < params_.maxResidentWarps; ++i)
+        freeSlots_.push_back(params_.maxResidentWarps - 1 - i);
+    gtoCurrent_.assign(params_.numSchedulers, kInvalidId);
+}
+
+void
+Sm::launchKernel(const KernelInfo *kernel, std::vector<CtaId> ctas,
+                 Cycle now)
+{
+    if (!done())
+        panic("SM%u: kernel launched while busy", params_.id);
+    kernel_ = kernel;
+    pendingCtas_.assign(ctas.begin(), ctas.end());
+    if (kernel_ != nullptr &&
+        kernel_->warpsPerCta > params_.maxResidentWarps) {
+        fatal("SM%u: CTA needs %u warps, SM holds %u", params_.id,
+              kernel_->warpsPerCta, params_.maxResidentWarps);
+    }
+    activateCtas(now);
+}
+
+void
+Sm::activateCtas(Cycle now)
+{
+    while (!pendingCtas_.empty() &&
+           activeCtaWarps_.size() < params_.maxResidentCtas &&
+           freeSlots_.size() >= kernel_->warpsPerCta) {
+        const CtaId cta = pendingCtas_.front();
+        pendingCtas_.pop_front();
+        activeCtaWarps_.emplace_back(cta, kernel_->warpsPerCta);
+        for (std::uint32_t w = 0; w < kernel_->warpsPerCta; ++w) {
+            const std::uint32_t slot = freeSlots_.back();
+            freeSlots_.pop_back();
+            Warp &warp = warps_[slot];
+            warp = Warp{};
+            warp.gen = kernel_->makeGen(cta, w);
+            warp.cta = cta;
+            warp.age = ++warpAgeCounter_;
+            warp.state = WarpState::Compute;
+            advanceWarp(warp, now);
+        }
+    }
+}
+
+void
+Sm::advanceWarp(Warp &w, Cycle now)
+{
+    WarpInstr instr;
+    if (!w.gen->nextInstr(instr, now)) {
+        onWarpDone(w, now);
+        return;
+    }
+    if (instr.computeCycles == 0 && instr.numAccesses == 0)
+        panic("SM%u: empty warp instruction batch", params_.id);
+    w.cur = instr;
+    w.computeLeft = instr.computeCycles;
+    w.nextAccess = 0;
+    w.outstanding = 0;
+    w.state = w.computeLeft > 0 ? WarpState::Compute
+                                : WarpState::IssueMem;
+}
+
+void
+Sm::onWarpDone(Warp &w, Cycle now)
+{
+    w.state = WarpState::Done;
+    for (auto it = activeCtaWarps_.begin();
+         it != activeCtaWarps_.end(); ++it) {
+        if (it->first == w.cta) {
+            if (--it->second == 0) {
+                // CTA complete: free all its warp slots.
+                for (std::uint32_t s = 0; s < warps_.size(); ++s) {
+                    if (warps_[s].state == WarpState::Done &&
+                        warps_[s].cta == w.cta) {
+                        warps_[s] = Warp{};
+                        freeSlots_.push_back(s);
+                    }
+                }
+                activeCtaWarps_.erase(it);
+                ++stats_.ctasCompleted;
+                activateCtas(now);
+            }
+            return;
+        }
+    }
+    panic("SM%u: warp of unknown CTA finished", params_.id);
+}
+
+bool
+Sm::done() const
+{
+    return pendingCtas_.empty() && activeCtaWarps_.empty();
+}
+
+bool
+Sm::issueable(const Warp &w) const
+{
+    switch (w.state) {
+      case WarpState::Compute:
+        return true;
+      case WarpState::IssueMem:
+        return !memPortBusyThisCycle_;
+      default:
+        return false;
+    }
+}
+
+void
+Sm::completeAccess(std::uint32_t slot, Cycle now)
+{
+    Warp &w = warps_[slot];
+    if (w.outstanding == 0)
+        panic("SM%u: spurious access completion", params_.id);
+    --w.outstanding;
+    maybeRetireMem(slot, now);
+}
+
+void
+Sm::maybeRetireMem(std::uint32_t slot, Cycle now)
+{
+    Warp &w = warps_[slot];
+    if (w.state != WarpState::WaitMem &&
+        w.state != WarpState::IssueMem)
+        return;
+    if (w.nextAccess == w.cur.numAccesses && w.outstanding == 0) {
+        ++stats_.instructions;
+        ++stats_.memInstrs;
+        advanceWarp(w, now);
+    }
+}
+
+void
+Sm::issueFrom(std::uint32_t slot, Cycle now)
+{
+    Warp &w = warps_[slot];
+    if (w.state == WarpState::Compute) {
+        --w.computeLeft;
+        ++stats_.instructions;
+        ++stats_.computeInstrs;
+        if (w.computeLeft == 0) {
+            if (w.cur.numAccesses > 0)
+                w.state = WarpState::IssueMem;
+            else
+                advanceWarp(w, now); // pure compute batch
+        }
+        return;
+    }
+
+    // Memory issue: one line access through the L1 port.
+    const Addr line = w.cur.addrs[w.nextAccess];
+    if (w.cur.isAtomic) {
+        // Global atomics bypass the L1 and execute at the LLC's ROP
+        // unit (paper section 4.1); the warp waits for the result.
+        if (!net_->canInjectRequest(params_.id)) {
+            ++stats_.injectStalls;
+            return;
+        }
+        memPortBusyThisCycle_ = true;
+        NocMessage msg;
+        msg.kind = MsgKind::AtomicReq;
+        msg.lineAddr = line;
+        msg.src = params_.id;
+        msg.dst = sliceFor_(line);
+        msg.sizeBytes = params_.packet.sizeOf(MsgKind::AtomicReq);
+        msg.token = line | (std::uint64_t{1} << 63);
+        net_->injectRequest(msg, now);
+        ++stats_.atomics;
+        atomicPending_.emplace(line, slot);
+        ++w.outstanding;
+        ++w.nextAccess;
+        if (w.nextAccess == w.cur.numAccesses)
+            w.state = WarpState::WaitMem;
+        return;
+    }
+    if (w.cur.isWrite) {
+        // Write-through, no-allocate: the store needs an injection
+        // slot; it completes immediately from the warp's view.
+        if (!net_->canInjectRequest(params_.id)) {
+            ++stats_.injectStalls;
+            return;
+        }
+        memPortBusyThisCycle_ = true;
+        l1_.lookup(line, true, params_.cluster, now);
+        NocMessage msg;
+        msg.kind = MsgKind::WriteReq;
+        msg.lineAddr = line;
+        msg.src = params_.id;
+        msg.dst = sliceFor_(line);
+        msg.sizeBytes = params_.packet.sizeOf(MsgKind::WriteReq);
+        msg.token = line;
+        net_->injectRequest(msg, now);
+        ++stats_.stores;
+        ++w.nextAccess;
+        // Stores are fire-and-forget: the batch retires as soon as
+        // its last access is injected.
+        maybeRetireMem(slot, now);
+        return;
+    }
+
+    // Load path.
+    const bool in_l1 = l1_.contains(line);
+    const bool merged = mshrs_.contains(line);
+    if (!in_l1 && !merged) {
+        // Primary miss: need an MSHR and an injection slot.
+        if (!mshrs_.hasFreeEntry()) {
+            ++stats_.mshrStalls;
+            return;
+        }
+        if (!net_->canInjectRequest(params_.id)) {
+            ++stats_.injectStalls;
+            return;
+        }
+    }
+    memPortBusyThisCycle_ = true;
+    ++stats_.loads;
+    const LookupResult res =
+        l1_.lookup(line, false, params_.cluster, now);
+    if (res.hit) {
+        ++w.outstanding;
+        hitQueue_.push(slot, now, params_.l1Latency);
+    } else {
+        const MshrAllocResult ar = mshrs_.allocate(line, slot);
+        switch (ar) {
+          case MshrAllocResult::NewEntry: {
+            NocMessage msg;
+            msg.kind = MsgKind::ReadReq;
+            msg.lineAddr = line;
+            msg.src = params_.id;
+            msg.dst = sliceFor_(line);
+            msg.sizeBytes = params_.packet.sizeOf(MsgKind::ReadReq);
+            msg.token = line;
+            net_->injectRequest(msg, now);
+            break;
+          }
+          case MshrAllocResult::Merged:
+            break;
+          case MshrAllocResult::NoFreeEntry:
+          case MshrAllocResult::NoFreeTarget:
+            // Structural stall; the L1 port was consumed but the
+            // access retries next cycle.
+            ++stats_.mshrStalls;
+            --stats_.loads;
+            return;
+        }
+        ++w.outstanding;
+    }
+    ++w.nextAccess;
+    if (w.nextAccess == w.cur.numAccesses)
+        w.state = WarpState::WaitMem;
+    maybeRetireMem(slot, now);
+}
+
+void
+Sm::tick(Cycle now)
+{
+    memPortBusyThisCycle_ = false;
+
+    // 1. L1 hit completions.
+    while (hitQueue_.ready(now))
+        completeAccess(hitQueue_.pop(now), now);
+
+    if (stalled_)
+        return;
+
+    // 2. Schedulers: GTO issue, warps partitioned by slot parity.
+    bool issued_any = false;
+    for (std::uint32_t s = 0; s < params_.numSchedulers; ++s) {
+        std::uint32_t pick = kInvalidId;
+        // Greedy: stick with the current warp while it can issue.
+        const std::uint32_t cur = gtoCurrent_[s];
+        if (cur != kInvalidId && warps_[cur].state != WarpState::Done &&
+            warps_[cur].state != WarpState::Inactive &&
+            cur % params_.numSchedulers == s && issueable(warps_[cur])) {
+            pick = cur;
+        } else {
+            // Oldest ready warp in this scheduler's partition.
+            std::uint64_t best_age = 0;
+            for (std::uint32_t w = s; w < warps_.size();
+                 w += params_.numSchedulers) {
+                if (warps_[w].state == WarpState::Inactive ||
+                    warps_[w].state == WarpState::Done)
+                    continue;
+                if (!issueable(warps_[w]))
+                    continue;
+                if (pick == kInvalidId || warps_[w].age < best_age) {
+                    pick = w;
+                    best_age = warps_[w].age;
+                }
+            }
+        }
+        if (pick == kInvalidId)
+            continue;
+        gtoCurrent_[s] = pick;
+        issueFrom(pick, now);
+        issued_any = true;
+    }
+    if (!issued_any && !done())
+        ++stats_.issueStallCycles;
+}
+
+void
+Sm::onReply(const NocMessage &msg, Cycle now)
+{
+    if (msg.kind != MsgKind::ReadReply)
+        panic("SM%u: unexpected reply kind", params_.id);
+    const Addr line = msg.lineAddr;
+    if ((msg.token >> 63) != 0) {
+        // Atomic completion: exactly one pending RMW finishes.
+        const auto it = atomicPending_.find(line);
+        if (it == atomicPending_.end())
+            panic("SM%u: atomic reply without request", params_.id);
+        const std::uint32_t slot = it->second;
+        atomicPending_.erase(it);
+        completeAccess(slot, now);
+        return;
+    }
+    l1_.fill(line, false, params_.cluster, now);
+    const std::vector<std::uint32_t> targets = mshrs_.complete(line);
+    for (const std::uint32_t slot : targets)
+        completeAccess(slot, now);
+}
+
+void
+Sm::registerStats(StatSet &set) const
+{
+    const std::string p = "sm" + std::to_string(params_.id);
+    set.addCounter(p + ".instructions", "instructions retired",
+                   stats_.instructions);
+    set.addCounter(p + ".mem_instrs", "memory instructions",
+                   stats_.memInstrs);
+    set.addCounter(p + ".loads", "load accesses", stats_.loads);
+    set.addCounter(p + ".stores", "store accesses", stats_.stores);
+    set.addCounter(p + ".stall_cycles", "cycles with no issue",
+                   stats_.issueStallCycles);
+    set.addCounter(p + ".ctas", "CTAs completed",
+                   stats_.ctasCompleted);
+}
+
+} // namespace amsc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Warp instruction-stream abstraction.
+ *
+ * The simulator is driven at warp granularity: a warp alternates a
+ * block of compute instructions with one memory instruction of 1..k
+ * coalesced line accesses. Workload generators (src/workloads)
+ * implement WarpTraceGen to synthesize streams whose *memory
+ * behaviour* -- footprints, sharing, temporal correlation, read/write
+ * mix, intensity -- matches the paper's benchmarks (Table 2, Fig 3).
+ */
+
+#ifndef AMSC_GPU_TRACE_HH
+#define AMSC_GPU_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace amsc
+{
+
+/** Maximum line accesses per memory instruction (divergence cap). */
+inline constexpr std::uint32_t kMaxAccessesPerInstr = 8;
+
+/** One warp-level instruction batch. */
+struct WarpInstr
+{
+    /** Compute instructions to retire before the memory operation. */
+    std::uint32_t computeCycles = 0;
+    /** Coalesced line addresses (0 => pure compute batch). */
+    std::array<Addr, kMaxAccessesPerInstr> addrs{};
+    std::uint32_t numAccesses = 0;
+    /** True if the memory operation is a store. */
+    bool isWrite = false;
+    /**
+     * True for global atomic operations (read-modify-write performed
+     * at the LLC's ROP unit; paper section 4.1).
+     */
+    bool isAtomic = false;
+};
+
+/** Per-warp instruction stream generator. */
+class WarpTraceGen
+{
+  public:
+    virtual ~WarpTraceGen() = default;
+
+    /**
+     * Produce the warp's next instruction batch.
+     *
+     * @param out  filled on success.
+     * @param now  current cycle (generators may use it to model
+     *             phase behaviour, e.g. layer-by-layer streaming).
+     * @return false when the warp has finished its work.
+     */
+    virtual bool nextInstr(WarpInstr &out, Cycle now) = 0;
+};
+
+/** Factory producing the generator for (cta, warp-in-cta). */
+using WarpGenFactory =
+    std::function<std::unique_ptr<WarpTraceGen>(CtaId cta,
+                                                std::uint32_t warp)>;
+
+/** One kernel of a workload. */
+struct KernelInfo
+{
+    std::string name = "kernel";
+    std::uint32_t numCtas = 64;
+    std::uint32_t warpsPerCta = 8;
+    WarpGenFactory makeGen;
+};
+
+} // namespace amsc
+
+#endif // AMSC_GPU_TRACE_HH

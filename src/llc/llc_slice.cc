@@ -1,0 +1,247 @@
+#include "llc/llc_slice.hh"
+
+#include "common/log.hh"
+
+namespace amsc
+{
+
+LlcSlice::LlcSlice(const LlcSliceParams &params, Network *net,
+                   MemorySystem *mem, AppOfFn app_of,
+                   WriteThroughFn write_through)
+    : params_(params), net_(net), mem_(mem),
+      appOf_(std::move(app_of)),
+      writeThrough_(std::move(write_through)),
+      tags_(params.numSets, params.assoc, params.repl, params.seed),
+      mshrs_(params.mshrs, params.mshrTargets)
+{
+}
+
+void
+LlcSlice::queueReply(Addr line_addr, SmId sm, Cycle now, Cycle latency,
+                     bool atomic)
+{
+    NocMessage msg;
+    msg.kind = MsgKind::ReadReply;
+    msg.lineAddr = line_addr;
+    msg.src = params_.id;
+    msg.dst = sm;
+    msg.sizeBytes = params_.packet.sizeOf(MsgKind::ReadReply);
+    msg.token = atomic ? (line_addr | (std::uint64_t{1} << 63))
+                       : line_addr;
+    replyQueue_.push(msg, now, latency);
+}
+
+bool
+LlcSlice::process(const NocMessage &msg, Cycle now)
+{
+    const Addr line = msg.lineAddr;
+
+    if (msg.kind == MsgKind::ReadReq ||
+        msg.kind == MsgKind::AtomicReq) {
+        const bool is_atomic = msg.kind == MsgKind::AtomicReq;
+        // A miss needs MSHR space (entry or merge target); a primary
+        // miss additionally needs miss-queue space.
+        const bool in_cache = tags_.probe(line) != nullptr;
+        const bool merged = mshrs_.contains(line);
+        if (!in_cache) {
+            if (!mshrs_.canAllocate(line))
+                return false;
+            if (!merged && missQueue_.full())
+                return false;
+        }
+
+        if (is_atomic)
+            ++stats_.atomics;
+        ++stats_.reads;
+        CacheLine *hit = tags_.access(line, now);
+        // MSHR merges count as hits: like a tag hit, they are served
+        // by data already on its way and generate no DRAM traffic
+        // (hit-under-miss). Miss rate thus predicts DRAM fetches,
+        // which is what the section 4.4 bandwidth model consumes.
+        const bool effective_hit = hit != nullptr || merged;
+        if (observer_)
+            observer_(params_.id, line, msg.src, effective_hit, true,
+                      now);
+        if (hit != nullptr) {
+            ++stats_.readHits;
+            hit->accessorMask |= 1u << (msg.src % 32);
+            if (is_atomic) {
+                // Read-modify-write at the ROP: the line is updated
+                // in place (dirty under write-back, forwarded under
+                // write-through).
+                if (writeThrough_(appOf_(msg.src))) {
+                    if (!missQueue_.full())
+                        missQueue_.push({line, true}, now,
+                                        params_.missLatency);
+                } else {
+                    hit->dirty = true;
+                }
+            }
+            queueReply(line, msg.src, now, params_.hitLatency,
+                       is_atomic);
+        } else {
+            const MshrAllocResult ar = mshrs_.allocate(
+                line, ReadTarget{msg.src, is_atomic});
+            switch (ar) {
+              case MshrAllocResult::NewEntry:
+                ++stats_.readMisses;
+                missQueue_.push({line, false}, now,
+                                params_.missLatency);
+                break;
+              case MshrAllocResult::Merged:
+                ++stats_.readHits;
+                ++stats_.readMergedHits;
+                break;
+              default:
+                panic("LLC%u: MSHR alloc failed after check",
+                      params_.id);
+            }
+        }
+        return true;
+    }
+
+    if (msg.kind == MsgKind::WriteReq) {
+        // No-write-allocate; policy depends on the owning app's mode.
+        const bool wt = writeThrough_(appOf_(msg.src));
+        CacheLine *line_p = tags_.access(line, now);
+        const bool forward = wt || line_p == nullptr;
+        if (forward && missQueue_.full())
+            return false;
+
+        ++stats_.writes;
+        if (observer_)
+            observer_(params_.id, line, msg.src, line_p != nullptr,
+                      false, now);
+        if (line_p != nullptr) {
+            ++stats_.writeHits;
+            if (!wt)
+                line_p->dirty = true; // write-back absorbs the write
+        }
+        if (forward)
+            missQueue_.push({line, true}, now, params_.missLatency);
+        return true;
+    }
+
+    panic("LLC%u: unexpected message kind", params_.id);
+}
+
+void
+LlcSlice::tick(Cycle now)
+{
+    // 1. Drain due replies into the reply network (1 per cycle).
+    if (replyQueue_.ready(now) && net_->canInjectReply(params_.id)) {
+        net_->injectReply(replyQueue_.pop(now), now);
+        ++stats_.responses;
+    }
+
+    // 2. Issue one due miss / forwarded write to DRAM.
+    if (missQueue_.ready(now)) {
+        const auto &[line, is_write] = missQueue_.front();
+        if (mem_->canAccept(line)) {
+            mem_->access(line, is_write,
+                         static_cast<std::uint64_t>(params_.id), now);
+            if (is_write)
+                ++stats_.dramWrites;
+            else
+                ++stats_.dramReads;
+            missQueue_.pop(now);
+        }
+    }
+
+    // 3. Issue one pending write-back to DRAM.
+    if (!writebackQueue_.empty() &&
+        mem_->canAccept(writebackQueue_.front())) {
+        mem_->access(writebackQueue_.front(), true,
+                     static_cast<std::uint64_t>(params_.id), now);
+        ++stats_.dramWrites;
+        ++stats_.writebacks;
+        writebackQueue_.pop_front();
+    }
+
+    // 4. Accept one request from the network (tag pipeline width 1).
+    if (stalledReq_.has_value()) {
+        ++stats_.stallCycles;
+        if (process(*stalledReq_, now))
+            stalledReq_.reset();
+        return;
+    }
+    if (net_->hasRequestFor(params_.id)) {
+        NocMessage msg = net_->popRequestFor(params_.id, now);
+        if (!process(msg, now))
+            stalledReq_ = msg;
+    }
+}
+
+void
+LlcSlice::onDramReply(Addr line_addr, Cycle now)
+{
+    if (!mshrs_.contains(line_addr)) {
+        // A write-back or forwarded write completion carries no MSHR;
+        // reads always do.
+        return;
+    }
+    fillLine(line_addr, now);
+    const auto targets = mshrs_.complete(line_addr);
+    Cycle lat = 1;
+    for (const ReadTarget &t : targets) {
+        if (t.atomic) {
+            CacheLine *line = tags_.probe(line_addr);
+            if (line != nullptr && !writeThrough_(appOf_(t.sm)))
+                line->dirty = true;
+        }
+        // Fills stream one reply per cycle through the data array.
+        queueReply(line_addr, t.sm, now, lat, t.atomic);
+        ++lat;
+    }
+}
+
+void
+LlcSlice::fillLine(Addr line_addr, Cycle now)
+{
+    if (tags_.probe(line_addr) != nullptr)
+        return;
+    Eviction ev;
+    tags_.insert(line_addr, now, ev);
+    if (ev.valid && ev.dirty)
+        writebackQueue_.push_back(ev.lineAddr);
+}
+
+void
+LlcSlice::startWritebackAll(Cycle now)
+{
+    (void)now;
+    for (const Addr a : tags_.collectDirtyLines())
+        writebackQueue_.push_back(a);
+}
+
+void
+LlcSlice::invalidateAll()
+{
+    tags_.invalidateAll();
+}
+
+bool
+LlcSlice::drained() const
+{
+    return !stalledReq_.has_value() && missQueue_.empty() &&
+        replyQueue_.empty() && writebackQueue_.empty() &&
+        mshrs_.numActiveEntries() == 0;
+}
+
+void
+LlcSlice::registerStats(StatSet &set) const
+{
+    const std::string p = "llc" + std::to_string(params_.id);
+    set.addCounter(p + ".reads", "read requests", stats_.reads);
+    set.addCounter(p + ".read_hits", "read hits", stats_.readHits);
+    set.addCounter(p + ".read_misses", "read misses",
+                   stats_.readMisses);
+    set.addCounter(p + ".writes", "write requests", stats_.writes);
+    set.addCounter(p + ".responses", "replies injected",
+                   stats_.responses);
+    const LlcSliceStats *s = &stats_;
+    set.add(p + ".read_miss_rate", "read miss rate",
+            [s]() { return s->readMissRate(); });
+}
+
+} // namespace amsc

@@ -1,0 +1,443 @@
+#include "llc/llc_system.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace amsc
+{
+
+LlcPolicy
+parseLlcPolicy(const std::string &name)
+{
+    if (name == "shared")
+        return LlcPolicy::ForceShared;
+    if (name == "private")
+        return LlcPolicy::ForcePrivate;
+    if (name == "adaptive")
+        return LlcPolicy::Adaptive;
+    fatal("unknown LLC policy '%s' (shared|private|adaptive)",
+          name.c_str());
+}
+
+std::string
+llcPolicyName(LlcPolicy p)
+{
+    switch (p) {
+      case LlcPolicy::ForceShared:
+        return "shared";
+      case LlcPolicy::ForcePrivate:
+        return "private";
+      case LlcPolicy::Adaptive:
+        return "adaptive";
+    }
+    return "?";
+}
+
+LlcSystem::LlcSystem(const LlcParams &params,
+                     const AddressMapping &mapping, Network *net,
+                     MemorySystem *mem, AppOfFn app_of,
+                     ClusterOfFn cluster_of)
+    : params_(params),
+      mapper_(mapping,
+              static_cast<std::uint32_t>(params.appPolicies.size())),
+      net_(net), mem_(mem), appOf_(std::move(app_of)),
+      clusterOf_(std::move(cluster_of)), profiler_(params.profiler),
+      tracker_(1000)
+{
+    tracker_.setEnabled(params_.trackSharing);
+
+    const auto &mp = mapping.params();
+    const std::uint32_t num_slices = mp.numMcs * mp.slicesPerMc;
+    if (num_slices != params_.profiler.numSlices)
+        fatal("LLC: profiler slice count %u != %u",
+              params_.profiler.numSlices, num_slices);
+
+    auto write_through = [this](AppId app) {
+        return mapper_.mode(app) == LlcMode::Private;
+    };
+    for (SliceId s = 0; s < num_slices; ++s) {
+        LlcSliceParams sp = params_.slice;
+        sp.id = s;
+        sp.mc = s / mp.slicesPerMc;
+        sp.seed = params_.slice.seed + s;
+        slices_.push_back(std::make_unique<LlcSlice>(
+            sp, net_, mem_, appOf_, write_through));
+        slices_.back()->setObserver(
+            [this](SliceId slice, Addr line, SmId src, bool hit,
+                   bool is_read, Cycle now) {
+                const ClusterId cl = clusterOf_(src);
+                if (profilingActive_)
+                    profiler_.onSliceAccess(slice, line, cl, hit,
+                                            is_read, now);
+                tracker_.onAccess(line, cl, now);
+            });
+    }
+
+    // Static per-app modes; the adaptive policy (single-app only)
+    // starts shared and profiles.
+    std::uint32_t adaptive_count = 0;
+    for (AppId a = 0; a < params_.appPolicies.size(); ++a) {
+        switch (params_.appPolicies[a]) {
+          case LlcPolicy::ForceShared:
+            mapper_.setMode(a, LlcMode::Shared);
+            break;
+          case LlcPolicy::ForcePrivate:
+            mapper_.setMode(a, LlcMode::Private);
+            break;
+          case LlcPolicy::Adaptive:
+            ++adaptive_count;
+            mapper_.setMode(a, LlcMode::Shared);
+            break;
+        }
+    }
+    if (adaptive_count > 0 &&
+        (adaptive_count > 1 || params_.appPolicies.size() > 1))
+        fatal("adaptive LLC policy supports a single application; use "
+              "forced per-app modes for multi-program runs");
+
+    applyNetworkMode();
+    if (adaptive_count == 1)
+        startEpoch(0);
+    else
+        state_ = CtrlState::Disabled;
+}
+
+void
+LlcSystem::setHooks(StallFn stall, QuiescentFn quiescent)
+{
+    stall_ = std::move(stall);
+    quiescent_ = std::move(quiescent);
+}
+
+bool
+LlcSystem::adaptiveEnabled() const
+{
+    for (const LlcPolicy p : params_.appPolicies) {
+        if (p == LlcPolicy::Adaptive)
+            return true;
+    }
+    return false;
+}
+
+SliceId
+LlcSystem::sliceFor(Addr line_addr, ClusterId cluster, AppId app)
+{
+    const auto &mp = mapper_.mapping().params();
+    if (profilingActive_) {
+        const McId mc = mapper_.mapping().decode(line_addr).mc;
+        profiler_.onRequestIssued(cluster, mc);
+    }
+    (void)mp;
+    return mapper_.sliceFor(line_addr, cluster, app);
+}
+
+void
+LlcSystem::applyNetworkMode()
+{
+    bool all_private = true;
+    for (AppId a = 0; a < mapper_.numApps(); ++a)
+        all_private = all_private &&
+            mapper_.mode(a) == LlcMode::Private;
+    if (net_->supportsPowerGating())
+        net_->setPrivateMode(all_private);
+}
+
+void
+LlcSystem::startEpoch(Cycle now)
+{
+    epochEnd_ = now + params_.epochLen;
+    stateDeadline_ = now + params_.profileLen;
+    windowMid_ = now + params_.profileLen / 2;
+    midMarked_ = false;
+    reprofileRequested_ = false;
+    profilingActive_ = true;
+    atomicsBaseline_ = totalAtomics();
+    profiler_.beginWindow();
+    state_ = CtrlState::Profiling;
+}
+
+void
+LlcSystem::decide(Cycle now)
+{
+    lastSnap_ = profiler_.snapshot();
+    profilingActive_ = false;
+    ++stats_.profileWindows;
+
+    // Global atomics are handled by the ROP at a fixed slice; the
+    // paper opts for the shared organization whenever the workload
+    // uses them (section 4.1).
+    const bool atomics_seen = totalAtomics() > atomicsBaseline_;
+    // Rule #1's similar-miss-rate signal is meaningless while the
+    // LLC is still warming (a cold cache makes every organization
+    // look identical), so it only fires on steady windows. Rule #2
+    // is guarded by the bandwidth hysteresis margin instead, which
+    // absorbs both warm-up noise and estimator noise.
+    const bool rule1 = !atomics_seen && !lastSnap_.warming &&
+        std::abs(lastSnap_.privateMissRate - lastSnap_.sharedMissRate)
+            <= params_.missTolerance;
+    const bool rule2 = !atomics_seen &&
+        lastSnap_.privateBw > lastSnap_.sharedBw * params_.bwMargin;
+    if (atomics_seen)
+        ++stats_.atomicVetoes;
+    verbose("llc decide @%llu: miss_s=%.3f miss_p=%.3f lsp_s=%.1f "
+            "lsp_p=%.1f bw_s=%.0f bw_p=%.0f samples=%llu -> %s%s",
+            static_cast<unsigned long long>(now),
+            lastSnap_.sharedMissRate, lastSnap_.privateMissRate,
+            lastSnap_.sharedLsp, lastSnap_.privateLsp,
+            lastSnap_.sharedBw, lastSnap_.privateBw,
+            static_cast<unsigned long long>(lastSnap_.sampledAccesses),
+            (rule1 || rule2) ? "private" : "shared",
+            rule1 ? " (rule1)" : (rule2 ? " (rule2)" : ""));
+    if (rule1)
+        ++stats_.rule1Fires;
+    else if (rule2)
+        ++stats_.rule2Fires;
+
+    if (rule1 || rule2) {
+        ++stats_.decisionsPrivate;
+        enterPrivate(now);
+    } else {
+        ++stats_.decisionsShared;
+        state_ = CtrlState::SharedRun;
+    }
+}
+
+void
+LlcSystem::enterPrivate(Cycle now)
+{
+    stall_(true);
+    stallStart_ = now;
+    state_ = CtrlState::DrainToPrivate;
+}
+
+void
+LlcSystem::enterShared(Cycle now)
+{
+    stall_(true);
+    stallStart_ = now;
+    state_ = CtrlState::DrainToShared;
+}
+
+void
+LlcSystem::tick(Cycle now)
+{
+    for (auto &s : slices_)
+        s->tick(now);
+
+    if (mapper_.mode(adaptiveApp()) == LlcMode::Private)
+        ++stats_.cyclesPrivate;
+    else
+        ++stats_.cyclesShared;
+
+    switch (state_) {
+      case CtrlState::Disabled:
+        break;
+
+      case CtrlState::Profiling:
+        if (reprofileRequested_) {
+            startEpoch(now);
+            break;
+        }
+        if (!midMarked_ && now >= windowMid_) {
+            profiler_.markMidWindow();
+            midMarked_ = true;
+        }
+        if (now >= stateDeadline_)
+            decide(now);
+        break;
+
+      case CtrlState::SharedRun:
+        if (reprofileRequested_ || now >= epochEnd_)
+            startEpoch(now);
+        break;
+
+      case CtrlState::DrainToPrivate:
+        if (quiescent_() && drained()) {
+            for (auto &s : slices_)
+                s->startWritebackAll(now);
+            state_ = CtrlState::Writeback;
+        }
+        break;
+
+      case CtrlState::Writeback:
+        if (drained() && mem_->drained()) {
+            state_ = CtrlState::GateWait;
+            stateDeadline_ = now + params_.gateDelay;
+        }
+        break;
+
+      case CtrlState::GateWait:
+        if (now >= stateDeadline_) {
+            mapper_.setMode(adaptiveApp(), LlcMode::Private);
+            applyNetworkMode();
+            stall_(false);
+            stats_.reconfigStallCycles += now - stallStart_;
+            ++stats_.transitionsToPrivate;
+            state_ = CtrlState::PrivateRun;
+        }
+        break;
+
+      case CtrlState::PrivateRun:
+        // A newly-arriving global atomic forces the shared
+        // organization (paper section 4.1).
+        if (totalAtomics() > atomicsBaseline_) {
+            ++stats_.atomicVetoes;
+            reprofileRequested_ = true;
+        }
+        if (reprofileRequested_ || now >= epochEnd_)
+            enterShared(now);
+        break;
+
+      case CtrlState::DrainToShared:
+        if (quiescent_() && drained()) {
+            // Private contents are clean (write-through): invalidate.
+            for (auto &s : slices_)
+                s->invalidateAll();
+            state_ = CtrlState::UngateWait;
+            stateDeadline_ = now + params_.gateDelay;
+        }
+        break;
+
+      case CtrlState::UngateWait:
+        if (now >= stateDeadline_) {
+            mapper_.setMode(adaptiveApp(), LlcMode::Shared);
+            applyNetworkMode();
+            stall_(false);
+            stats_.reconfigStallCycles += now - stallStart_;
+            ++stats_.transitionsToShared;
+            startEpoch(now);
+        }
+        break;
+    }
+}
+
+void
+LlcSystem::onDramReply(Addr line_addr, std::uint64_t token, Cycle now)
+{
+    const SliceId s = static_cast<SliceId>(token);
+    if (s >= slices_.size())
+        panic("DRAM reply for unknown slice token %llu",
+              static_cast<unsigned long long>(token));
+    slices_[s]->onDramReply(line_addr, now);
+}
+
+void
+LlcSystem::onKernelLaunch(Cycle now)
+{
+    (void)now;
+    // Software coherence: flushing the L1s at a kernel boundary also
+    // flushes a private LLC (clean under write-through).
+    bool any_private = false;
+    for (AppId a = 0; a < mapper_.numApps(); ++a)
+        any_private =
+            any_private || mapper_.mode(a) == LlcMode::Private;
+    if (any_private) {
+        for (auto &s : slices_)
+            s->invalidateAll();
+    }
+    if (adaptiveEnabled())
+        reprofileRequested_ = true; // Rule #3
+}
+
+bool
+LlcSystem::drained() const
+{
+    for (const auto &s : slices_) {
+        if (!s->drained())
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+LlcSystem::totalAtomics() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : slices_)
+        n += s->stats().atomics;
+    return n;
+}
+
+std::uint64_t
+LlcSystem::totalReads() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : slices_)
+        n += s->stats().reads;
+    return n;
+}
+
+std::uint64_t
+LlcSystem::totalAccesses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : slices_)
+        n += s->stats().accesses();
+    return n;
+}
+
+std::uint64_t
+LlcSystem::totalResponses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : slices_)
+        n += s->stats().responses;
+    return n;
+}
+
+double
+LlcSystem::aggregateReadMissRate() const
+{
+    std::uint64_t reads = 0;
+    std::uint64_t misses = 0;
+    for (const auto &s : slices_) {
+        reads += s->stats().reads;
+        misses += s->stats().readMisses;
+    }
+    return reads == 0
+        ? 0.0
+        : static_cast<double>(misses) / static_cast<double>(reads);
+}
+
+std::vector<std::uint64_t>
+LlcSystem::sliceAccessCounts() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(slices_.size());
+    for (const auto &s : slices_)
+        out.push_back(s->stats().accesses());
+    return out;
+}
+
+void
+LlcSystem::registerStats(StatSet &set) const
+{
+    set.addCounter("llc.profile_windows", "profiling windows",
+                   stats_.profileWindows);
+    set.addCounter("llc.decisions_private", "private decisions",
+                   stats_.decisionsPrivate);
+    set.addCounter("llc.decisions_shared", "shared decisions",
+                   stats_.decisionsShared);
+    set.addCounter("llc.rule1_fires", "Rule #1 transitions",
+                   stats_.rule1Fires);
+    set.addCounter("llc.rule2_fires", "Rule #2 transitions",
+                   stats_.rule2Fires);
+    set.addCounter("llc.atomic_vetoes",
+                   "shared decisions forced by global atomics",
+                   stats_.atomicVetoes);
+    set.addCounter("llc.reconfig_stall_cycles",
+                   "cycles stalled for reconfiguration",
+                   stats_.reconfigStallCycles);
+    set.addCounter("llc.cycles_private", "cycles in private mode",
+                   stats_.cyclesPrivate);
+    set.addCounter("llc.cycles_shared", "cycles in shared mode",
+                   stats_.cyclesShared);
+    const LlcSystem *self = this;
+    set.add("llc.read_miss_rate", "aggregate LLC read miss rate",
+            [self]() { return self->aggregateReadMissRate(); });
+    for (const auto &s : slices_)
+        s->registerStats(set);
+}
+
+} // namespace amsc

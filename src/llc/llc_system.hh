@@ -1,0 +1,230 @@
+/**
+ * @file
+ * The adaptive memory-side LLC (paper section 4).
+ *
+ * LlcSystem owns the 64 slices, the shared/private slice mapper, the
+ * online profiler, the Fig-3 sharing tracker and the adaptive
+ * controller state machine implementing the paper's reconfiguration
+ * rules:
+ *
+ *   Rule #1 (S->P): switch to private if the predicted private miss
+ *       rate is within `missTolerance` of the measured shared rate
+ *       (insensitive application; private enables MC-router gating).
+ *   Rule #2 (S->P): switch to private if the bandwidth model predicts
+ *       higher supplied bandwidth under private caching.
+ *   Rule #3 (P->S): revert to shared at each 1 M-cycle epoch boundary
+ *       and at every kernel launch.
+ *
+ * A shared->private transition stalls the SMs, waits for all in-flight
+ * packets to drain, writes dirty LLC lines back, power-gates the
+ * MC-routers (if the NoC supports it) and flips the mapper; a
+ * private->shared transition drains, invalidates (private contents
+ * are clean under write-through), powers the routers back on and
+ * flips the mapper. All transition cycles are accounted as overhead.
+ */
+
+#ifndef AMSC_LLC_LLC_SYSTEM_HH
+#define AMSC_LLC_LLC_SYSTEM_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "llc/llc_slice.hh"
+#include "llc/profiler.hh"
+#include "llc/sharing_tracker.hh"
+#include "llc/slice_mapper.hh"
+#include "mem/memory_system.hh"
+#include "noc/network.hh"
+
+namespace amsc
+{
+
+/** Per-application LLC management policy. */
+enum class LlcPolicy
+{
+    ForceShared,  ///< baseline: always shared
+    ForcePrivate, ///< always private (static private organization)
+    Adaptive,     ///< the paper's mechanism
+};
+
+/** Parse a policy name ("shared" | "private" | "adaptive"). */
+LlcPolicy parseLlcPolicy(const std::string &name);
+
+/** Policy display name. */
+std::string llcPolicyName(LlcPolicy p);
+
+/** Adaptive LLC parameters. */
+struct LlcParams
+{
+    /** Policy per application (size = number of apps, >= 1). */
+    std::vector<LlcPolicy> appPolicies{LlcPolicy::Adaptive};
+    /** Slice template (id/mc filled per slice). */
+    LlcSliceParams slice{};
+    /** Profiling window length (paper: 50 K cycles). */
+    Cycle profileLen = 50000;
+    /** Epoch length (paper: 1 M cycles). */
+    Cycle epochLen = 1000000;
+    /** Rule #1 miss-rate tolerance (paper: 2%). */
+    double missTolerance = 0.02;
+    /**
+     * Rule #2 hysteresis: the predicted private bandwidth must exceed
+     * the shared bandwidth by this factor before a transition is
+     * worth its reconfiguration cost and estimator noise.
+     */
+    double bwMargin = 1.15;
+    /** Power-gate / power-on latency (paper: tens of cycles). */
+    Cycle gateDelay = 30;
+    /** Profiler configuration. */
+    ProfilerParams profiler{};
+    /** Enable the Fig-3 sharing tracker. */
+    bool trackSharing = false;
+};
+
+/** Controller statistics. */
+struct LlcSystemStats
+{
+    std::uint64_t profileWindows = 0;
+    std::uint64_t decisionsPrivate = 0;
+    std::uint64_t decisionsShared = 0;
+    std::uint64_t rule1Fires = 0;
+    std::uint64_t rule2Fires = 0;
+    /** Decisions forced to shared because atomics were observed. */
+    std::uint64_t atomicVetoes = 0;
+    std::uint64_t transitionsToPrivate = 0;
+    std::uint64_t transitionsToShared = 0;
+    std::uint64_t reconfigStallCycles = 0;
+    std::uint64_t cyclesPrivate = 0;
+    std::uint64_t cyclesShared = 0;
+};
+
+/** The adaptive memory-side last-level cache. */
+class LlcSystem
+{
+  public:
+    /** Stalls/unstalls all SMs (wired by the GPU system). */
+    using StallFn = std::function<void(bool)>;
+    /** True when NoC + DRAM hold no in-flight work. */
+    using QuiescentFn = std::function<bool()>;
+    /** Maps an SM to its application id. */
+    using AppOfFn = std::function<AppId(SmId)>;
+    /** Maps an SM to its cluster id. */
+    using ClusterOfFn = std::function<ClusterId(SmId)>;
+
+    LlcSystem(const LlcParams &params, const AddressMapping &mapping,
+              Network *net, MemorySystem *mem, AppOfFn app_of,
+              ClusterOfFn cluster_of);
+
+    /** Wire the reconfiguration hooks. */
+    void setHooks(StallFn stall, QuiescentFn quiescent);
+
+    /**
+     * Slice selection for a new request; also feeds the LSP counters
+     * while a profiling window is open. Called by SMs via the system.
+     */
+    SliceId sliceFor(Addr line_addr, ClusterId cluster, AppId app);
+
+    /** Advance one cycle (slices + controller FSM). */
+    void tick(Cycle now);
+
+    /** Route a DRAM read completion to its slice. */
+    void onDramReply(Addr line_addr, std::uint64_t token, Cycle now);
+
+    /**
+     * Kernel-boundary notification (Rule #3 + software coherence:
+     * the private LLC is flushed together with the L1s).
+     */
+    void onKernelLaunch(Cycle now);
+
+    /** Current mode of application @p app. */
+    LlcMode mode(AppId app = 0) const { return mapper_.mode(app); }
+
+    /** True when all slices are drained. */
+    bool drained() const;
+
+    // ---- aggregate metrics ---------------------------------------
+    std::uint64_t totalAtomics() const;
+    std::uint64_t totalReads() const;
+    std::uint64_t totalAccesses() const;
+    std::uint64_t totalResponses() const;
+    double aggregateReadMissRate() const;
+    /** Per-slice read+write access counts (LSP measurements). */
+    std::vector<std::uint64_t> sliceAccessCounts() const;
+
+    LlcSlice &slice(SliceId s) { return *slices_[s]; }
+    const LlcSlice &slice(SliceId s) const { return *slices_[s]; }
+    std::uint32_t numSlices() const
+    {
+        return static_cast<std::uint32_t>(slices_.size());
+    }
+    SliceMapper &mapper() { return mapper_; }
+    const LlcProfiler &profiler() const { return profiler_; }
+    SharingTracker &sharingTracker() { return tracker_; }
+    const LlcSystemStats &stats() const { return stats_; }
+    const LlcParams &params() const { return params_; }
+    /** Most recent profile snapshot (after a decision). */
+    const ProfileSnapshot &lastSnapshot() const { return lastSnap_; }
+
+    /** Register controller + slice statistics in @p set. */
+    void registerStats(StatSet &set) const;
+
+  private:
+    /** Controller FSM states. */
+    enum class CtrlState
+    {
+        Disabled,      ///< no adaptive app: static modes only
+        Profiling,     ///< shared mode, window open
+        SharedRun,     ///< shared mode until epoch end
+        DrainToPrivate,///< stalled, waiting for quiescence
+        Writeback,     ///< dirty write-back pass
+        GateWait,      ///< power-gating the MC-routers
+        PrivateRun,    ///< private mode until epoch end / kernel
+        DrainToShared, ///< stalled, waiting for quiescence
+        UngateWait,    ///< powering the MC-routers back on
+    };
+
+    /** True if any app uses the adaptive policy. */
+    bool adaptiveEnabled() const;
+
+    /** The (single) adaptive application id. */
+    AppId adaptiveApp() const { return 0; }
+
+    void startEpoch(Cycle now);
+    void decide(Cycle now);
+    void enterPrivate(Cycle now);
+    void enterShared(Cycle now);
+    void applyNetworkMode();
+
+    LlcParams params_;
+    SliceMapper mapper_;
+    Network *net_;
+    MemorySystem *mem_;
+    AppOfFn appOf_;
+    ClusterOfFn clusterOf_;
+    LlcProfiler profiler_;
+    SharingTracker tracker_;
+    std::vector<std::unique_ptr<LlcSlice>> slices_;
+
+    StallFn stall_;
+    QuiescentFn quiescent_;
+
+    CtrlState state_ = CtrlState::Disabled;
+    Cycle stateDeadline_ = 0;
+    Cycle windowMid_ = 0;
+    bool midMarked_ = false;
+    Cycle epochEnd_ = 0;
+    Cycle stallStart_ = 0;
+    bool reprofileRequested_ = false;
+    bool profilingActive_ = false;
+    /** Atomics seen before the current window / private phase. */
+    std::uint64_t atomicsBaseline_ = 0;
+    ProfileSnapshot lastSnap_{};
+    LlcSystemStats stats_;
+};
+
+} // namespace amsc
+
+#endif // AMSC_LLC_LLC_SYSTEM_HH

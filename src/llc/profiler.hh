@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Online profiler for adaptive last-level caching (paper section 4.4).
+ *
+ * While the GPU executes under the shared LLC organization, the
+ * profiler gathers, over a 50 K-cycle window:
+ *
+ *   - the measured shared-LLC miss rate and the ATD-predicted
+ *     private-LLC miss rate (Rule #1 inputs);
+ *   - LLC Slice Parallelism (LSP) under both organizations:
+ *       LSP = sum_i(LLC_i) / max_i(LLC_i)
+ *     with the shared LSP measured from per-slice access counters and
+ *     the private LSP estimated from 8 16-bit counters at the first
+ *     cluster's SM-router, one per memory controller (the private
+ *     slices cluster 0 would address), scaled by the cluster count;
+ *   - the bandwidth model
+ *       BW = LLC_hit x LSP x LLC_slice_BW + LLC_miss x MEM_BW
+ *     evaluated for both organizations (Rule #2 inputs).
+ */
+
+#ifndef AMSC_LLC_PROFILER_HH
+#define AMSC_LLC_PROFILER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/atd.hh"
+#include "common/types.hh"
+
+namespace amsc
+{
+
+/** Profiler configuration. */
+struct ProfilerParams
+{
+    std::uint32_t numSlices = 64;
+    std::uint32_t numClusters = 8;
+    std::uint32_t numMcs = 8;
+    /** Raw per-slice LLC bandwidth, bytes/cycle (channel width). */
+    double llcSliceBw = 32.0;
+    /** Raw aggregate DRAM bandwidth, bytes/cycle. */
+    double memBw = 80.0;
+    /** ATD geometry. */
+    AtdParams atd{};
+    /** Monitored slice for the ATD (paper: a single slice). */
+    SliceId atdSlice = 0;
+    /** Monitored cluster for private-LSP counters (paper: first). */
+    ClusterId lspCluster = 0;
+};
+
+/** Decision inputs produced at the end of a profiling window. */
+struct ProfileSnapshot
+{
+    std::uint64_t sampledAccesses = 0;
+    double sharedMissRate = 0.0;
+    double privateMissRate = 0.0; ///< ATD estimate
+    double sharedLsp = 1.0;
+    double privateLsp = 1.0; ///< scaled estimate
+    double sharedBw = 0.0;
+    double privateBw = 0.0;
+    /**
+     * True when the miss rate dropped materially between the two
+     * halves of the window: the LLC is still warming, so
+     * similar-miss-rate signals (Rule #1) are not yet trustworthy.
+     */
+    bool warming = false;
+};
+
+/** Shared-mode execution profiler. */
+class LlcProfiler
+{
+  public:
+    explicit LlcProfiler(const ProfilerParams &params);
+
+    /** Begin a profiling window (clears counters). */
+    void beginWindow();
+
+    /**
+     * Mark the midpoint of the window (warming detector): miss rates
+     * are compared between the two halves.
+     */
+    void markMidWindow();
+
+    /**
+     * Observe one LLC slice access (wired to every slice).
+     *
+     * @param slice    slice that served the access.
+     * @param line     line address.
+     * @param cluster  requesting SM's cluster.
+     * @param read_hit true if a read that hit.
+     * @param is_read  true for reads (miss-rate accounting).
+     */
+    void onSliceAccess(SliceId slice, Addr line, ClusterId cluster,
+                       bool read_hit, bool is_read, Cycle now);
+
+    /**
+     * Observe one request leaving an SM (LSP counters; the paper
+     * counts at the first cluster's SM-router).
+     *
+     * @param cluster requesting cluster.
+     * @param mc      memory controller owning the line.
+     */
+    void onRequestIssued(ClusterId cluster, McId mc);
+
+    /** Evaluate the window into decision inputs. */
+    ProfileSnapshot snapshot() const;
+
+    /** Compute LSP from raw access counts. */
+    static double lsp(const std::vector<std::uint64_t> &counts);
+
+    /** Evaluate the bandwidth model. */
+    static double bandwidth(double hit_rate, double lsp_value,
+                            double slice_bw, double miss_rate,
+                            double mem_bw);
+
+    const Atd &atd() const { return atd_; }
+    const ProfilerParams &params() const { return params_; }
+
+  private:
+    ProfilerParams params_;
+    Atd atd_;
+    std::vector<std::uint64_t> sliceAccessCounts_;
+    std::vector<std::uint64_t> lspCounters_; ///< per MC, cluster 0
+    std::uint64_t reads_ = 0;
+    std::uint64_t readHits_ = 0;
+    std::uint64_t firstHalfReads_ = 0;
+    std::uint64_t firstHalfHits_ = 0;
+    bool midMarked_ = false;
+};
+
+} // namespace amsc
+
+#endif // AMSC_LLC_PROFILER_HH

@@ -1,0 +1,47 @@
+#include "llc/sharing_tracker.hh"
+
+#include "common/bitutils.hh"
+
+namespace amsc
+{
+
+void
+SharingTracker::roll(Cycle now)
+{
+    for (const auto &[line, mask] : masks_) {
+        const unsigned clusters = popCount(mask);
+        std::size_t bucket;
+        if (clusters <= 1)
+            bucket = 0;
+        else if (clusters == 2)
+            bucket = 1;
+        else if (clusters <= 4)
+            bucket = 2;
+        else
+            bucket = 3;
+        ++buckets_[bucket];
+        ++total_;
+    }
+    masks_.clear();
+    windowStart_ = now;
+}
+
+double
+SharingTracker::bucketFraction(std::size_t b) const
+{
+    if (total_ == 0 || b >= buckets_.size())
+        return 0.0;
+    return static_cast<double>(buckets_[b]) /
+        static_cast<double>(total_);
+}
+
+void
+SharingTracker::clear()
+{
+    masks_.clear();
+    buckets_.fill(0);
+    total_ = 0;
+    windowStart_ = 0;
+}
+
+} // namespace amsc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Inter-cluster locality tracker (paper Fig 3).
+ *
+ * Measures, in windows of 1000 cycles, how many distinct SM clusters
+ * touch each LLC line under the shared organization, and accumulates
+ * the distribution into the paper's four buckets: 1 cluster,
+ * 2 clusters, 3-4 clusters, 5-8 clusters. Private-cache-friendly
+ * applications show >60% of lines in the multi-cluster buckets;
+ * neutral applications show almost none.
+ */
+
+#ifndef AMSC_LLC_SHARING_TRACKER_HH
+#define AMSC_LLC_SHARING_TRACKER_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace amsc
+{
+
+/** Windowed inter-cluster sharing profiler. */
+class SharingTracker
+{
+  public:
+    /**
+     * @param window_cycles profiling window (paper: 1000).
+     */
+    explicit SharingTracker(Cycle window_cycles = 1000)
+        : windowCycles_(window_cycles)
+    {}
+
+    /** Enable/disable tracking (off by default for speed). */
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+    bool enabled() const { return enabled_; }
+
+    /** Record one LLC access. */
+    void
+    onAccess(Addr line_addr, ClusterId cluster, Cycle now)
+    {
+        if (!enabled_)
+            return;
+        maybeRoll(now);
+        masks_[line_addr] |=
+            std::uint32_t{1} << (cluster & 31u);
+    }
+
+    /** Force the current window closed (end of measurement). */
+    void flush(Cycle now) { roll(now); }
+
+    /**
+     * Fraction of line-windows whose line was touched by a cluster
+     * count inside bucket @p b: 0 -> 1 cluster, 1 -> 2 clusters,
+     * 2 -> 3-4 clusters, 3 -> 5+ clusters.
+     */
+    double bucketFraction(std::size_t b) const;
+
+    /** Total line-window observations. */
+    std::uint64_t totalLineWindows() const { return total_; }
+
+    /** Clear all accumulated results. */
+    void clear();
+
+  private:
+    void
+    maybeRoll(Cycle now)
+    {
+        if (now >= windowStart_ + windowCycles_)
+            roll(now);
+    }
+
+    void roll(Cycle now);
+
+    Cycle windowCycles_;
+    bool enabled_ = false;
+    Cycle windowStart_ = 0;
+    std::unordered_map<Addr, std::uint32_t> masks_;
+    std::array<std::uint64_t, 4> buckets_{};
+    std::uint64_t total_ = 0;
+};
+
+} // namespace amsc
+
+#endif // AMSC_LLC_SHARING_TRACKER_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared/private LLC slice selection (paper section 2.1, Fig 1).
+ *
+ * A memory-side LLC slice only caches lines of its memory
+ * controller's partition; the *slice-within-MC* choice is what the
+ * adaptive mechanism reconfigures:
+ *
+ *   shared  : slice-within-MC = hash of address bits. A line lives in
+ *             exactly one slice; all SMs share it.
+ *   private : slice-within-MC = requester's cluster id. Each cluster
+ *             sees a private slice per MC that can cache the entire
+ *             partition, so shared lines get replicated per cluster.
+ *
+ * Multi-program support (paper Fig 9): the mode is tracked per
+ * application, so a shared-friendly and a private-friendly program can
+ * co-execute with different views of the same physical slices.
+ */
+
+#ifndef AMSC_LLC_SLICE_MAPPER_HH
+#define AMSC_LLC_SLICE_MAPPER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/address_mapping.hh"
+
+namespace amsc
+{
+
+/** LLC organization mode. */
+enum class LlcMode
+{
+    Shared,
+    Private,
+};
+
+/** Translates (line, cluster, app) to a global slice id. */
+class SliceMapper
+{
+  public:
+    /**
+     * @param mapping  address mapping (owned by caller).
+     * @param num_apps concurrently running applications (>=1).
+     */
+    SliceMapper(const AddressMapping &mapping, std::uint32_t num_apps);
+
+    /** Set the LLC mode of application @p app. */
+    void setMode(AppId app, LlcMode mode);
+
+    /** Current LLC mode of application @p app. */
+    LlcMode mode(AppId app = 0) const { return modes_[app]; }
+
+    /** Global slice caching @p line_addr for @p cluster / @p app. */
+    SliceId
+    sliceFor(Addr line_addr, ClusterId cluster, AppId app = 0) const
+    {
+        const std::uint32_t spm = mapping_.params().slicesPerMc;
+        const McId mc = mapping_.decode(line_addr).mc;
+        const std::uint32_t local = modes_[app] == LlcMode::Shared
+            ? mapping_.sliceWithinMc(line_addr)
+            : cluster % spm;
+        return mc * spm + local;
+    }
+
+    std::uint32_t numApps() const
+    {
+        return static_cast<std::uint32_t>(modes_.size());
+    }
+
+    const AddressMapping &mapping() const { return mapping_; }
+
+  private:
+    const AddressMapping &mapping_;
+    std::vector<LlcMode> modes_;
+};
+
+/** Mode display name. */
+inline const char *
+llcModeName(LlcMode m)
+{
+    return m == LlcMode::Shared ? "shared" : "private";
+}
+
+} // namespace amsc
+
+#endif // AMSC_LLC_SLICE_MAPPER_HH

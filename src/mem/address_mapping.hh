@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Physical address mapping schemes (paper sections 5 and 6.4).
+ *
+ * The mapping decides, for each 128 B line, which memory controller
+ * (memory partition), DRAM bank and row serve it, and -- for the shared
+ * LLC organization -- which slice within the controller caches it.
+ *
+ * Two schemes are modeled:
+ *
+ *  - PAE ("page address entropy", Liu et al., ISCA 2018): XOR-folds
+ *    high-order address bits into the channel/bank/slice selector bits,
+ *    uniformly distributing requests. This is the paper's default.
+ *  - Hynix (datasheet-style linear extraction): plain bit slicing.
+ *    Strided access patterns alias onto few channels/banks, creating
+ *    the imbalance the paper uses in its sensitivity study.
+ *
+ * Addresses everywhere in this file are line addresses (byte address /
+ * lineBytes).
+ */
+
+#ifndef AMSC_MEM_ADDRESS_MAPPING_HH
+#define AMSC_MEM_ADDRESS_MAPPING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace amsc
+{
+
+/** Address-mapping scheme selector. */
+enum class MappingScheme
+{
+    Pae,
+    Hynix,
+};
+
+/** DRAM coordinates of a line. */
+struct DramCoord
+{
+    McId mc = 0;
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+    std::uint32_t col = 0;
+};
+
+/** Parameters of the address mapping. */
+struct MappingParams
+{
+    MappingScheme scheme = MappingScheme::Pae;
+    std::uint32_t numMcs = 8;
+    std::uint32_t banksPerMc = 16;
+    std::uint32_t linesPerRow = 16;
+    std::uint32_t slicesPerMc = 8;
+};
+
+/** Translates line addresses to DRAM coordinates and LLC slices. */
+class AddressMapping
+{
+  public:
+    explicit AddressMapping(const MappingParams &params);
+
+    /** Decode DRAM coordinates for @p line_addr. */
+    DramCoord decode(Addr line_addr) const;
+
+    /**
+     * Slice within the owning MC that caches @p line_addr under the
+     * *shared* LLC organization. (Under the private organization the
+     * slice is the requester's cluster id instead.)
+     */
+    std::uint32_t sliceWithinMc(Addr line_addr) const;
+
+    /** Global shared-mode slice id = mc * slicesPerMc + slice. */
+    SliceId
+    sharedGlobalSlice(Addr line_addr) const
+    {
+        return decode(line_addr).mc * params_.slicesPerMc +
+            sliceWithinMc(line_addr);
+    }
+
+    const MappingParams &params() const { return params_; }
+
+    /** Human-readable scheme name. */
+    static std::string schemeName(MappingScheme scheme);
+
+  private:
+    MappingParams params_;
+    unsigned colBits_;
+    unsigned mcBits_;
+    unsigned bankBits_;
+    unsigned sliceBits_;
+};
+
+} // namespace amsc
+
+#endif // AMSC_MEM_ADDRESS_MAPPING_HH

@@ -1,0 +1,60 @@
+#include "mem/dram_bank.hh"
+
+#include <algorithm>
+
+namespace amsc
+{
+
+Cycle
+DramBank::columnReadyAt(std::uint64_t row, Cycle now) const
+{
+    Cycle t = std::max(now, busyUntil_);
+    if (rowHit(row))
+        return t;
+
+    if (rowOpen_) {
+        // Row conflict: precharge (respecting tRAS), then activate.
+        const Cycle pre_at =
+            std::max(t, lastActivate_ + timings_.tRAS);
+        const Cycle act_at = pre_at + timings_.tRP;
+        return act_at + timings_.tRCD;
+    }
+    // Bank closed: activate only (tRC from previous activate).
+    const Cycle act_at = std::max(t, lastActivate_ + timings_.tRC);
+    return act_at + timings_.tRCD;
+}
+
+Cycle
+DramBank::service(std::uint64_t row, bool is_write, Cycle now,
+                  bool &rowhit)
+{
+    rowhit = rowHit(row);
+    Cycle col_at;
+
+    if (rowhit) {
+        col_at = std::max(now, busyUntil_);
+    } else if (rowOpen_) {
+        const Cycle pre_at = std::max(std::max(now, busyUntil_),
+                                      lastActivate_ + timings_.tRAS);
+        const Cycle act_at = pre_at + timings_.tRP;
+        lastActivate_ = act_at;
+        col_at = act_at + timings_.tRCD;
+    } else {
+        const Cycle act_at = std::max(std::max(now, busyUntil_),
+                                      lastActivate_ + timings_.tRC);
+        lastActivate_ = act_at;
+        col_at = act_at + timings_.tRCD;
+    }
+
+    rowOpen_ = true;
+    openRow_ = row;
+
+    // The bank can take its next column command tCCD later; a write
+    // additionally holds the bank for the write recovery time.
+    busyUntil_ = col_at + timings_.tCCD;
+    if (is_write)
+        busyUntil_ = std::max(busyUntil_, col_at + timings_.tWR);
+    return col_at;
+}
+
+} // namespace amsc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Single DRAM bank state machine.
+ *
+ * Tracks the open row and the earliest cycles at which the next
+ * activate / column command / precharge may legally issue given the
+ * GDDR5 timing constraints. The controller consults serviceLatency()
+ * for FR-FCFS arbitration and then commits a request with service().
+ */
+
+#ifndef AMSC_MEM_DRAM_BANK_HH
+#define AMSC_MEM_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "mem/dram_timing.hh"
+
+namespace amsc
+{
+
+/** One GDDR5 bank with open-row policy. */
+class DramBank
+{
+  public:
+    explicit DramBank(const DramTimings &timings)
+        : timings_(timings)
+    {}
+
+    /** @return true if @p row is currently open. */
+    bool
+    rowHit(std::uint64_t row) const
+    {
+        return rowOpen_ && openRow_ == row;
+    }
+
+    /** @return true if any row is open. */
+    bool rowOpen() const { return rowOpen_; }
+
+    /** @return true once prior service completed by cycle @p now. */
+    bool idleAt(Cycle now) const { return busyUntil_ <= now; }
+
+    /** Earliest cycle the bank can begin serving a new request. */
+    Cycle readyAt() const { return busyUntil_; }
+
+    /**
+     * Cycles from @p now until the *column command* for @p row could
+     * issue, including any needed precharge/activate. Used by FR-FCFS
+     * to rank candidate requests. Does not change state.
+     */
+    Cycle columnReadyAt(std::uint64_t row, Cycle now) const;
+
+    /**
+     * Begin servicing an access to @p row at cycle @p now.
+     *
+     * Advances the bank through (PRE,) (ACT,) RD/WR as needed and
+     * returns the cycle the column command issues. The caller adds
+     * tCL/burst cycles for data timing and enforces bus contention.
+     *
+     * @param row      target row.
+     * @param is_write write access (affects recovery time).
+     * @param now      current cycle; must satisfy idleAt(now).
+     * @param rowhit   out: whether this was a row-buffer hit.
+     */
+    Cycle service(std::uint64_t row, bool is_write, Cycle now,
+                  bool &rowhit);
+
+    /** Most recent activate cycle (for cross-bank tRRD checks). */
+    Cycle lastActivateAt() const { return lastActivate_; }
+
+  private:
+    const DramTimings &timings_;
+    bool rowOpen_ = false;
+    std::uint64_t openRow_ = 0;
+    /** Bank cannot accept a new service before this cycle. */
+    Cycle busyUntil_ = 0;
+    /** Cycle of the most recent ACT command. */
+    Cycle lastActivate_ = 0;
+};
+
+} // namespace amsc
+
+#endif // AMSC_MEM_DRAM_BANK_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * GDDR5 timing parameters (Table 1 of the paper).
+ *
+ * All values are expressed in core-clock cycles (1400 MHz baseline);
+ * the paper reports its GDDR5 timings in the same clock domain.
+ */
+
+#ifndef AMSC_MEM_DRAM_TIMING_HH
+#define AMSC_MEM_DRAM_TIMING_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace amsc
+{
+
+/** DRAM timing constraint set. */
+struct DramTimings
+{
+    /** CAS latency: column read command to first data. */
+    std::uint32_t tCL = 12;
+    /** Row precharge time. */
+    std::uint32_t tRP = 12;
+    /** Activate-to-activate, same bank (row cycle time). */
+    std::uint32_t tRC = 40;
+    /** Activate-to-precharge minimum (row open minimum). */
+    std::uint32_t tRAS = 28;
+    /** Activate to column command (row to column delay). */
+    std::uint32_t tRCD = 12;
+    /** Activate-to-activate, different banks of the same device. */
+    std::uint32_t tRRD = 6;
+    /** Column-command to column-command spacing. */
+    std::uint32_t tCCD = 2;
+    /** Write recovery time (last write data to precharge). */
+    std::uint32_t tWR = 12;
+};
+
+/** Structural parameters of one memory controller / partition. */
+struct DramParams
+{
+    DramTimings timings{};
+    /** Banks per memory controller (Table 1: 16). */
+    std::uint32_t banksPerMc = 16;
+    /**
+     * Data-bus bandwidth in bytes per core cycle per MC.
+     *
+     * 900 GB/s aggregate at 1400 MHz is ~643 B/cycle, i.e. ~80
+     * B/cycle per MC (Volta-class aggregate bandwidth, Table 1).
+     */
+    std::uint32_t busBytesPerCycle = 80;
+    /** Cache-line (burst) size in bytes. */
+    std::uint32_t lineBytes = 128;
+    /** Row-buffer size in bytes (columns per row). */
+    std::uint32_t rowBytes = 2048;
+    /** Request queue capacity per MC. */
+    std::uint32_t queueCapacity = 64;
+
+    /** Cycles the data bus is occupied by one line transfer. */
+    std::uint32_t
+    burstCycles() const
+    {
+        return (lineBytes + busBytesPerCycle - 1) / busBytesPerCycle;
+    }
+
+    /** Lines per DRAM row. */
+    std::uint32_t linesPerRow() const { return rowBytes / lineBytes; }
+};
+
+} // namespace amsc
+
+#endif // AMSC_MEM_DRAM_TIMING_HH

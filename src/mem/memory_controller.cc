@@ -1,0 +1,132 @@
+#include "mem/memory_controller.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hh"
+
+namespace amsc
+{
+
+MemoryController::MemoryController(McId mc_id, const DramParams &params)
+    : id_(mc_id), params_(params)
+{
+    banks_.reserve(params_.banksPerMc);
+    for (std::uint32_t b = 0; b < params_.banksPerMc; ++b)
+        banks_.emplace_back(params_.timings);
+    queue_.reserve(params_.queueCapacity);
+}
+
+void
+MemoryController::enqueue(DramRequest req, Cycle now)
+{
+    if (!canAccept()) {
+        ++stats_.queueFullRejects;
+        panic("MC%u enqueue beyond capacity", id_);
+    }
+    if (req.bank >= params_.banksPerMc)
+        panic("MC%u request for bank %u of %u", id_, req.bank,
+              params_.banksPerMc);
+    req.enqueueCycle = now;
+    queue_.push_back(req);
+}
+
+void
+MemoryController::tick(Cycle now)
+{
+    // 1. Fire completed reads (writes complete silently).
+    for (std::size_t i = 0; i < inFlight_.size();) {
+        if (inFlight_[i].completeAt <= now) {
+            const InFlight done = inFlight_[i];
+            inFlight_[i] = inFlight_.back();
+            inFlight_.pop_back();
+            if (!done.req.isWrite) {
+                stats_.totalReadLatency +=
+                    done.completeAt - done.req.enqueueCycle;
+                if (readCb_)
+                    readCb_(done.req, now);
+            }
+        } else {
+            ++i;
+        }
+    }
+
+    // 2. FR-FCFS: pick a row hit on an idle bank (oldest first); if
+    //    none, pick the oldest request whose bank is idle.
+    if (queue_.empty())
+        return;
+
+    std::size_t pick = queue_.size();
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const DramRequest &r = queue_[i];
+        const DramBank &bank = banks_[r.bank];
+        if (bank.idleAt(now) && bank.rowHit(r.row)) {
+            pick = i;
+            break;
+        }
+    }
+    if (pick == queue_.size()) {
+        for (std::size_t i = 0; i < queue_.size(); ++i) {
+            if (banks_[queue_[i].bank].idleAt(now)) {
+                pick = i;
+                break;
+            }
+        }
+    }
+    if (pick == queue_.size())
+        return; // all banks busy this cycle
+
+    DramRequest req = queue_[pick];
+    queue_.erase(queue_.begin() +
+                 static_cast<std::ptrdiff_t>(pick));
+
+    bool rowhit = false;
+    const Cycle col_at = banks_[req.bank].service(req.row, req.isWrite,
+                                                  now, rowhit);
+    if (rowhit)
+        ++stats_.rowHits;
+    else
+        ++stats_.rowMisses;
+
+    // Data transfer: reads deliver data tCL after the column command;
+    // the burst then occupies the shared data bus.
+    const std::uint32_t burst = params_.burstCycles();
+    Cycle data_start = col_at;
+    if (!req.isWrite)
+        data_start += params_.timings.tCL;
+    data_start = std::max(data_start, busFreeAt_);
+    busFreeAt_ = data_start + burst;
+    stats_.busBusyCycles += burst;
+
+    InFlight f;
+    f.req = req;
+    f.completeAt = data_start + burst;
+    inFlight_.push_back(f);
+
+    if (req.isWrite)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+}
+
+void
+MemoryController::registerStats(StatSet &set) const
+{
+    const std::string p = "mc" + std::to_string(id_);
+    set.addCounter(p + ".reads", "read requests serviced",
+                   stats_.reads);
+    set.addCounter(p + ".writes", "write requests serviced",
+                   stats_.writes);
+    set.addCounter(p + ".row_hits", "row-buffer hits", stats_.rowHits);
+    set.addCounter(p + ".row_misses", "row-buffer misses",
+                   stats_.rowMisses);
+    set.addCounter(p + ".bus_busy_cycles", "data-bus busy cycles",
+                   stats_.busBusyCycles);
+    const McStats *s = &stats_;
+    set.add(p + ".row_hit_rate", "row-buffer hit rate",
+            [s]() { return s->rowHitRate(); });
+    set.add(p + ".avg_read_latency", "average read latency (cycles)",
+            [s]() { return s->avgReadLatency(); });
+}
+
+} // namespace amsc

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * FR-FCFS memory controller (Table 1: FR-FCFS, 16 banks/MC).
+ *
+ * Requests wait in a bounded queue. Each cycle the controller selects
+ * at most one request with first-ready, first-come-first-served
+ * priority: row-buffer hits to ready banks win; among equals, the
+ * oldest request wins. Data transfers serialize on the per-MC data
+ * bus. Read completions are announced through a callback; writes
+ * complete silently (the LLC is the point of write acknowledgment).
+ */
+
+#ifndef AMSC_MEM_MEMORY_CONTROLLER_HH
+#define AMSC_MEM_MEMORY_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/dram_bank.hh"
+#include "mem/dram_timing.hh"
+
+namespace amsc
+{
+
+/** One request as seen by a memory controller. */
+struct DramRequest
+{
+    Addr lineAddr = kNoAddr;
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+    bool isWrite = false;
+    /** Opaque requester context (returned in the completion). */
+    std::uint64_t token = 0;
+    /** Enqueue cycle (FCFS age and latency stats). */
+    Cycle enqueueCycle = 0;
+};
+
+/** Statistics of one memory controller. */
+struct McStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t busBusyCycles = 0;
+    std::uint64_t queueFullRejects = 0;
+    std::uint64_t totalReadLatency = 0;
+
+    double
+    rowHitRate() const
+    {
+        const std::uint64_t t = rowHits + rowMisses;
+        return t == 0 ? 0.0
+                      : static_cast<double>(rowHits) /
+                static_cast<double>(t);
+    }
+    double
+    avgReadLatency() const
+    {
+        return reads == 0 ? 0.0
+                          : static_cast<double>(totalReadLatency) /
+                static_cast<double>(reads);
+    }
+};
+
+/** FR-FCFS GDDR5 memory controller for one memory partition. */
+class MemoryController
+{
+  public:
+    /** Callback type for read completions. */
+    using ReadCallback =
+        std::function<void(const DramRequest &, Cycle)>;
+
+    /**
+     * @param mc_id   partition id (stats/debug only).
+     * @param params  structural and timing parameters.
+     */
+    MemoryController(McId mc_id, const DramParams &params);
+
+    /** Set the read-completion callback (sim glue). */
+    void setReadCallback(ReadCallback cb) { readCb_ = std::move(cb); }
+
+    /** @return true if another request can be enqueued. */
+    bool canAccept() const { return queue_.size() < params_.queueCapacity; }
+
+    /**
+     * Enqueue a request.
+     * @pre canAccept().
+     */
+    void enqueue(DramRequest req, Cycle now);
+
+    /**
+     * Advance one cycle: issue at most one request FR-FCFS and fire
+     * completions whose data transfer finished.
+     */
+    void tick(Cycle now);
+
+    /** @return number of requests waiting or in flight. */
+    std::size_t
+    pendingRequests() const
+    {
+        return queue_.size() + inFlight_.size();
+    }
+
+    /** True when no request is queued or in flight. */
+    bool drained() const { return pendingRequests() == 0; }
+
+    const McStats &stats() const { return stats_; }
+    void clearStats() { stats_ = McStats{}; }
+    McId id() const { return id_; }
+    const DramParams &params() const { return params_; }
+
+    /** Register statistics in @p set. */
+    void registerStats(StatSet &set) const;
+
+  private:
+    struct InFlight
+    {
+        DramRequest req;
+        Cycle completeAt;
+    };
+
+    McId id_;
+    DramParams params_;
+    std::vector<DramBank> banks_;
+    std::vector<DramRequest> queue_;
+    std::vector<InFlight> inFlight_;
+    /** Data bus is occupied until this cycle. */
+    Cycle busFreeAt_ = 0;
+    ReadCallback readCb_;
+    McStats stats_;
+};
+
+} // namespace amsc
+
+#endif // AMSC_MEM_MEMORY_CONTROLLER_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The DRAM subsystem: all memory controllers plus the address mapping.
+ *
+ * LLC slices hand line addresses to the memory system; it decodes the
+ * DRAM coordinates, routes the request to the owning controller and
+ * reports read completions back through a single callback carrying the
+ * requester token.
+ */
+
+#ifndef AMSC_MEM_MEMORY_SYSTEM_HH
+#define AMSC_MEM_MEMORY_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/address_mapping.hh"
+#include "mem/memory_controller.hh"
+
+namespace amsc
+{
+
+/** All memory partitions of the GPU. */
+class MemorySystem
+{
+  public:
+    using ReadCallback =
+        std::function<void(Addr line_addr, std::uint64_t token,
+                           Cycle now)>;
+
+    /**
+     * @param num_mcs  number of memory controllers.
+     * @param dram     per-MC structural/timing parameters.
+     * @param mapping  shared address mapping (owned by caller).
+     */
+    MemorySystem(std::uint32_t num_mcs, const DramParams &dram,
+                 const AddressMapping &mapping);
+
+    /** Set the read completion callback. */
+    void setReadCallback(ReadCallback cb);
+
+    /** @return true if the owning MC of @p line_addr can accept. */
+    bool canAccept(Addr line_addr) const;
+
+    /**
+     * Enqueue an access.
+     * @pre canAccept(line_addr).
+     */
+    void access(Addr line_addr, bool is_write, std::uint64_t token,
+                Cycle now);
+
+    /** Advance all controllers one cycle. */
+    void tick(Cycle now);
+
+    /** True when all controllers are empty. */
+    bool drained() const;
+
+    std::uint32_t numMcs() const
+    {
+        return static_cast<std::uint32_t>(mcs_.size());
+    }
+    MemoryController &mc(McId id) { return *mcs_[id]; }
+    const MemoryController &mc(McId id) const { return *mcs_[id]; }
+    const AddressMapping &mapping() const { return mapping_; }
+
+    /** Aggregate DRAM accesses (reads + writes) across all MCs. */
+    std::uint64_t totalAccesses() const;
+
+    /** Register all controller statistics in @p set. */
+    void registerStats(StatSet &set) const;
+
+  private:
+    const AddressMapping &mapping_;
+    std::vector<std::unique_ptr<MemoryController>> mcs_;
+    ReadCallback readCb_;
+};
+
+} // namespace amsc
+
+#endif // AMSC_MEM_MEMORY_SYSTEM_HH

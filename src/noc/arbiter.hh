@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Round-robin arbiter used by switch allocation and concentrators.
+ *
+ * The pointer advances one past the winner only when a grant is
+ * issued, which gives the strong fairness property iSLIP relies on
+ * (paper Table 1: "VC/Switch allocator - Islip").
+ */
+
+#ifndef AMSC_NOC_ARBITER_HH
+#define AMSC_NOC_ARBITER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace amsc
+{
+
+/** Work-conserving round-robin arbiter over a fixed number of inputs. */
+class RoundRobinArbiter
+{
+  public:
+    explicit RoundRobinArbiter(std::uint32_t num_inputs = 0)
+        : numInputs_(num_inputs)
+    {}
+
+    /** Reconfigure the arbiter width; resets the pointer. */
+    void
+    resize(std::uint32_t num_inputs)
+    {
+        numInputs_ = num_inputs;
+        pointer_ = 0;
+    }
+
+    std::uint32_t numInputs() const { return numInputs_; }
+
+    /**
+     * Grant among the asserted request bits.
+     *
+     * @param requests request flags, one per input.
+     * @return winning input index, or numInputs() if none requested.
+     */
+    std::uint32_t
+    grant(const std::vector<bool> &requests)
+    {
+        for (std::uint32_t i = 0; i < numInputs_; ++i) {
+            const std::uint32_t cand = (pointer_ + i) % numInputs_;
+            if (cand < requests.size() && requests[cand]) {
+                pointer_ = (cand + 1) % numInputs_;
+                return cand;
+            }
+        }
+        return numInputs_;
+    }
+
+    /** Current pointer position (for tests). */
+    std::uint32_t pointer() const { return pointer_; }
+
+  private:
+    std::uint32_t numInputs_;
+    std::uint32_t pointer_ = 0;
+};
+
+} // namespace amsc
+
+#endif // AMSC_NOC_ARBITER_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unidirectional flit channel with credit-based flow control.
+ *
+ * A FlitChannel models one physical link: a forward flit pipeline with
+ * wire latency and a reverse credit pipeline. The *sender* owns a
+ * credit counter initialized to the downstream buffer depth; it may
+ * send only while credits remain (guaranteeing the downstream buffer
+ * never overflows, per paper section 3.3). The *receiver* returns one
+ * credit whenever a flit leaves its input buffer.
+ */
+
+#ifndef AMSC_NOC_CHANNEL_HH
+#define AMSC_NOC_CHANNEL_HH
+
+#include <cstdint>
+
+#include "common/delay_queue.hh"
+#include "common/types.hh"
+#include "noc/message.hh"
+
+namespace amsc
+{
+
+/** One credit-flow-controlled link. */
+class FlitChannel
+{
+  public:
+    /**
+     * @param flit_latency   forward wire/pipeline latency in cycles.
+     * @param credit_latency credit return latency in cycles.
+     * @param credits        downstream buffer depth in flits.
+     * @param length_mm      physical length (power model).
+     * @param width_bytes    channel width (power model / packetizing).
+     */
+    FlitChannel(Cycle flit_latency, Cycle credit_latency,
+                std::uint32_t credits, double length_mm,
+                std::uint32_t width_bytes)
+        : flitLatency_(flit_latency), creditLatency_(credit_latency),
+          senderCredits_(credits)
+    {
+        activity_.lengthMm = length_mm;
+        activity_.widthBytes = width_bytes;
+    }
+
+    /** @return true if the sender holds at least one credit. */
+    bool canSend() const { return senderCredits_ > 0; }
+
+    /** Sender: transmit one flit. @pre canSend(). */
+    void
+    send(Flit flit, Cycle now)
+    {
+        --senderCredits_;
+        flits_.push(std::move(flit), now, flitLatency_);
+        ++activity_.flitTraversals;
+    }
+
+    /** Receiver: @return true if a flit has arrived by @p now. */
+    bool hasArrival(Cycle now) const { return flits_.ready(now); }
+
+    /** Receiver: take the arrived flit. @pre hasArrival(now). */
+    Flit receive(Cycle now) { return flits_.pop(now); }
+
+    /** Receiver: return one credit (its buffer slot freed). */
+    void
+    returnCredit(Cycle now)
+    {
+        creditReturns_.push(1, now, creditLatency_);
+    }
+
+    /** Sender: absorb credits that completed the return trip. */
+    void
+    tickSender(Cycle now)
+    {
+        while (creditReturns_.ready(now)) {
+            creditReturns_.pop(now);
+            ++senderCredits_;
+        }
+    }
+
+    /** Credits currently available to the sender. */
+    std::uint32_t senderCredits() const { return senderCredits_; }
+
+    /** True when no flit or credit is in flight on the wire. */
+    bool
+    quiescent() const
+    {
+        return flits_.empty() && creditReturns_.empty();
+    }
+
+    /** Number of flits currently on the wire. */
+    std::size_t flitsInFlight() const { return flits_.size(); }
+
+    const LinkActivity &activity() const { return activity_; }
+    LinkActivity &activity() { return activity_; }
+
+  private:
+    Cycle flitLatency_;
+    Cycle creditLatency_;
+    std::uint32_t senderCredits_;
+    DelayQueue<Flit> flits_;
+    DelayQueue<std::uint8_t> creditReturns_;
+    LinkActivity activity_;
+};
+
+} // namespace amsc
+
+#endif // AMSC_NOC_CHANNEL_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Concentrated crossbar NoC (paper Fig 5).
+ *
+ * A concentration factor c groups c SMs behind one injection port
+ * (through a round-robin concentrator) and c LLC slices behind one
+ * ejection port (through a distributor), shrinking the central router
+ * radix by c in each dimension -- and the bisection bandwidth by c at
+ * equal channel width. Shared-port contention is modeled in the
+ * adapters, which is why C-Xbar\@8 underperforms H-Xbar at the same
+ * bisection bandwidth in Figure 7a.
+ */
+
+#ifndef AMSC_NOC_CONCENTRATED_XBAR_HH
+#define AMSC_NOC_CONCENTRATED_XBAR_HH
+
+#include <memory>
+#include <vector>
+
+#include "noc/concentrator.hh"
+#include "noc/crossbar_base.hh"
+
+namespace amsc
+{
+
+/** Concentrated crossbar GPU NoC. */
+class ConcentratedXbarNetwork : public CrossbarBase
+{
+  public:
+    explicit ConcentratedXbarNetwork(const NocParams &params);
+
+    // Endpoint plumbing goes through concentrators/distributors.
+    bool canInjectRequest(SmId sm) const override;
+    void injectRequest(NocMessage msg, Cycle now) override;
+    bool canInjectReply(SliceId slice) const override;
+    void injectReply(NocMessage msg, Cycle now) override;
+    bool hasRequestFor(SliceId slice) const override;
+    NocMessage popRequestFor(SliceId slice, Cycle now) override;
+    bool hasReplyFor(SmId sm) const override;
+    NocMessage popReplyFor(SmId sm, Cycle now) override;
+    void tick(Cycle now) override;
+    bool drained() const override;
+
+    std::string name() const override;
+
+  private:
+    std::uint32_t conc_;
+    std::uint32_t reqPorts_;
+    std::uint32_t repPorts_;
+    std::vector<std::unique_ptr<ConcentratorAdapter>> reqConc_;
+    std::vector<std::unique_ptr<DistributorAdapter>> reqDist_;
+    std::vector<std::unique_ptr<ConcentratorAdapter>> repConc_;
+    std::vector<std::unique_ptr<DistributorAdapter>> repDist_;
+};
+
+} // namespace amsc
+
+#endif // AMSC_NOC_CONCENTRATED_XBAR_HH

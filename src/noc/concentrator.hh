@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Concentrator / distributor adapters for the concentrated crossbar
+ * (paper Fig 5).
+ *
+ * A concentrator lets `c` SMs share one network injection port: each
+ * SM keeps its own message queue and a round-robin arbiter picks which
+ * queue streams its next packet (packets are never interleaved on the
+ * shared port -- wormhole). A distributor is the mirror image on the
+ * ejection side: one network port fans out to `c` endpoints, with
+ * head-of-line blocking when the target endpoint queue is full. Port
+ * contention in these adapters is exactly why C-Xbar loses performance
+ * at high concentration in Figure 7a.
+ */
+
+#ifndef AMSC_NOC_CONCENTRATOR_HH
+#define AMSC_NOC_CONCENTRATOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+#include "noc/arbiter.hh"
+#include "noc/channel.hh"
+#include "noc/message.hh"
+
+namespace amsc
+{
+
+/** c-to-1 injection concentrator with per-source queues. */
+class ConcentratorAdapter
+{
+  public:
+    ConcentratorAdapter(FlitChannel *out, std::uint32_t width_bytes,
+                        std::uint32_t num_srcs, std::size_t queue_cap)
+        : out_(out), widthBytes_(width_bytes), queueCap_(queue_cap),
+          queues_(num_srcs), arb_(num_srcs)
+    {}
+
+    bool
+    canAccept(std::uint32_t local_src) const
+    {
+        return queues_[local_src].size() < queueCap_;
+    }
+
+    void
+    accept(std::uint32_t local_src, NocMessage msg, Cycle now)
+    {
+        if (!canAccept(local_src))
+            panic("concentrator queue overflow");
+        msg.injectCycle = now;
+        queues_[local_src].push_back(msg);
+    }
+
+    /** Stream one flit of the current packet, or arbitrate a new one. */
+    void
+    tick(Cycle now)
+    {
+        out_->tickSender(now);
+        if (!out_->canSend())
+            return;
+
+        if (current_ == kInvalidId) {
+            // Pick the next non-empty source queue round-robin.
+            std::vector<bool> reqs(queues_.size());
+            bool any = false;
+            for (std::size_t i = 0; i < queues_.size(); ++i) {
+                reqs[i] = !queues_[i].empty();
+                any = any || reqs[i];
+            }
+            if (!any)
+                return;
+            current_ = arb_.grant(reqs);
+            flitsSent_ = 0;
+        }
+
+        const NocMessage &msg = queues_[current_].front();
+        const std::uint32_t total = msg.numFlits(widthBytes_);
+        Flit flit;
+        flit.head = flitsSent_ == 0;
+        flit.tail = flitsSent_ + 1 == total;
+        if (flit.head)
+            flit.msg = msg;
+        out_->send(std::move(flit), now);
+        ++flitsSent_;
+        if (flitsSent_ == total) {
+            queues_[current_].pop_front();
+            current_ = kInvalidId;
+        }
+    }
+
+    bool
+    drained() const
+    {
+        for (const auto &q : queues_) {
+            if (!q.empty())
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    FlitChannel *out_;
+    std::uint32_t widthBytes_;
+    std::size_t queueCap_;
+    std::vector<std::deque<NocMessage>> queues_;
+    RoundRobinArbiter arb_;
+    std::uint32_t current_ = kInvalidId;
+    std::uint32_t flitsSent_ = 0;
+};
+
+/** 1-to-c ejection distributor with per-destination queues. */
+class DistributorAdapter
+{
+  public:
+    /** Maps msg.dst to a local endpoint index. */
+    using LocalFn = std::function<std::uint32_t(std::uint32_t)>;
+
+    /**
+     * @param in        last-hop channel.
+     * @param num_dsts  endpoints sharing this port.
+     * @param queue_cap per-endpoint message queue capacity.
+     * @param local_of  maps msg.dst to a local endpoint index.
+     */
+    DistributorAdapter(FlitChannel *in, std::uint32_t num_dsts,
+                       std::size_t queue_cap, LocalFn local_of)
+        : in_(in), queueCap_(queue_cap), queues_(num_dsts),
+          localOf_(std::move(local_of))
+    {}
+
+    /**
+     * Receive up to one flit. The head flit's destination decides the
+     * local queue; a full target queue blocks the whole port
+     * (head-of-line blocking by design).
+     */
+    void
+    tick(Cycle now)
+    {
+        if (!in_->hasArrival(now))
+            return;
+        if (havePending_) {
+            // Mid-packet: stall on the known target queue.
+            if (queues_[pendingLocal_].size() >= queueCap_)
+                return; // HoL block
+        } else {
+            // The next flit could be a head for any destination; the
+            // port stalls if any local queue is full (conservative
+            // head-of-line blocking, as in a real 1:c demux latch).
+            for (const auto &q : queues_) {
+                if (q.size() >= queueCap_)
+                    return;
+            }
+        }
+        Flit flit = in_->receive(now);
+        in_->returnCredit(now);
+        if (flit.head) {
+            pending_ = flit.msg;
+            pendingLocal_ = localOf_(flit.msg.dst);
+            if (pendingLocal_ >= queues_.size())
+                panic("distributor: local index %u out of range",
+                      pendingLocal_);
+            havePending_ = true;
+        }
+        if (flit.tail) {
+            queues_[pendingLocal_].push_back(pending_);
+            havePending_ = false;
+        }
+    }
+
+    bool
+    hasMessage(std::uint32_t local_dst) const
+    {
+        return !queues_[local_dst].empty();
+    }
+
+    NocMessage
+    pop(std::uint32_t local_dst)
+    {
+        NocMessage m = queues_[local_dst].front();
+        queues_[local_dst].pop_front();
+        return m;
+    }
+
+    bool
+    drained() const
+    {
+        if (havePending_)
+            return false;
+        for (const auto &q : queues_) {
+            if (!q.empty())
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    FlitChannel *in_;
+    std::size_t queueCap_;
+    std::vector<std::deque<NocMessage>> queues_;
+    LocalFn localOf_;
+    NocMessage pending_{};
+    std::uint32_t pendingLocal_ = 0;
+    bool havePending_ = false;
+};
+
+} // namespace amsc
+
+#endif // AMSC_NOC_CONCENTRATOR_HH

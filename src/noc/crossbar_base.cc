@@ -1,0 +1,155 @@
+#include "noc/crossbar_base.hh"
+
+#include "common/log.hh"
+
+namespace amsc
+{
+
+CrossbarBase::CrossbarBase(const NocParams &params) : params_(params)
+{
+    if (params_.numSms == 0 || params_.numSlices() == 0)
+        fatal("NoC requires SMs and slices");
+}
+
+FlitChannel *
+CrossbarBase::makeChannel(Cycle flit_latency, std::uint32_t credits,
+                          double length_mm)
+{
+    channels_.push_back(std::make_unique<FlitChannel>(
+        flit_latency, params_.creditLatency, credits, length_mm,
+        params_.channelWidthBytes));
+    return channels_.back().get();
+}
+
+Router *
+CrossbarBase::makeRouter(const RouterParams &rp, Router::RouteFn fn)
+{
+    routers_.push_back(std::make_unique<Router>(rp, std::move(fn)));
+    return routers_.back().get();
+}
+
+void
+CrossbarBase::accountDelivery(NetworkStats &stats, const NocMessage &msg,
+                              Cycle now) const
+{
+    NetworkStats &s = const_cast<NetworkStats &>(stats);
+    ++s.messagesDelivered;
+    s.flitsDelivered += msg.numFlits(params_.channelWidthBytes);
+    s.totalLatency += now >= msg.injectCycle
+        ? now - msg.injectCycle
+        : 0;
+}
+
+bool
+CrossbarBase::canInjectRequest(SmId sm) const
+{
+    return reqInj_[sm]->canAccept();
+}
+
+void
+CrossbarBase::injectRequest(NocMessage msg, Cycle now)
+{
+    ++reqStats_.messagesInjected;
+    reqInj_[msg.src]->accept(msg, now);
+}
+
+bool
+CrossbarBase::canInjectReply(SliceId slice) const
+{
+    return repInj_[slice]->canAccept();
+}
+
+void
+CrossbarBase::injectReply(NocMessage msg, Cycle now)
+{
+    ++repStats_.messagesInjected;
+    repInj_[msg.src]->accept(msg, now);
+}
+
+bool
+CrossbarBase::hasRequestFor(SliceId slice) const
+{
+    return reqEj_[slice]->hasMessage();
+}
+
+NocMessage
+CrossbarBase::popRequestFor(SliceId slice, Cycle now)
+{
+    NocMessage msg = reqEj_[slice]->pop();
+    accountDelivery(reqStats_, msg, now);
+    return msg;
+}
+
+bool
+CrossbarBase::hasReplyFor(SmId sm) const
+{
+    return repEj_[sm]->hasMessage();
+}
+
+NocMessage
+CrossbarBase::popReplyFor(SmId sm, Cycle now)
+{
+    NocMessage msg = repEj_[sm]->pop();
+    accountDelivery(repStats_, msg, now);
+    return msg;
+}
+
+void
+CrossbarBase::tick(Cycle now)
+{
+    for (auto &inj : reqInj_)
+        inj->tick(now);
+    for (auto &inj : repInj_)
+        inj->tick(now);
+    for (auto &r : routers_)
+        r->tick(now);
+    for (auto &ej : reqEj_)
+        ej->tick(now);
+    for (auto &ej : repEj_)
+        ej->tick(now);
+}
+
+bool
+CrossbarBase::drained() const
+{
+    for (const auto &inj : reqInj_) {
+        if (!inj->drained())
+            return false;
+    }
+    for (const auto &inj : repInj_) {
+        if (!inj->drained())
+            return false;
+    }
+    for (const auto &r : routers_) {
+        if (!r->drained())
+            return false;
+    }
+    for (const auto &ej : reqEj_) {
+        if (!ej->drained())
+            return false;
+    }
+    for (const auto &ej : repEj_) {
+        if (!ej->drained())
+            return false;
+    }
+    for (const auto &ch : channels_) {
+        if (!ch->quiescent())
+            return false;
+    }
+    return true;
+}
+
+NocActivity
+CrossbarBase::activity() const
+{
+    NocActivity act;
+    act.routers.reserve(routers_.size());
+    for (const auto &r : routers_)
+        act.routers.push_back(r->activity());
+    act.links.reserve(channels_.size());
+    for (const auto &ch : channels_)
+        act.links.push_back(ch->activity());
+    return act;
+}
+
+} // namespace amsc

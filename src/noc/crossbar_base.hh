@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared machinery for crossbar-style networks.
+ *
+ * Owns the channels, routers and endpoint adapters; provides the
+ * default Network implementation for topologies with one injection
+ * adapter per SM and one ejection adapter per slice (full crossbar and
+ * hierarchical crossbar). The concentrated crossbar overrides the
+ * endpoint methods to route through concentrators/distributors.
+ */
+
+#ifndef AMSC_NOC_CROSSBAR_BASE_HH
+#define AMSC_NOC_CROSSBAR_BASE_HH
+
+#include <memory>
+#include <vector>
+
+#include "noc/channel.hh"
+#include "noc/endpoint.hh"
+#include "noc/network.hh"
+#include "noc/noc_params.hh"
+#include "noc/router.hh"
+
+namespace amsc
+{
+
+/** Base class for the crossbar topologies. */
+class CrossbarBase : public Network
+{
+  public:
+    explicit CrossbarBase(const NocParams &params);
+
+    bool canInjectRequest(SmId sm) const override;
+    void injectRequest(NocMessage msg, Cycle now) override;
+    bool canInjectReply(SliceId slice) const override;
+    void injectReply(NocMessage msg, Cycle now) override;
+    bool hasRequestFor(SliceId slice) const override;
+    NocMessage popRequestFor(SliceId slice, Cycle now) override;
+    bool hasReplyFor(SmId sm) const override;
+    NocMessage popReplyFor(SmId sm, Cycle now) override;
+    void tick(Cycle now) override;
+    bool drained() const override;
+    NocActivity activity() const override;
+
+    const NocParams &nocParams() const { return params_; }
+
+  protected:
+    /** Allocate and register a channel. */
+    FlitChannel *makeChannel(Cycle flit_latency, std::uint32_t credits,
+                             double length_mm);
+
+    /** Allocate and register a router. */
+    Router *makeRouter(const RouterParams &rp, Router::RouteFn fn);
+
+    /** Account a delivered message in @p stats. */
+    void accountDelivery(NetworkStats &stats, const NocMessage &msg,
+                         Cycle now) const;
+
+    NocParams params_;
+    std::vector<std::unique_ptr<FlitChannel>> channels_;
+    std::vector<std::unique_ptr<Router>> routers_;
+    /** Per-SM request sources (may be empty for C-Xbar). */
+    std::vector<std::unique_ptr<InjectionAdapter>> reqInj_;
+    /** Per-slice request sinks (may be empty for C-Xbar). */
+    std::vector<std::unique_ptr<EjectionAdapter>> reqEj_;
+    /** Per-slice reply sources (may be empty for C-Xbar). */
+    std::vector<std::unique_ptr<InjectionAdapter>> repInj_;
+    /** Per-SM reply sinks (may be empty for C-Xbar). */
+    std::vector<std::unique_ptr<EjectionAdapter>> repEj_;
+};
+
+} // namespace amsc
+
+#endif // AMSC_NOC_CROSSBAR_BASE_HH

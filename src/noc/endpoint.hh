@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Endpoint adapters: packetization at injection, reassembly at
+ * ejection.
+ *
+ * An InjectionAdapter owns the first hop channel into the network: it
+ * queues whole messages, splits them into flits and transmits one flit
+ * per cycle as credits allow.
+ *
+ * An EjectionAdapter owns the last hop channel out of the network: it
+ * reassembles arriving flits into messages and exposes a bounded
+ * message queue to the consumer (LLC slice input queue / SM reply
+ * queue). When the consumer queue is full the adapter stops receiving
+ * flits, which exhausts upstream credits and exerts backpressure into
+ * the network -- this is exactly how "requests queue up in front of
+ * the LLC slice" in the paper's shared-LLC bottleneck.
+ */
+
+#ifndef AMSC_NOC_ENDPOINT_HH
+#define AMSC_NOC_ENDPOINT_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/log.hh"
+#include "common/types.hh"
+#include "noc/channel.hh"
+#include "noc/message.hh"
+
+namespace amsc
+{
+
+/** Message source: packetizes and feeds one channel. */
+class InjectionAdapter
+{
+  public:
+    /**
+     * @param out        first-hop channel (owned elsewhere).
+     * @param width_bytes channel width for flitization.
+     * @param queue_cap  message queue capacity.
+     */
+    InjectionAdapter(FlitChannel *out, std::uint32_t width_bytes,
+                     std::size_t queue_cap)
+        : out_(out), widthBytes_(width_bytes), queueCap_(queue_cap)
+    {}
+
+    /** @return true if another message can be queued. */
+    bool canAccept() const { return queue_.size() < queueCap_; }
+
+    /** Queue a message for transmission. @pre canAccept(). */
+    void
+    accept(NocMessage msg, Cycle now)
+    {
+        if (!canAccept())
+            panic("injection queue overflow");
+        msg.injectCycle = now;
+        queue_.push_back(msg);
+    }
+
+    /** Transmit up to one flit. */
+    void
+    tick(Cycle now)
+    {
+        out_->tickSender(now);
+        if (queue_.empty() || !out_->canSend())
+            return;
+        const NocMessage &msg = queue_.front();
+        const std::uint32_t total = msg.numFlits(widthBytes_);
+        Flit flit;
+        flit.head = flitsSent_ == 0;
+        flit.tail = flitsSent_ + 1 == total;
+        if (flit.head)
+            flit.msg = msg;
+        out_->send(std::move(flit), now);
+        ++flitsSent_;
+        if (flitsSent_ == total) {
+            queue_.pop_front();
+            flitsSent_ = 0;
+        }
+    }
+
+    /** True when nothing is queued or partially sent. */
+    bool drained() const { return queue_.empty(); }
+
+    std::size_t queueSize() const { return queue_.size(); }
+
+  private:
+    FlitChannel *out_;
+    std::uint32_t widthBytes_;
+    std::size_t queueCap_;
+    std::deque<NocMessage> queue_;
+    std::uint32_t flitsSent_ = 0;
+};
+
+/** Message sink: reassembles flits from one channel. */
+class EjectionAdapter
+{
+  public:
+    /**
+     * @param in         last-hop channel (owned elsewhere).
+     * @param queue_cap  reassembled-message queue capacity.
+     */
+    EjectionAdapter(FlitChannel *in, std::size_t queue_cap)
+        : in_(in), queueCap_(queue_cap)
+    {}
+
+    /** Receive up to one flit (stalls when the queue is full). */
+    void
+    tick(Cycle now)
+    {
+        if (msgs_.size() >= queueCap_)
+            return; // backpressure: stop receiving, credits dry up
+        if (!in_->hasArrival(now))
+            return;
+        Flit flit = in_->receive(now);
+        in_->returnCredit(now);
+        if (flit.head)
+            pending_ = flit.msg;
+        if (flit.tail)
+            msgs_.push_back(pending_);
+    }
+
+    /** @return true if a complete message is available. */
+    bool hasMessage() const { return !msgs_.empty(); }
+
+    /** Peek the oldest delivered message. @pre hasMessage(). */
+    const NocMessage &front() const { return msgs_.front(); }
+
+    /** Take the oldest delivered message. @pre hasMessage(). */
+    NocMessage
+    pop()
+    {
+        NocMessage m = msgs_.front();
+        msgs_.pop_front();
+        return m;
+    }
+
+    /** True when no partial or complete message is held. */
+    bool drained() const { return msgs_.empty(); }
+
+    std::size_t queueSize() const { return msgs_.size(); }
+
+  private:
+    FlitChannel *in_;
+    std::size_t queueCap_;
+    std::deque<NocMessage> msgs_;
+    NocMessage pending_{};
+};
+
+} // namespace amsc
+
+#endif // AMSC_NOC_ENDPOINT_HH

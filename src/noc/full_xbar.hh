@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Full crossbar NoC (paper Fig 4).
+ *
+ * One high-radix router per direction provides full connectivity
+ * between all SMs and all LLC slices: the request router is numSms x
+ * numSlices, the reply router numSlices x numSms. All links are long
+ * global wires, which is what makes this design power- and
+ * area-inefficient at scale (Fig 7).
+ */
+
+#ifndef AMSC_NOC_FULL_XBAR_HH
+#define AMSC_NOC_FULL_XBAR_HH
+
+#include "noc/crossbar_base.hh"
+
+namespace amsc
+{
+
+/** Monolithic full-crossbar GPU NoC. */
+class FullXbarNetwork : public CrossbarBase
+{
+  public:
+    explicit FullXbarNetwork(const NocParams &params);
+
+    std::string name() const override { return "Full-Xbar"; }
+
+  private:
+    Router *reqRouter_ = nullptr;
+    Router *repRouter_ = nullptr;
+};
+
+} // namespace amsc
+
+#endif // AMSC_NOC_FULL_XBAR_HH

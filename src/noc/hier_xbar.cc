@@ -1,0 +1,190 @@
+#include "noc/hier_xbar.hh"
+
+#include "common/log.hh"
+
+namespace amsc
+{
+
+HierXbarNetwork::HierXbarNetwork(const NocParams &params)
+    : CrossbarBase(params)
+{
+    const std::uint32_t clusters = params_.numClusters;
+    const std::uint32_t mcs = params_.numMcs;
+    const std::uint32_t spc = params_.smsPerCluster();
+    const std::uint32_t spm = params_.slicesPerMc;
+
+    if (spm != clusters)
+        fatal("H-Xbar co-design requires slicesPerMc (%u) == "
+              "numClusters (%u)",
+              spm, clusters);
+
+    const std::uint32_t sms = params_.numSms;
+    const std::uint32_t slices = params_.numSlices();
+
+    // ================= Request direction ==========================
+    // SM-routers: spc SM inputs, mcs outputs; route by owning MC.
+    for (ClusterId c = 0; c < clusters; ++c) {
+        RouterParams rp;
+        rp.name = "hxbar.smr" + std::to_string(c) + ".req";
+        rp.numInPorts = spc;
+        rp.numOutPorts = mcs;
+        rp.vcDepthFlits = params_.vcDepthFlits;
+        rp.pipelineLatency = params_.routerPipelineLatency;
+        rp.channelWidthBytes = params_.channelWidthBytes;
+        const std::uint32_t spm_local = spm;
+        smRoutersReq_.push_back(makeRouter(
+            rp, [spm_local](const NocMessage &m) {
+                return m.dst / spm_local;
+            }));
+    }
+
+    // MC-routers: clusters inputs, spm slice outputs; route by
+    // slice-within-MC; gateable for the private mode.
+    for (McId m = 0; m < mcs; ++m) {
+        RouterParams rp;
+        rp.name = "hxbar.mcr" + std::to_string(m) + ".req";
+        rp.numInPorts = clusters;
+        rp.numOutPorts = spm;
+        rp.vcDepthFlits = params_.vcDepthFlits;
+        rp.pipelineLatency = params_.routerPipelineLatency;
+        rp.channelWidthBytes = params_.channelWidthBytes;
+        rp.gateable = true;
+        const std::uint32_t spm_local = spm;
+        mcRoutersReq_.push_back(makeRouter(
+            rp, [spm_local](const NocMessage &msg) {
+                return msg.dst % spm_local;
+            }));
+    }
+
+    // SM -> SM-router short links (cluster-major SM numbering).
+    for (SmId sm = 0; sm < sms; ++sm) {
+        const ClusterId c = params_.clusterOf(sm);
+        const std::uint32_t local = sm % spc;
+        FlitChannel *ch =
+            makeChannel(params_.shortLinkLatency,
+                        smRoutersReq_[c]->inputBufferDepth(),
+                        params_.shortLinkMm);
+        reqInj_.push_back(std::make_unique<InjectionAdapter>(
+            ch, params_.channelWidthBytes, params_.injectQueueCap));
+        smRoutersReq_[c]->connectInput(local, ch);
+    }
+
+    // SM-router -> MC-router long links.
+    for (ClusterId c = 0; c < clusters; ++c) {
+        for (McId m = 0; m < mcs; ++m) {
+            FlitChannel *ch =
+                makeChannel(params_.longLinkLatency,
+                            mcRoutersReq_[m]->inputBufferDepth(),
+                            params_.longLinkMm);
+            smRoutersReq_[c]->connectOutput(m, ch);
+            mcRoutersReq_[m]->connectInput(c, ch);
+        }
+    }
+
+    // MC-router -> slice short links + ejection.
+    reqEj_.resize(slices);
+    for (McId m = 0; m < mcs; ++m) {
+        for (std::uint32_t j = 0; j < spm; ++j) {
+            const SliceId s = m * spm + j;
+            FlitChannel *ch = makeChannel(params_.shortLinkLatency,
+                                          params_.vcDepthFlits,
+                                          params_.shortLinkMm);
+            mcRoutersReq_[m]->connectOutput(j, ch);
+            reqEj_[s] = std::make_unique<EjectionAdapter>(
+                ch, params_.ejectQueueCap);
+        }
+    }
+
+    // ================= Reply direction ============================
+    // MC-routers (reply): spm slice inputs, clusters outputs; route
+    // by the destination SM's cluster.
+    for (McId m = 0; m < mcs; ++m) {
+        RouterParams rp;
+        rp.name = "hxbar.mcr" + std::to_string(m) + ".rep";
+        rp.numInPorts = spm;
+        rp.numOutPorts = clusters;
+        rp.vcDepthFlits = params_.vcDepthFlits;
+        rp.pipelineLatency = params_.routerPipelineLatency;
+        rp.channelWidthBytes = params_.channelWidthBytes;
+        rp.gateable = true;
+        const std::uint32_t spc_local = spc;
+        mcRoutersRep_.push_back(makeRouter(
+            rp, [spc_local](const NocMessage &msg) {
+                return msg.dst / spc_local;
+            }));
+    }
+
+    // SM-routers (reply): mcs inputs, spc SM outputs; route by the
+    // SM's local index within the cluster.
+    for (ClusterId c = 0; c < clusters; ++c) {
+        RouterParams rp;
+        rp.name = "hxbar.smr" + std::to_string(c) + ".rep";
+        rp.numInPorts = mcs;
+        rp.numOutPorts = spc;
+        rp.vcDepthFlits = params_.vcDepthFlits;
+        rp.pipelineLatency = params_.routerPipelineLatency;
+        rp.channelWidthBytes = params_.channelWidthBytes;
+        const std::uint32_t spc_local = spc;
+        smRoutersRep_.push_back(makeRouter(
+            rp, [spc_local](const NocMessage &msg) {
+                return msg.dst % spc_local;
+            }));
+    }
+
+    // Slice -> MC-router short links.
+    repInj_.resize(slices);
+    for (McId m = 0; m < mcs; ++m) {
+        for (std::uint32_t j = 0; j < spm; ++j) {
+            const SliceId s = m * spm + j;
+            FlitChannel *ch =
+                makeChannel(params_.shortLinkLatency,
+                            mcRoutersRep_[m]->inputBufferDepth(),
+                            params_.shortLinkMm);
+            repInj_[s] = std::make_unique<InjectionAdapter>(
+                ch, params_.channelWidthBytes,
+                params_.injectQueueCap);
+            mcRoutersRep_[m]->connectInput(j, ch);
+        }
+    }
+
+    // MC-router -> SM-router long links.
+    for (McId m = 0; m < mcs; ++m) {
+        for (ClusterId c = 0; c < clusters; ++c) {
+            FlitChannel *ch =
+                makeChannel(params_.longLinkLatency,
+                            smRoutersRep_[c]->inputBufferDepth(),
+                            params_.longLinkMm);
+            mcRoutersRep_[m]->connectOutput(c, ch);
+            smRoutersRep_[c]->connectInput(m, ch);
+        }
+    }
+
+    // SM-router -> SM short links + ejection.
+    repEj_.resize(sms);
+    for (SmId sm = 0; sm < sms; ++sm) {
+        const ClusterId c = params_.clusterOf(sm);
+        const std::uint32_t local = sm % spc;
+        FlitChannel *ch = makeChannel(params_.shortLinkLatency,
+                                      params_.vcDepthFlits,
+                                      params_.shortLinkMm);
+        smRoutersRep_[c]->connectOutput(local, ch);
+        repEj_[sm] = std::make_unique<EjectionAdapter>(
+            ch, params_.ejectQueueCap);
+    }
+}
+
+void
+HierXbarNetwork::setPrivateMode(bool enable)
+{
+    if (enable == privateMode_)
+        return;
+    if (!drained())
+        panic("H-Xbar reconfigured while not drained");
+    for (Router *r : mcRoutersReq_)
+        r->setBypass(enable);
+    for (Router *r : mcRoutersRep_)
+        r->setBypass(enable);
+    privateMode_ = enable;
+}
+
+} // namespace amsc

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Hierarchical two-stage crossbar NoC (paper Figs 6, 8 and 10).
+ *
+ * Request direction: SM -> SM-router (per cluster) -> MC-router (per
+ * memory controller) -> LLC slice. Reply direction mirrors it. Short
+ * links connect endpoints to their local routers; long repeatered
+ * links connect SM-routers to MC-routers.
+ *
+ * NoC/LLC co-design invariants (paper section 4.1):
+ *   - #SM-routers == #clusters == #LLC slices per MC,
+ *   - #MC-routers == #memory controllers.
+ *
+ * Under these, bypassing every MC-router (input i hard-wired to
+ * output i) yields a private LLC in which slice i of each MC is
+ * reachable only by cluster i -- and the MC-routers can be
+ * power-gated. setPrivateMode() toggles the bypass on both the
+ * request-side and reply-side MC-routers.
+ */
+
+#ifndef AMSC_NOC_HIER_XBAR_HH
+#define AMSC_NOC_HIER_XBAR_HH
+
+#include <vector>
+
+#include "noc/crossbar_base.hh"
+
+namespace amsc
+{
+
+/** Reconfigurable hierarchical two-stage crossbar. */
+class HierXbarNetwork : public CrossbarBase
+{
+  public:
+    explicit HierXbarNetwork(const NocParams &params);
+
+    void setPrivateMode(bool enable) override;
+    bool supportsPowerGating() const override { return true; }
+    bool privateMode() const { return privateMode_; }
+
+    std::string name() const override { return "H-Xbar"; }
+
+    /** Gating transition penalty in cycles (paper: tens of cycles). */
+    static constexpr Cycle kGateTransitionCycles = 30;
+
+  private:
+    std::vector<Router *> smRoutersReq_;
+    std::vector<Router *> mcRoutersReq_;
+    std::vector<Router *> mcRoutersRep_;
+    std::vector<Router *> smRoutersRep_;
+    bool privateMode_ = false;
+};
+
+} // namespace amsc
+
+#endif // AMSC_NOC_HIER_XBAR_HH

@@ -1,0 +1,102 @@
+#include "noc/ideal_network.hh"
+
+namespace amsc
+{
+
+IdealNetwork::IdealNetwork(const NocParams &params) : params_(params)
+{
+    toSlice_.resize(params_.numSlices());
+    toSm_.resize(params_.numSms);
+}
+
+bool
+IdealNetwork::canInjectRequest(SmId sm) const
+{
+    (void)sm;
+    return true;
+}
+
+void
+IdealNetwork::injectRequest(NocMessage msg, Cycle now)
+{
+    ++reqStats_.messagesInjected;
+    msg.injectCycle = now;
+    toSlice_[msg.dst].push(msg, now, params_.idealLatency);
+}
+
+bool
+IdealNetwork::canInjectReply(SliceId slice) const
+{
+    (void)slice;
+    return true;
+}
+
+void
+IdealNetwork::injectReply(NocMessage msg, Cycle now)
+{
+    ++repStats_.messagesInjected;
+    msg.injectCycle = now;
+    toSm_[msg.dst].push(msg, now, params_.idealLatency);
+}
+
+bool
+IdealNetwork::hasRequestFor(SliceId slice) const
+{
+    return toSlice_[slice].ready(now_);
+}
+
+NocMessage
+IdealNetwork::popRequestFor(SliceId slice, Cycle now)
+{
+    NocMessage msg = toSlice_[slice].pop(now);
+    ++reqStats_.messagesDelivered;
+    reqStats_.flitsDelivered +=
+        msg.numFlits(params_.channelWidthBytes);
+    reqStats_.totalLatency += now - msg.injectCycle;
+    return msg;
+}
+
+bool
+IdealNetwork::hasReplyFor(SmId sm) const
+{
+    return toSm_[sm].ready(now_);
+}
+
+NocMessage
+IdealNetwork::popReplyFor(SmId sm, Cycle now)
+{
+    NocMessage msg = toSm_[sm].pop(now);
+    ++repStats_.messagesDelivered;
+    repStats_.flitsDelivered +=
+        msg.numFlits(params_.channelWidthBytes);
+    repStats_.totalLatency += now - msg.injectCycle;
+    return msg;
+}
+
+void
+IdealNetwork::tick(Cycle now)
+{
+    now_ = now;
+}
+
+bool
+IdealNetwork::drained() const
+{
+    for (const auto &q : toSlice_) {
+        if (!q.empty())
+            return false;
+    }
+    for (const auto &q : toSm_) {
+        if (!q.empty())
+            return false;
+    }
+    return true;
+}
+
+NocActivity
+IdealNetwork::activity() const
+{
+    return NocActivity{};
+}
+
+} // namespace amsc

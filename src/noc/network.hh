@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Abstract GPU NoC interface.
+ *
+ * All topologies (full crossbar, concentrated crossbar, hierarchical
+ * two-stage crossbar, ideal) expose the same contract to the rest of
+ * the system: inject requests at SMs, inject replies at LLC slices,
+ * pop delivered messages at the opposite side, tick once per cycle.
+ *
+ * The request and reply networks are physically separate (paper
+ * section 3.1); implementations instantiate both directions.
+ */
+
+#ifndef AMSC_NOC_NETWORK_HH
+#define AMSC_NOC_NETWORK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "noc/message.hh"
+
+namespace amsc
+{
+
+/** NoC topology selector. */
+enum class NocTopology
+{
+    Ideal,        ///< fixed-latency, infinite-bandwidth (validation)
+    FullXbar,     ///< single full crossbar (Fig 4)
+    Concentrated, ///< concentrated crossbar (Fig 5)
+    Hierarchical, ///< two-stage SM-router/MC-router crossbar (Fig 6)
+};
+
+/** Latency/throughput statistics of one network direction. */
+struct NetworkStats
+{
+    std::uint64_t messagesInjected = 0;
+    std::uint64_t messagesDelivered = 0;
+    std::uint64_t flitsDelivered = 0;
+    std::uint64_t totalLatency = 0; ///< inject->delivery, cycles
+    std::uint64_t injectionStalls = 0;
+
+    double
+    avgLatency() const
+    {
+        return messagesDelivered == 0
+            ? 0.0
+            : static_cast<double>(totalLatency) /
+                static_cast<double>(messagesDelivered);
+    }
+};
+
+/** Common interface of all GPU NoC implementations. */
+class Network
+{
+  public:
+    virtual ~Network() = default;
+
+    /** @return true if SM @p sm can inject another request. */
+    virtual bool canInjectRequest(SmId sm) const = 0;
+
+    /**
+     * Inject a request message (msg.src = SM id, msg.dst = global
+     * slice id).
+     * @pre canInjectRequest(msg.src).
+     */
+    virtual void injectRequest(NocMessage msg, Cycle now) = 0;
+
+    /** @return true if slice @p slice can inject another reply. */
+    virtual bool canInjectReply(SliceId slice) const = 0;
+
+    /**
+     * Inject a reply message (msg.src = global slice id, msg.dst =
+     * SM id).
+     * @pre canInjectReply(msg.src).
+     */
+    virtual void injectReply(NocMessage msg, Cycle now) = 0;
+
+    /** @return true if a request is deliverable at @p slice. */
+    virtual bool hasRequestFor(SliceId slice) const = 0;
+
+    /** Pop the oldest request delivered to @p slice. */
+    virtual NocMessage popRequestFor(SliceId slice, Cycle now) = 0;
+
+    /** @return true if a reply is deliverable at @p sm. */
+    virtual bool hasReplyFor(SmId sm) const = 0;
+
+    /** Pop the oldest reply delivered to @p sm. */
+    virtual NocMessage popReplyFor(SmId sm, Cycle now) = 0;
+
+    /** Advance the network one cycle. */
+    virtual void tick(Cycle now) = 0;
+
+    /** True when no message or flit is anywhere in the network. */
+    virtual bool drained() const = 0;
+
+    /**
+     * Reconfigure for the private-LLC mode (H-Xbar bypasses and
+     * power-gates MC-routers; other topologies ignore this).
+     * @pre drained().
+     */
+    virtual void setPrivateMode(bool enable) { (void)enable; }
+
+    /** @return true if the topology supports MC-router gating. */
+    virtual bool supportsPowerGating() const { return false; }
+
+    /** Activity snapshot for the power model. */
+    virtual NocActivity activity() const = 0;
+
+    /** Human-readable topology name. */
+    virtual std::string name() const = 0;
+
+    const NetworkStats &requestStats() const { return reqStats_; }
+    const NetworkStats &replyStats() const { return repStats_; }
+
+    /** Register summary statistics in @p set. */
+    void
+    registerStats(StatSet &set) const
+    {
+        set.addCounter("noc.req_injected", "request messages injected",
+                       reqStats_.messagesInjected);
+        set.addCounter("noc.req_delivered",
+                       "request messages delivered",
+                       reqStats_.messagesDelivered);
+        set.addCounter("noc.rep_injected", "reply messages injected",
+                       repStats_.messagesInjected);
+        set.addCounter("noc.rep_delivered", "reply messages delivered",
+                       repStats_.messagesDelivered);
+        const NetworkStats *rq = &reqStats_;
+        const NetworkStats *rp = &repStats_;
+        set.add("noc.req_avg_latency", "request latency (cycles)",
+                [rq]() { return rq->avgLatency(); });
+        set.add("noc.rep_avg_latency", "reply latency (cycles)",
+                [rp]() { return rp->avgLatency(); });
+    }
+
+  protected:
+    NetworkStats reqStats_;
+    NetworkStats repStats_;
+};
+
+} // namespace amsc
+
+#endif // AMSC_NOC_NETWORK_HH

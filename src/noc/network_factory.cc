@@ -1,0 +1,59 @@
+#include "noc/network_factory.hh"
+
+#include "common/log.hh"
+#include "noc/concentrated_xbar.hh"
+#include "noc/full_xbar.hh"
+#include "noc/hier_xbar.hh"
+#include "noc/ideal_network.hh"
+
+namespace amsc
+{
+
+std::unique_ptr<Network>
+makeNetwork(const NocParams &params)
+{
+    switch (params.topology) {
+      case NocTopology::Ideal:
+        return std::make_unique<IdealNetwork>(params);
+      case NocTopology::FullXbar:
+        return std::make_unique<FullXbarNetwork>(params);
+      case NocTopology::Concentrated:
+        return std::make_unique<ConcentratedXbarNetwork>(params);
+      case NocTopology::Hierarchical:
+        return std::make_unique<HierXbarNetwork>(params);
+    }
+    panic("unknown NoC topology");
+}
+
+NocTopology
+parseTopology(const std::string &name)
+{
+    if (name == "ideal")
+        return NocTopology::Ideal;
+    if (name == "full")
+        return NocTopology::FullXbar;
+    if (name == "cxbar" || name == "concentrated")
+        return NocTopology::Concentrated;
+    if (name == "hxbar" || name == "hier" || name == "hierarchical")
+        return NocTopology::Hierarchical;
+    fatal("unknown NoC topology '%s' (ideal|full|cxbar|hxbar)",
+          name.c_str());
+}
+
+std::string
+topologyName(NocTopology t)
+{
+    switch (t) {
+      case NocTopology::Ideal:
+        return "ideal";
+      case NocTopology::FullXbar:
+        return "full";
+      case NocTopology::Concentrated:
+        return "cxbar";
+      case NocTopology::Hierarchical:
+        return "hxbar";
+    }
+    return "?";
+}
+
+} // namespace amsc

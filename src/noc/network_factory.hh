@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Factory constructing a Network from NocParams.
+ */
+
+#ifndef AMSC_NOC_NETWORK_FACTORY_HH
+#define AMSC_NOC_NETWORK_FACTORY_HH
+
+#include <memory>
+
+#include "noc/network.hh"
+#include "noc/noc_params.hh"
+
+namespace amsc
+{
+
+/** Build the network selected by @p params.topology. */
+std::unique_ptr<Network> makeNetwork(const NocParams &params);
+
+/** Parse a topology name ("ideal", "full", "cxbar", "hxbar"). */
+NocTopology parseTopology(const std::string &name);
+
+/** Topology display name. */
+std::string topologyName(NocTopology t);
+
+} // namespace amsc
+
+#endif // AMSC_NOC_NETWORK_FACTORY_HH

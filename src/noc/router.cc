@@ -1,0 +1,205 @@
+#include "noc/router.hh"
+
+#include "common/log.hh"
+
+namespace amsc
+{
+
+Router::Router(const RouterParams &params, RouteFn route_fn)
+    : params_(params), routeFn_(std::move(route_fn))
+{
+    if (params_.numInPorts == 0 || params_.numOutPorts == 0)
+        fatal("router '%s' needs ports", params_.name.c_str());
+    if (params_.numVcs != 1)
+        fatal("router '%s': only 1 VC per port is modeled (Table 1)",
+              params_.name.c_str());
+    inputs_.resize(params_.numInPorts);
+    outputs_.resize(params_.numOutPorts);
+    for (auto &o : outputs_)
+        o.arb.resize(params_.numInPorts);
+    requestScratch_.assign(params_.numOutPorts,
+                           std::vector<bool>(params_.numInPorts, false));
+    requestedOut_.assign(params_.numInPorts, kInvalidId);
+
+    activity_.numInPorts = params_.numInPorts;
+    activity_.numOutPorts = params_.numOutPorts;
+    activity_.numVcs = params_.numVcs;
+    activity_.vcDepthFlits = params_.vcDepthFlits;
+    activity_.channelWidthBytes = params_.channelWidthBytes;
+    activity_.gateable = params_.gateable;
+}
+
+void
+Router::connectInput(std::uint32_t port, FlitChannel *channel)
+{
+    if (port >= params_.numInPorts)
+        panic("router '%s': input port %u out of range",
+              params_.name.c_str(), port);
+    inputs_[port].in = channel;
+}
+
+void
+Router::connectOutput(std::uint32_t port, FlitChannel *channel)
+{
+    if (port >= params_.numOutPorts)
+        panic("router '%s': output port %u out of range",
+              params_.name.c_str(), port);
+    outputs_[port].out = channel;
+}
+
+void
+Router::setBypass(bool enable)
+{
+    if (enable == bypass_)
+        return;
+    if (enable) {
+        if (!params_.gateable)
+            panic("router '%s' is not gateable", params_.name.c_str());
+        if (params_.numInPorts != params_.numOutPorts)
+            panic("router '%s': bypass requires square radix",
+                  params_.name.c_str());
+        if (!drained())
+            panic("router '%s': bypass toggled while not drained",
+                  params_.name.c_str());
+    }
+    bypass_ = enable;
+}
+
+bool
+Router::drained() const
+{
+    for (const auto &in : inputs_) {
+        if (!in.buffer.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+Router::acceptArrivals(Cycle now)
+{
+    const Cycle eligible = now + (bypass_ ? 1 : params_.pipelineLatency);
+    for (auto &in : inputs_) {
+        if (in.in == nullptr)
+            continue;
+        while (in.in->hasArrival(now)) {
+            // Credit flow control guarantees buffer space.
+            if (in.buffer.size() >= inputBufferDepth())
+                panic("router '%s': input buffer overflow "
+                      "(credit protocol violated)",
+                      params_.name.c_str());
+            in.buffer.emplace_back(eligible, in.in->receive(now));
+            if (!bypass_)
+                ++activity_.bufferWrites;
+        }
+    }
+}
+
+void
+Router::tickBypass(Cycle now)
+{
+    // Input i is hard-wired to output i; one flit per cycle, credit
+    // checked on the downstream channel. No allocation, no switch.
+    for (std::uint32_t i = 0; i < params_.numInPorts; ++i) {
+        InputPort &in = inputs_[i];
+        OutputPort &out = outputs_[i];
+        if (in.buffer.empty() || in.buffer.front().first > now)
+            continue;
+        if (out.out == nullptr || !out.out->canSend())
+            continue;
+        Flit flit = std::move(in.buffer.front().second);
+        in.buffer.pop_front();
+        out.out->send(std::move(flit), now);
+        if (in.in != nullptr)
+            in.in->returnCredit(now);
+        ++activity_.bypassTraversals;
+    }
+    ++activity_.gatedCycles;
+}
+
+void
+Router::tickAllocate(Cycle now)
+{
+    // Request phase: each input nominates its head-of-line flit.
+    for (auto &reqs : requestScratch_)
+        reqs.assign(params_.numInPorts, false);
+
+    for (std::uint32_t i = 0; i < params_.numInPorts; ++i) {
+        InputPort &in = inputs_[i];
+        requestedOut_[i] = kInvalidId;
+        if (in.buffer.empty() || in.buffer.front().first > now)
+            continue;
+        const Flit &flit = in.buffer.front().second;
+
+        std::uint32_t out_port;
+        if (flit.head) {
+            out_port = routeFn_(flit.msg);
+            if (out_port >= params_.numOutPorts)
+                panic("router '%s': route to invalid port %u",
+                      params_.name.c_str(), out_port);
+            // A head flit may only compete for an unlocked output.
+            if (outputs_[out_port].lockedBy != kInvalidId)
+                continue;
+        } else {
+            // Body/tail flits follow the wormhole lock.
+            out_port = in.currentOut;
+            if (out_port == kInvalidId)
+                panic("router '%s': body flit without route lock",
+                      params_.name.c_str());
+        }
+
+        // Downstream credit must be available to compete this cycle.
+        OutputPort &out = outputs_[out_port];
+        if (out.out == nullptr || !out.out->canSend())
+            continue;
+
+        requestScratch_[out_port][i] = true;
+        requestedOut_[i] = out_port;
+    }
+
+    // Grant phase: per-output round-robin.
+    for (std::uint32_t o = 0; o < params_.numOutPorts; ++o) {
+        OutputPort &out = outputs_[o];
+        const std::uint32_t winner = out.arb.grant(requestScratch_[o]);
+        if (winner >= params_.numInPorts)
+            continue;
+        ++activity_.allocRounds;
+
+        InputPort &in = inputs_[winner];
+        Flit flit = std::move(in.buffer.front().second);
+        in.buffer.pop_front();
+        ++activity_.bufferReads;
+        ++activity_.xbarTraversals;
+
+        if (flit.head) {
+            out.lockedBy = winner;
+            in.currentOut = o;
+        }
+        if (flit.tail) {
+            out.lockedBy = kInvalidId;
+            in.currentOut = kInvalidId;
+        }
+
+        out.out->send(std::move(flit), now);
+        if (in.in != nullptr)
+            in.in->returnCredit(now);
+    }
+    ++activity_.activeCycles;
+}
+
+void
+Router::tick(Cycle now)
+{
+    // Absorb credit returns on all downstream channels.
+    for (auto &out : outputs_) {
+        if (out.out != nullptr)
+            out.out->tickSender(now);
+    }
+    acceptArrivals(now);
+    if (bypass_)
+        tickBypass(now);
+    else
+        tickAllocate(now);
+}
+
+} // namespace amsc

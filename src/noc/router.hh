@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Input-queued wormhole router with credit flow control.
+ *
+ * Models the paper's 4-stage router pipeline (route computation,
+ * VC allocation, switch allocation, switch traversal): a flit written
+ * into an input buffer becomes eligible for switch allocation after
+ * `pipelineLatency` cycles and traverses the switch in the grant
+ * cycle. Allocation is a single-iteration separable (iSLIP-style)
+ * allocator with per-output round-robin grant pointers that advance
+ * only on grant.
+ *
+ * Wormhole semantics: a head flit locks its output port for the
+ * packet; body flits follow on the same route; the tail flit releases
+ * the lock. With one VC per port (Table 1) an input port serves one
+ * packet at a time.
+ *
+ * Reconfigurable bypass (paper Fig 10): when `bypass` is enabled on a
+ * square router, input i forwards directly to output i with a one
+ * cycle latch delay, skipping buffering*, allocation and the switch;
+ * the router is considered power-gated and traffic is accounted as
+ * bypass traversals. (*Structurally flits still pass through the
+ * input FIFO object, but no buffer energy is charged.)
+ */
+
+#ifndef AMSC_NOC_ROUTER_HH
+#define AMSC_NOC_ROUTER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "noc/arbiter.hh"
+#include "noc/channel.hh"
+#include "noc/message.hh"
+
+namespace amsc
+{
+
+/** Router structural parameters. */
+struct RouterParams
+{
+    std::string name = "router";
+    std::uint32_t numInPorts = 0;
+    std::uint32_t numOutPorts = 0;
+    /** Virtual channels per input port (Table 1: 1). */
+    std::uint32_t numVcs = 1;
+    /** Input buffer depth in flits per VC (Table 1: 8). */
+    std::uint32_t vcDepthFlits = 8;
+    /** Cycles between buffer write and SA eligibility (4-stage: 3). */
+    std::uint32_t pipelineLatency = 3;
+    /** Channel width (power model bookkeeping). */
+    std::uint32_t channelWidthBytes = 32;
+    /** True for MC-routers that support bypass + power gating. */
+    bool gateable = false;
+};
+
+/** Input-queued wormhole router. */
+class Router
+{
+  public:
+    /**
+     * Routing function: maps a head flit's message to an output port.
+     */
+    using RouteFn = std::function<std::uint32_t(const NocMessage &)>;
+
+    Router(const RouterParams &params, RouteFn route_fn);
+
+    /** Attach the upstream channel feeding input @p port. */
+    void connectInput(std::uint32_t port, FlitChannel *channel);
+
+    /** Attach the downstream channel driven by output @p port. */
+    void connectOutput(std::uint32_t port, FlitChannel *channel);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    /**
+     * Enable/disable the bypass path.
+     *
+     * @pre router is square (numInPorts == numOutPorts) and gateable.
+     * @pre drained() -- the reconfiguration protocol drains first.
+     */
+    void setBypass(bool enable);
+
+    bool bypassed() const { return bypass_; }
+
+    /** True when all input buffers are empty. */
+    bool drained() const;
+
+    /** Buffer depth seen by upstream credit counters. */
+    std::uint32_t
+    inputBufferDepth() const
+    {
+        return params_.vcDepthFlits * params_.numVcs;
+    }
+
+    const RouterParams &params() const { return params_; }
+    const RouterActivity &activity() const { return activity_; }
+
+  private:
+    struct InputPort
+    {
+        FlitChannel *in = nullptr;
+        /** (eligibleAt, flit) FIFO; single VC per Table 1. */
+        std::deque<std::pair<Cycle, Flit>> buffer;
+        /** Output locked by the in-flight packet (wormhole). */
+        std::uint32_t currentOut = kInvalidId;
+    };
+
+    struct OutputPort
+    {
+        FlitChannel *out = nullptr;
+        RoundRobinArbiter arb;
+        /** Input index holding the wormhole lock, or kInvalidId. */
+        std::uint32_t lockedBy = kInvalidId;
+    };
+
+    void acceptArrivals(Cycle now);
+    void tickBypass(Cycle now);
+    void tickAllocate(Cycle now);
+
+    RouterParams params_;
+    RouteFn routeFn_;
+    std::vector<InputPort> inputs_;
+    std::vector<OutputPort> outputs_;
+    bool bypass_ = false;
+    RouterActivity activity_;
+    // Per-tick scratch: requests[out] = input index list.
+    std::vector<std::vector<bool>> requestScratch_;
+    std::vector<std::uint32_t> requestedOut_;
+};
+
+} // namespace amsc
+
+#endif // AMSC_NOC_ROUTER_HH

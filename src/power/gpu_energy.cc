@@ -1,0 +1,29 @@
+#include "power/gpu_energy.hh"
+
+namespace amsc
+{
+
+GpuEnergyResult
+GpuEnergyModel::evaluate(const GpuActivity &activity) const
+{
+    GpuEnergyResult r;
+    const double seconds = static_cast<double>(activity.cycles) /
+        (params_.freqGhz * 1e9);
+
+    // nJ -> uJ conversion: x1e-3.
+    r.coreDynamicUj = static_cast<double>(activity.instructions) *
+        params_.instrNj * 1e-3;
+    r.l1DynamicUj = static_cast<double>(activity.l1Accesses) *
+        params_.l1AccessNj * 1e-3;
+    r.llcDynamicUj = static_cast<double>(activity.llcAccesses) *
+        params_.llcAccessNj * 1e-3;
+    r.dramDynamicUj = static_cast<double>(activity.dramAccesses) *
+        params_.dramAccessNj * 1e-3;
+    r.nocUj = activity.nocEnergyUj;
+    // W x s = J; x1e6 converts to uJ.
+    r.staticUj = (params_.gpuStaticW + params_.dramStaticW) * seconds *
+        1e6;
+    return r;
+}
+
+} // namespace amsc

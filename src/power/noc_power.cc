@@ -1,0 +1,109 @@
+#include "power/noc_power.hh"
+
+namespace amsc
+{
+
+NocPowerResult
+NocPowerModel::evaluate(const NocActivity &activity,
+                        std::uint64_t cycles) const
+{
+    NocPowerResult r;
+    r.cycles = cycles;
+    if (cycles == 0)
+        return r;
+
+    const double seconds =
+        static_cast<double>(cycles) / (tech_.freqGhz * 1e9);
+
+    // ---- routers --------------------------------------------------
+    for (const RouterActivity &ra : activity.routers) {
+        const double flit_bits = 8.0 * ra.channelWidthBytes;
+        const double buf_bits = static_cast<double>(ra.numInPorts) *
+            ra.numVcs * ra.vcDepthFlits * flit_bits;
+
+        // Area (independent of gating).
+        r.areaMm2.buffer += buf_bits * tech_.bufUm2PerBit * 1e-6;
+        const double side_in =
+            ra.numInPorts * flit_bits * tech_.xbarPitchUm; // um
+        const double side_out =
+            ra.numOutPorts * flit_bits * tech_.xbarPitchUm; // um
+        r.areaMm2.crossbar += side_in * side_out * 1e-6;
+        r.areaMm2.other += ra.numInPorts * ra.numOutPorts *
+            tech_.allocUm2PerPortPair * 1e-6;
+
+        // Dynamic energy, pJ.
+        double buf_pj = (static_cast<double>(ra.bufferWrites) *
+                             tech_.bufWritePjPerBit +
+                         static_cast<double>(ra.bufferReads) *
+                             tech_.bufReadPjPerBit) *
+            flit_bits;
+        double xbar_pj = static_cast<double>(ra.xbarTraversals) *
+            tech_.xbarPjPerBitPort * flit_bits *
+            0.5 * (ra.numInPorts + ra.numOutPorts);
+        // Bypass traversals are charged as short-wire events on the
+        // crossbar component (the bypass path replaces the switch).
+        xbar_pj += static_cast<double>(ra.bypassTraversals) *
+            tech_.bypassPjPerBit * flit_bits;
+        const double other_pj = static_cast<double>(ra.allocRounds) *
+            tech_.allocPjPerPort *
+            0.5 * (ra.numInPorts + ra.numOutPorts);
+
+        r.energyUj.buffer += buf_pj * 1e-6;
+        r.energyUj.crossbar += xbar_pj * 1e-6;
+        r.energyUj.other += other_pj * 1e-6;
+
+        // Leakage: gated cycles leak (almost) nothing.
+        const double on_frac = ra.activeCycles + ra.gatedCycles == 0
+            ? 1.0
+            : static_cast<double>(ra.activeCycles) /
+                static_cast<double>(ra.activeCycles + ra.gatedCycles);
+        const double buf_leak_mw =
+            buf_bits / 1000.0 * tech_.bufLeakMwPerKbit * on_frac;
+        const double xpt_bits = static_cast<double>(ra.numInPorts) *
+            ra.numOutPorts * flit_bits;
+        const double xbar_leak_mw = xpt_bits / 1000.0 *
+            tech_.xbarLeakMwPerKxptBit * on_frac;
+        const double other_leak_mw =
+            0.5 * (ra.numInPorts + ra.numOutPorts) *
+            tech_.otherLeakMwPerPort * on_frac;
+
+        r.staticMw.buffer += buf_leak_mw;
+        r.staticMw.crossbar += xbar_leak_mw;
+        r.staticMw.other += other_leak_mw;
+        // mW x s = mJ; x1e3 converts to uJ.
+        r.energyUj.buffer += buf_leak_mw * seconds * 1e3;
+        r.energyUj.crossbar += xbar_leak_mw * seconds * 1e3;
+        r.energyUj.other += other_leak_mw * seconds * 1e3;
+    }
+
+    // ---- links ----------------------------------------------------
+    for (const LinkActivity &la : activity.links) {
+        const double flit_bits = 8.0 * la.widthBytes;
+        r.areaMm2.links +=
+            flit_bits * la.lengthMm * tech_.linkUm2PerBitMm * 1e-6;
+
+        const double dyn_pj = static_cast<double>(la.flitTraversals) *
+            tech_.linkPjPerBitMm * flit_bits * la.lengthMm;
+        const double leak_mw = flit_bits * la.lengthMm / 1000.0 *
+            tech_.linkLeakMwPerKbitMm;
+        r.staticMw.links += leak_mw;
+        r.energyUj.links += dyn_pj * 1e-6 + leak_mw * seconds * 1e3;
+    }
+
+    // Dynamic power = (dynamic energy) / time. Recover the dynamic
+    // part by subtracting leakage energy from total energy.
+    auto dynamic_mw = [&](double energy_uj, double leak_mw) {
+        const double dyn_uj = energy_uj - leak_mw * seconds * 1e3;
+        return dyn_uj * 1e-6 / seconds * 1e3; // uJ/s -> mW
+    };
+    r.dynamicMw.buffer =
+        dynamic_mw(r.energyUj.buffer, r.staticMw.buffer);
+    r.dynamicMw.crossbar =
+        dynamic_mw(r.energyUj.crossbar, r.staticMw.crossbar);
+    r.dynamicMw.links = dynamic_mw(r.energyUj.links, r.staticMw.links);
+    r.dynamicMw.other = dynamic_mw(r.energyUj.other, r.staticMw.other);
+
+    return r;
+}
+
+} // namespace amsc

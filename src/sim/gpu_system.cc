@@ -1,0 +1,272 @@
+#include "sim/gpu_system.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "gpu/cta_scheduler.hh"
+#include "noc/network_factory.hh"
+
+namespace amsc
+{
+
+GpuSystem::GpuSystem(const SimConfig &config) : config_(config)
+{
+    config_.validate();
+
+    mapping_ =
+        std::make_unique<AddressMapping>(config_.buildMappingParams());
+    net_ = makeNetwork(config_.buildNocParams());
+    mem_ = std::make_unique<MemorySystem>(
+        config_.numMcs, config_.buildDramParams(), *mapping_);
+
+    // SM -> application partitioning: single app owns everything;
+    // multi-program splits each cluster evenly (paper Fig 9).
+    const std::uint32_t apps = config_.numApps();
+    smApp_.assign(config_.numSms, 0);
+    if (apps > 1) {
+        const std::uint32_t spc = config_.smsPerCluster();
+        for (SmId sm = 0; sm < config_.numSms; ++sm) {
+            const std::uint32_t local = sm % spc;
+            smApp_[sm] = static_cast<AppId>(
+                local * apps / spc);
+        }
+    }
+
+    llc_ = std::make_unique<LlcSystem>(
+        config_.buildLlcParams(), *mapping_, net_.get(), mem_.get(),
+        [this](SmId sm) { return smApp_[sm]; },
+        [this](SmId sm) { return sm / config_.smsPerCluster(); });
+
+    llc_->setHooks(
+        [this](bool stalled) {
+            smsStalled_ = stalled;
+            for (auto &sm : sms_)
+                sm->setStalled(stalled);
+        },
+        [this]() { return net_->drained() && mem_->drained(); });
+
+    mem_->setReadCallback(
+        [this](Addr line, std::uint64_t token, Cycle now) {
+            llc_->onDramReply(line, token, now);
+        });
+
+    sms_.reserve(config_.numSms);
+    for (SmId id = 0; id < config_.numSms; ++id) {
+        const ClusterId cluster = id / config_.smsPerCluster();
+        const AppId app = smApp_[id];
+        sms_.push_back(std::make_unique<Sm>(
+            config_.buildSmParams(id), net_.get(),
+            [this, cluster, app](Addr line) {
+                return llc_->sliceFor(line, cluster, app);
+            }));
+    }
+
+    workloads_.resize(apps);
+    nextKernel_.assign(apps, 0);
+    appRunning_.assign(apps, false);
+}
+
+GpuSystem::~GpuSystem() = default;
+
+void
+GpuSystem::setWorkload(AppId app, std::vector<KernelInfo> kernels)
+{
+    if (app >= workloads_.size())
+        fatal("setWorkload: app %u out of range", app);
+    workloads_[app] = std::move(kernels);
+}
+
+std::vector<SmId>
+GpuSystem::smsOfApp(AppId app) const
+{
+    std::vector<SmId> out;
+    for (SmId sm = 0; sm < smApp_.size(); ++sm) {
+        if (smApp_[sm] == app)
+            out.push_back(sm);
+    }
+    return out;
+}
+
+void
+GpuSystem::launchKernel(AppId app, std::size_t kernel_index)
+{
+    const KernelInfo &kernel = workloads_[app][kernel_index];
+    const std::vector<SmId> app_sms = smsOfApp(app);
+    // The app's SM list is cluster-major; its per-cluster width is
+    // its share of each cluster (all of it for single-program runs).
+    const std::uint32_t app_spc = std::max<std::uint32_t>(
+        1,
+        static_cast<std::uint32_t>(app_sms.size()) /
+            config_.numClusters);
+    const auto assignment = assignCtas(
+        config_.ctaPolicy, kernel.numCtas,
+        static_cast<std::uint32_t>(app_sms.size()), app_spc, app_sms);
+    for (std::size_t i = 0; i < app_sms.size(); ++i)
+        sms_[app_sms[i]]->launchKernel(&kernel, assignment[i], now_);
+    appRunning_[app] = true;
+}
+
+void
+GpuSystem::manageKernels()
+{
+    for (AppId app = 0; app < workloads_.size(); ++app) {
+        if (workloads_[app].empty())
+            continue;
+
+        if (!appRunning_[app]) {
+            // First launch of this application.
+            if (nextKernel_[app] == 0 &&
+                nextKernel_[app] < workloads_[app].size())
+                launchKernel(app, nextKernel_[app]++);
+            continue;
+        }
+
+        // Check whether the running kernel finished on all its SMs.
+        bool done = true;
+        for (const SmId sm : smsOfApp(app)) {
+            if (!sms_[sm]->done()) {
+                done = false;
+                break;
+            }
+        }
+        if (!done)
+            continue;
+
+        if (nextKernel_[app] < workloads_[app].size()) {
+            // Kernel boundary: software coherence flushes the L1s and
+            // (if private) the LLC; the controller re-profiles.
+            for (const SmId sm : smsOfApp(app))
+                sms_[sm]->flushL1();
+            llc_->onKernelLaunch(now_);
+            launchKernel(app, nextKernel_[app]++);
+        } else {
+            appRunning_[app] = false;
+        }
+    }
+}
+
+bool
+GpuSystem::allWorkDone() const
+{
+    for (AppId app = 0; app < workloads_.size(); ++app) {
+        if (workloads_[app].empty())
+            continue;
+        if (appRunning_[app] ||
+            nextKernel_[app] < workloads_[app].size())
+            return false;
+    }
+    return true;
+}
+
+void
+GpuSystem::tickOnce()
+{
+    llc_->tick(now_);
+    mem_->tick(now_);
+    net_->tick(now_);
+    for (auto &sm : sms_) {
+        while (net_->hasReplyFor(sm->id()))
+            sm->onReply(net_->popReplyFor(sm->id(), now_), now_);
+        sm->tick(now_);
+    }
+    manageKernels();
+    ++now_;
+}
+
+void
+GpuSystem::step(Cycle n)
+{
+    for (Cycle i = 0; i < n; ++i)
+        tickOnce();
+}
+
+std::uint64_t
+GpuSystem::totalInstructions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sm : sms_)
+        n += sm->stats().instructions;
+    return n;
+}
+
+RunResult
+GpuSystem::run()
+{
+    manageKernels(); // initial launches
+    while (now_ < config_.maxCycles) {
+        tickOnce();
+        if (allWorkDone())
+            break;
+        if (config_.maxInstructions != 0 && (now_ & 127) == 0 &&
+            totalInstructions() >= config_.maxInstructions)
+            break;
+    }
+    return collect();
+}
+
+RunResult
+GpuSystem::collect() const
+{
+    RunResult r;
+    r.cycles = now_;
+    r.instructions = totalInstructions();
+    r.ipc = now_ == 0 ? 0.0
+                      : static_cast<double>(r.instructions) /
+            static_cast<double>(now_);
+    r.finishedWork = allWorkDone();
+
+    const std::uint32_t apps = config_.numApps();
+    r.appInstructions.assign(apps, 0);
+    for (const auto &sm : sms_)
+        r.appInstructions[smApp_[sm->id()]] +=
+            sm->stats().instructions;
+    r.appIpc.assign(apps, 0.0);
+    for (AppId a = 0; a < apps; ++a) {
+        r.appIpc[a] = now_ == 0
+            ? 0.0
+            : static_cast<double>(r.appInstructions[a]) /
+                static_cast<double>(now_);
+    }
+
+    r.llcReadMissRate = llc_->aggregateReadMissRate();
+    r.llcAccesses = llc_->totalAccesses();
+    r.llcResponseRate = now_ == 0
+        ? 0.0
+        : static_cast<double>(llc_->totalResponses()) /
+            static_cast<double>(now_);
+    r.dramAccesses = mem_->totalAccesses();
+    r.avgRequestLatency = net_->requestStats().avgLatency();
+    r.avgReplyLatency = net_->replyStats().avgLatency();
+
+    r.finalMode = llc_->mode(0);
+    r.llcCtrl = llc_->stats();
+    for (std::size_t b = 0; b < 4; ++b) {
+        r.sharingBuckets[b] = const_cast<LlcSystem &>(*llc_)
+                                  .sharingTracker()
+                                  .bucketFraction(b);
+    }
+
+    r.nocActivity = net_->activity();
+
+    r.gpuActivity.cycles = now_;
+    r.gpuActivity.instructions = r.instructions;
+    std::uint64_t l1_accesses = 0;
+    for (const auto &sm : sms_)
+        l1_accesses += sm->l1().stats().accesses();
+    r.gpuActivity.l1Accesses = l1_accesses;
+    r.gpuActivity.llcAccesses = r.llcAccesses;
+    r.gpuActivity.dramAccesses = r.dramAccesses;
+    return r;
+}
+
+void
+GpuSystem::registerStats(StatSet &set) const
+{
+    net_->registerStats(set);
+    llc_->registerStats(set);
+    mem_->registerStats(set);
+    for (const auto &sm : sms_)
+        sm->registerStats(set);
+}
+
+} // namespace amsc

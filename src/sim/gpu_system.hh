@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Top-level simulated GPU: SMs + NoC + adaptive LLC + DRAM.
+ *
+ * GpuSystem wires the subsystems per the paper's baseline (Table 1,
+ * Fig 6), owns the cycle loop, manages kernel launches per
+ * application (including the multi-program SM partitioning of Fig 9)
+ * and assembles the run metrics the benches report.
+ */
+
+#ifndef AMSC_SIM_GPU_SYSTEM_HH
+#define AMSC_SIM_GPU_SYSTEM_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "gpu/sm.hh"
+#include "gpu/trace.hh"
+#include "llc/llc_system.hh"
+#include "mem/memory_system.hh"
+#include "noc/network.hh"
+#include "power/gpu_energy.hh"
+#include "sim/sim_config.hh"
+
+namespace amsc
+{
+
+/** Result of one simulation run. */
+struct RunResult
+{
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;
+    /** Per-application IPC (multi-program runs). */
+    std::vector<double> appIpc;
+    /** Per-application instruction counts. */
+    std::vector<std::uint64_t> appInstructions;
+    bool finishedWork = false; ///< all kernels completed
+
+    double llcReadMissRate = 0.0;
+    /** LLC response rate: replies injected per cycle (Fig 12). */
+    double llcResponseRate = 0.0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t dramAccesses = 0;
+    double avgRequestLatency = 0.0;
+    double avgReplyLatency = 0.0;
+
+    /** Final LLC mode of app 0 and controller stats. */
+    LlcMode finalMode = LlcMode::Shared;
+    LlcSystemStats llcCtrl{};
+
+    /** Fig-3 sharing buckets: 1 / 2 / 3-4 / 5-8 clusters. */
+    std::array<double, 4> sharingBuckets{};
+
+    /** NoC activity snapshot (power model input). */
+    NocActivity nocActivity{};
+    /** System activity (energy model input, NoC energy not filled). */
+    GpuActivity gpuActivity{};
+};
+
+/** The simulated GPU. */
+class GpuSystem
+{
+  public:
+    explicit GpuSystem(const SimConfig &config);
+    ~GpuSystem();
+
+    GpuSystem(const GpuSystem &) = delete;
+    GpuSystem &operator=(const GpuSystem &) = delete;
+
+    /**
+     * Assign the kernel sequence of application @p app. Kernels run
+     * back to back; each boundary flushes the L1s (software
+     * coherence) and notifies the adaptive controller (Rule #3).
+     */
+    void setWorkload(AppId app, std::vector<KernelInfo> kernels);
+
+    /**
+     * Run until all applications finish their kernels, maxCycles
+     * elapse, or maxInstructions retire.
+     */
+    RunResult run();
+
+    /** Advance exactly @p n cycles (incremental use in tests). */
+    void step(Cycle n);
+
+    /** Assemble metrics for the work so far. */
+    RunResult collect() const;
+
+    // ---- component access (tests, benches) ------------------------
+    const SimConfig &config() const { return config_; }
+    Network &network() { return *net_; }
+    LlcSystem &llc() { return *llc_; }
+    MemorySystem &memory() { return *mem_; }
+    Sm &sm(SmId id) { return *sms_[id]; }
+    std::uint32_t numSms() const
+    {
+        return static_cast<std::uint32_t>(sms_.size());
+    }
+    Cycle now() const { return now_; }
+
+    /** SMs (cluster-major) belonging to application @p app. */
+    std::vector<SmId> smsOfApp(AppId app) const;
+
+    /** Application owning SM @p sm. */
+    AppId appOf(SmId sm) const { return smApp_[sm]; }
+
+    /** Total instructions retired so far. */
+    std::uint64_t totalInstructions() const;
+
+    /** Register all statistics into @p set. */
+    void registerStats(StatSet &set) const;
+
+  private:
+    void tickOnce();
+    void manageKernels();
+    void launchKernel(AppId app, std::size_t kernel_index);
+    bool allWorkDone() const;
+
+    SimConfig config_;
+    std::unique_ptr<AddressMapping> mapping_;
+    std::unique_ptr<Network> net_;
+    std::unique_ptr<MemorySystem> mem_;
+    std::unique_ptr<LlcSystem> llc_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+    std::vector<AppId> smApp_;
+
+    /** Kernel sequences per application. */
+    std::vector<std::vector<KernelInfo>> workloads_;
+    std::vector<std::size_t> nextKernel_;
+    std::vector<bool> appRunning_;
+
+    Cycle now_ = 0;
+    bool smsStalled_ = false;
+};
+
+} // namespace amsc
+
+#endif // AMSC_SIM_GPU_SYSTEM_HH

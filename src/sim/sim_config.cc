@@ -1,0 +1,229 @@
+#include "sim/sim_config.hh"
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+#include "noc/network_factory.hh"
+
+namespace amsc
+{
+
+MappingParams
+SimConfig::buildMappingParams() const
+{
+    MappingParams mp;
+    mp.scheme = mappingScheme;
+    mp.numMcs = numMcs;
+    mp.banksPerMc = banksPerMc;
+    mp.linesPerRow = dramRowBytes / lineBytes;
+    mp.slicesPerMc = slicesPerMc;
+    return mp;
+}
+
+DramParams
+SimConfig::buildDramParams() const
+{
+    DramParams dp;
+    dp.timings = dramTimings;
+    dp.banksPerMc = banksPerMc;
+    dp.busBytesPerCycle = dramBusBytesPerCycle;
+    dp.lineBytes = lineBytes;
+    dp.rowBytes = dramRowBytes;
+    dp.queueCapacity = dramQueueCap;
+    return dp;
+}
+
+NocParams
+SimConfig::buildNocParams() const
+{
+    NocParams np;
+    np.topology = topology;
+    np.numSms = numSms;
+    np.numClusters = numClusters;
+    np.numMcs = numMcs;
+    np.slicesPerMc = slicesPerMc;
+    np.channelWidthBytes = channelWidthBytes;
+    np.concentration = concentration;
+    np.vcDepthFlits = vcDepthFlits;
+    np.routerPipelineLatency = routerPipelineLatency;
+    np.shortLinkLatency = shortLinkLatency;
+    np.longLinkLatency = longLinkLatency;
+    np.injectQueueCap = injectQueueCap;
+    np.ejectQueueCap = ejectQueueCap;
+    np.idealLatency = idealNocLatency;
+    np.packet.lineBytes = lineBytes;
+    return np;
+}
+
+SmParams
+SimConfig::buildSmParams(SmId id) const
+{
+    SmParams sp;
+    sp.id = id;
+    sp.cluster = id / smsPerCluster();
+    sp.numSchedulers = numSchedulers;
+    sp.maxResidentCtas = maxResidentCtas;
+    sp.maxResidentWarps = maxResidentWarps;
+    sp.l1.name = "l1";
+    sp.l1.sizeBytes = l1SizeBytes;
+    sp.l1.assoc = l1Assoc;
+    sp.l1.lineBytes = lineBytes;
+    sp.l1.writePolicy = WritePolicy::WriteThrough;
+    sp.l1.writeAlloc = WriteAllocPolicy::NoAllocate;
+    sp.l1.seed = seed + id;
+    sp.l1Latency = l1Latency;
+    sp.l1Mshrs = l1Mshrs;
+    sp.l1MshrTargets = l1MshrTargets;
+    sp.packet.lineBytes = lineBytes;
+    return sp;
+}
+
+LlcParams
+SimConfig::buildLlcParams() const
+{
+    LlcParams lp;
+    lp.appPolicies.clear();
+    lp.appPolicies.push_back(llcPolicy);
+    for (const LlcPolicy p : extraAppPolicies)
+        lp.appPolicies.push_back(p);
+
+    lp.slice.numSets = static_cast<std::uint32_t>(
+        llcSliceBytes / lineBytes / llcAssoc);
+    lp.slice.assoc = llcAssoc;
+    lp.slice.hitLatency = llcHitLatency;
+    lp.slice.missLatency = llcMissLatency;
+    lp.slice.mshrs = llcMshrs;
+    lp.slice.mshrTargets = llcMshrTargets;
+    lp.slice.packet.lineBytes = lineBytes;
+    lp.slice.seed = seed + 1000;
+
+    lp.profileLen = profileLen;
+    lp.epochLen = epochLen;
+    lp.missTolerance = missTolerance;
+    lp.bwMargin = bwMargin;
+    lp.gateDelay = gateDelay;
+    lp.trackSharing = trackSharing;
+
+    lp.profiler.numSlices = numSlices();
+    lp.profiler.numClusters = numClusters;
+    lp.profiler.numMcs = numMcs;
+    lp.profiler.llcSliceBw = channelWidthBytes;
+    lp.profiler.memBw =
+        static_cast<double>(numMcs) * dramBusBytesPerCycle;
+    lp.profiler.atd.sliceSets = lp.slice.numSets;
+    lp.profiler.atd.assoc = llcAssoc;
+    lp.profiler.atd.sampledSets = 8;
+    lp.profiler.atd.numRouters = numClusters;
+    return lp;
+}
+
+void
+SimConfig::applyKv(const KvArgs &args)
+{
+    numSms = static_cast<std::uint32_t>(
+        args.getUint("num_sms", numSms));
+    numClusters = static_cast<std::uint32_t>(
+        args.getUint("num_clusters", numClusters));
+    maxResidentCtas = static_cast<std::uint32_t>(
+        args.getUint("max_ctas", maxResidentCtas));
+    maxResidentWarps = static_cast<std::uint32_t>(
+        args.getUint("max_warps", maxResidentWarps));
+
+    l1SizeBytes = args.getUint("l1_kb", l1SizeBytes / 1024) * 1024;
+    l1Latency = static_cast<std::uint32_t>(
+        args.getUint("l1_latency", l1Latency));
+
+    numMcs = static_cast<std::uint32_t>(args.getUint("num_mcs", numMcs));
+    slicesPerMc = static_cast<std::uint32_t>(
+        args.getUint("slices_per_mc", slicesPerMc));
+    llcSliceBytes =
+        args.getUint("llc_slice_kb", llcSliceBytes / 1024) * 1024;
+
+    if (args.has("llc_policy"))
+        llcPolicy = parseLlcPolicy(args.getString("llc_policy"));
+    profileLen = args.getUint("profile_len", profileLen);
+    epochLen = args.getUint("epoch_len", epochLen);
+    missTolerance = args.getDouble("miss_tolerance", missTolerance);
+    bwMargin = args.getDouble("bw_margin", bwMargin);
+    trackSharing = args.getBool("track_sharing", trackSharing);
+
+    if (args.has("noc"))
+        topology = parseTopology(args.getString("noc"));
+    channelWidthBytes = static_cast<std::uint32_t>(
+        args.getUint("channel_width", channelWidthBytes));
+    concentration = static_cast<std::uint32_t>(
+        args.getUint("concentration", concentration));
+
+    if (args.has("mapping")) {
+        const std::string m = args.getString("mapping");
+        if (m == "pae")
+            mappingScheme = MappingScheme::Pae;
+        else if (m == "hynix")
+            mappingScheme = MappingScheme::Hynix;
+        else
+            fatal("unknown mapping '%s' (pae|hynix)", m.c_str());
+    }
+    if (args.has("cta_policy"))
+        ctaPolicy = parseCtaPolicy(args.getString("cta_policy"));
+
+    maxCycles = args.getUint("max_cycles", maxCycles);
+    maxInstructions = args.getUint("max_instructions", maxInstructions);
+    seed = args.getUint("seed", seed);
+    validate();
+}
+
+void
+SimConfig::validate() const
+{
+    if (numSms == 0 || numClusters == 0 || numMcs == 0 ||
+        slicesPerMc == 0)
+        fatal("config: zero structural parameter");
+    if (topology == NocTopology::Hierarchical &&
+        slicesPerMc != numClusters)
+        fatal("config: H-Xbar co-design requires slices_per_mc (%u) == "
+              "num_clusters (%u)",
+              slicesPerMc, numClusters);
+    if (llcSliceBytes % (static_cast<std::uint64_t>(lineBytes) *
+                         llcAssoc) != 0)
+        fatal("config: LLC slice size not divisible into sets");
+    if (l1SizeBytes % (static_cast<std::uint64_t>(lineBytes) *
+                       l1Assoc) != 0)
+        fatal("config: L1 size not divisible into sets");
+    if (dramRowBytes % lineBytes != 0)
+        fatal("config: DRAM row not a multiple of the line size");
+}
+
+void
+SimConfig::print(std::ostream &os) const
+{
+    os << "==== amsc configuration (paper Table 1) ====\n";
+    os << "SMs                    " << numSms << " x 1400 MHz, "
+       << numClusters << " clusters of " << smsPerCluster() << "\n";
+    os << "Schedulers/SM          " << numSchedulers << " (GTO)\n";
+    os << "Resident warps/SM      " << maxResidentWarps << "\n";
+    os << "L1D/SM                 " << l1SizeBytes / 1024 << " KB, "
+       << l1Assoc << "-way, LRU, " << lineBytes << " B lines, "
+       << l1Latency << "-cycle\n";
+    os << "Memory controllers     " << numMcs << "\n";
+    os << "LLC slices/MC          " << slicesPerMc << " x "
+       << llcSliceBytes / 1024 << " KB, " << llcAssoc << "-way, LRU\n";
+    os << "LLC total              "
+       << numSlices() * llcSliceBytes / 1024 / 1024 << " MB, "
+       << llcHitLatency << "-cycle slice latency\n";
+    os << "LLC policy             " << llcPolicyName(llcPolicy) << "\n";
+    os << "NoC                    " << topologyName(topology) << ", "
+       << channelWidthBytes << " B channels, 1 VC x " << vcDepthFlits
+       << " flits, 4-stage routers, iSLIP\n";
+    os << "DRAM                   FR-FCFS, " << banksPerMc
+       << " banks/MC, " << dramBusBytesPerCycle
+       << " B/cycle/MC bus\n";
+    os << "GDDR5 timing           tCL=" << dramTimings.tCL << " tRP="
+       << dramTimings.tRP << " tRC=" << dramTimings.tRC << " tRAS="
+       << dramTimings.tRAS << " tRCD=" << dramTimings.tRCD << " tRRD="
+       << dramTimings.tRRD << " tCCD=" << dramTimings.tCCD << " tWR="
+       << dramTimings.tWR << "\n";
+    os << "Address mapping        "
+       << AddressMapping::schemeName(mappingScheme) << "\n";
+    os << "CTA scheduling         " << ctaPolicyName(ctaPolicy) << "\n";
+}
+
+} // namespace amsc

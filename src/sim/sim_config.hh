@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Whole-system configuration (paper Table 1 defaults).
+ *
+ * SimConfig aggregates every structural knob of the simulated GPU and
+ * provides key=value overrides so benches and examples can sweep the
+ * paper's sensitivity dimensions (address mapping, channel width, SM
+ * count, L1 size, CTA scheduling, LLC policy, NoC topology).
+ */
+
+#ifndef AMSC_SIM_SIM_CONFIG_HH
+#define AMSC_SIM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cache/cache_types.hh"
+#include "common/kvargs.hh"
+#include "common/types.hh"
+#include "gpu/cta_scheduler.hh"
+#include "gpu/sm.hh"
+#include "llc/llc_system.hh"
+#include "mem/address_mapping.hh"
+#include "mem/dram_timing.hh"
+#include "noc/noc_params.hh"
+
+namespace amsc
+{
+
+/** Complete system configuration. */
+struct SimConfig
+{
+    // ---- GPU cores (Table 1) -------------------------------------
+    std::uint32_t numSms = 80;
+    std::uint32_t numClusters = 8;
+    std::uint32_t numSchedulers = 2;
+    std::uint32_t maxResidentCtas = 4;
+    std::uint32_t maxResidentWarps = 64;
+
+    // ---- L1 data cache (Table 1: 48 KB, 6-way, LRU, 128 B) -------
+    std::uint64_t l1SizeBytes = 48 * 1024;
+    std::uint32_t l1Assoc = 6;
+    std::uint32_t lineBytes = 128;
+    std::uint32_t l1Latency = 28;
+    std::uint32_t l1Mshrs = 32;
+    std::uint32_t l1MshrTargets = 8;
+
+    // ---- LLC (Table 1: 8 MCs x 8 slices x 96 KB, 16-way) ---------
+    std::uint32_t numMcs = 8;
+    std::uint32_t slicesPerMc = 8;
+    std::uint64_t llcSliceBytes = 96 * 1024;
+    std::uint32_t llcAssoc = 16;
+    std::uint32_t llcHitLatency = 30;
+    std::uint32_t llcMissLatency = 10;
+    std::uint32_t llcMshrs = 64;
+    std::uint32_t llcMshrTargets = 16;
+
+    // ---- adaptive controller (paper section 4.3) ------------------
+    /** Policy of app 0 (single-program runs). */
+    LlcPolicy llcPolicy = LlcPolicy::ForceShared;
+    /** Policies of additional apps (multi-program runs). */
+    std::vector<LlcPolicy> extraAppPolicies{};
+    Cycle profileLen = 50000;
+    Cycle epochLen = 1000000;
+    double missTolerance = 0.02;
+    /** Rule #2 hysteresis factor (1.0 = the paper's bare rule). */
+    double bwMargin = 1.15;
+    Cycle gateDelay = 30;
+    bool trackSharing = false;
+
+    // ---- NoC (Table 1: crossbar, 32 B channels, 1 VC, 8 flits) ---
+    NocTopology topology = NocTopology::Hierarchical;
+    std::uint32_t channelWidthBytes = 32;
+    std::uint32_t concentration = 2;
+    std::uint32_t vcDepthFlits = 8;
+    std::uint32_t routerPipelineLatency = 3;
+    Cycle shortLinkLatency = 1;
+    Cycle longLinkLatency = 4;
+    std::size_t injectQueueCap = 16;
+    std::size_t ejectQueueCap = 16;
+    Cycle idealNocLatency = 10;
+
+    // ---- DRAM (Table 1: FR-FCFS, 16 banks/MC, GDDR5, 900 GB/s) ---
+    DramTimings dramTimings{};
+    std::uint32_t banksPerMc = 16;
+    std::uint32_t dramBusBytesPerCycle = 80;
+    std::uint32_t dramRowBytes = 2048;
+    std::uint32_t dramQueueCap = 64;
+    MappingScheme mappingScheme = MappingScheme::Pae;
+
+    // ---- scheduling -----------------------------------------------
+    CtaPolicy ctaPolicy = CtaPolicy::TwoLevelRR;
+
+    // ---- run control ----------------------------------------------
+    Cycle maxCycles = 200000;
+    std::uint64_t maxInstructions = 0; ///< 0 = unlimited
+    std::uint64_t seed = 42;
+
+    /** SMs per cluster. */
+    std::uint32_t
+    smsPerCluster() const
+    {
+        return (numSms + numClusters - 1) / numClusters;
+    }
+
+    /** Total LLC slices. */
+    std::uint32_t numSlices() const { return numMcs * slicesPerMc; }
+
+    /** Number of co-running applications. */
+    std::uint32_t
+    numApps() const
+    {
+        return 1 +
+            static_cast<std::uint32_t>(extraAppPolicies.size());
+    }
+
+    // ---- derived parameter blocks ---------------------------------
+    MappingParams buildMappingParams() const;
+    DramParams buildDramParams() const;
+    NocParams buildNocParams() const;
+    SmParams buildSmParams(SmId id) const;
+    LlcParams buildLlcParams() const;
+
+    /** Apply key=value overrides (see README for the key list). */
+    void applyKv(const KvArgs &args);
+
+    /** Render the configuration, Table-1 style. */
+    void print(std::ostream &os) const;
+
+    /** Validate cross-parameter invariants; fatal() on violation. */
+    void validate() const;
+};
+
+} // namespace amsc
+
+#endif // AMSC_SIM_SIM_CONFIG_HH

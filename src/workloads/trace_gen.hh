@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Synthetic warp-trace generators.
+ *
+ * The paper's 17 CUDA benchmarks are unavailable as binaries here, so
+ * each is replaced by a parameterized synthetic generator reproducing
+ * the memory behaviour that drives the paper's mechanism (see
+ * DESIGN.md, substitution table). Four access patterns cover the three
+ * workload classes:
+ *
+ *  - Broadcast: all warps walk the same shared region in loose
+ *    lockstep (a wall-clock phase plus a small random window), the way
+ *    SMs stream the same NN weight matrix. The instantaneous shared
+ *    working set is a handful of lines, so under a shared LLC only a
+ *    few slices are active (low LSP) and their 1-reply/cycle ports
+ *    saturate -> private-cache-friendly.
+ *  - ZipfShared: temporally uncorrelated skewed accesses over a
+ *    multi-MB read-only region. Hot lines spread across all slices
+ *    (high LSP), but the footprint only fits the *aggregate* LLC:
+ *    per-cluster replication under private caching multiplies the
+ *    miss rate -> shared-cache-friendly.
+ *  - TiledShared: CTA groups stream through tiles of a shared matrix
+ *    (GEMM-style); adjacent CTAs in different clusters share tiles,
+ *    giving the moderate inter-cluster locality of Fig 3a.
+ *  - PrivateStream: per-CTA streaming with no sharing ->
+ *    shared/private-cache-neutral.
+ */
+
+#ifndef AMSC_WORKLOADS_TRACE_GEN_HH
+#define AMSC_WORKLOADS_TRACE_GEN_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "gpu/trace.hh"
+
+namespace amsc
+{
+
+/** Synthetic access pattern selector. */
+enum class AccessPattern
+{
+    Broadcast,
+    ZipfShared,
+    TiledShared,
+    PrivateStream,
+};
+
+/** Parameters of a synthetic kernel's memory behaviour. */
+struct TraceParams
+{
+    AccessPattern pattern = AccessPattern::PrivateStream;
+    /** Shared (read-only) region size in lines. */
+    std::uint64_t sharedLines = 8192;
+    /** Private region per CTA, lines. */
+    std::uint64_t privateLinesPerCta = 2048;
+    /** Probability an access targets the shared region. */
+    double sharedFraction = 0.0;
+    /** Zipf skew for ZipfShared. */
+    double zipfAlpha = 0.6;
+    /**
+     * ZipfShared: fraction of shared accesses that follow the
+     * windowed broadcast walk instead (models structured sharing such
+     * as LUD pivot rows or B+tree upper levels -- the paper's
+     * shared-friendly apps exhibit ~20%% inter-cluster locality).
+     */
+    double broadcastMix = 0.0;
+    /** Broadcast: instantaneous window size (lines). */
+    std::uint32_t broadcastWindow = 12;
+    /** Broadcast: cycles per one-line phase advance. */
+    std::uint32_t phaseCyclesPerLine = 8;
+    /**
+     * Broadcast: persistent hot subset (first-layer weights, biases)
+     * reused for the whole run. These skew per-slice access counts --
+     * the signal the paper's LSP counters measure -- and serialize on
+     * single slices under shared caching.
+     */
+    std::uint32_t hotLines = 2048;
+    /** Broadcast: fraction of shared accesses going to the hot set. */
+    double hotFraction = 0.30;
+    /** Broadcast: skew within the hot set. */
+    double hotAlpha = 1.0;
+    /** TiledShared: tile size (lines). */
+    std::uint32_t tileLines = 192;
+    /** TiledShared: CTAs sharing one tile stream. */
+    std::uint32_t ctasPerTile = 4;
+    /** Fraction of memory instructions that are stores. */
+    double writeFraction = 0.05;
+    /**
+     * Fraction of memory instructions that are global atomics
+     * (histogram bins, global counters). Atomics force the adaptive
+     * LLC to the shared organization (paper section 4.1).
+     */
+    double atomicFraction = 0.0;
+    /** Compute instructions per memory instruction. */
+    std::uint32_t computePerMem = 4;
+    /** Coalesced line accesses per memory instruction. */
+    std::uint32_t accessesPerInstr = 1;
+    /** Memory instructions per warp (stream length). */
+    std::uint64_t memInstrsPerWarp = 600;
+    /** Line-address base of the shared region. */
+    Addr sharedBase = 0;
+    /** Line-address base of the private regions. */
+    Addr privateBase = Addr{1} << 30;
+    /** RNG seed component. */
+    std::uint64_t seed = 42;
+};
+
+/** Synthetic per-warp generator implementing the four patterns. */
+class SyntheticGen : public WarpTraceGen
+{
+  public:
+    /**
+     * @param params       shared kernel parameters.
+     * @param zipf         shared Zipf sampler (nullable unless
+     *                     ZipfShared).
+     * @param cta          CTA id (region selection).
+     * @param warp         warp index within the CTA.
+     * @param warps_in_cta warps per CTA (private-chunk split).
+     */
+    SyntheticGen(const TraceParams &params,
+                 std::shared_ptr<const ZipfSampler> zipf, CtaId cta,
+                 std::uint32_t warp, std::uint32_t warps_in_cta);
+
+    bool nextInstr(WarpInstr &out, Cycle now) override;
+
+  private:
+    Addr sharedAddr(Cycle now);
+    Addr privateAddr();
+
+    const TraceParams params_;
+    std::shared_ptr<const ZipfSampler> zipf_;
+    CtaId cta_;
+    std::uint32_t warp_;
+    std::uint32_t warpsInCta_;
+    Rng rng_;
+    std::uint64_t issued_ = 0;
+    std::uint64_t streamPos_ = 0;
+    std::uint64_t privatePos_ = 0;
+};
+
+/**
+ * Build a KernelInfo running @p params on @p num_ctas CTAs.
+ *
+ * The factory shares one Zipf sampler across all warps of the kernel.
+ */
+KernelInfo makeSyntheticKernel(const std::string &name,
+                               const TraceParams &params,
+                               std::uint32_t num_ctas,
+                               std::uint32_t warps_per_cta);
+
+} // namespace amsc
+
+#endif // AMSC_WORKLOADS_TRACE_GEN_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for global atomic operations (paper section 4.1): round-trip
+ * completion at the LLC's ROP, write-policy interaction, and the
+ * adaptive controller's opt-for-shared handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/gpu_system.hh"
+#include "workloads/trace_gen.hh"
+
+namespace amsc
+{
+
+namespace
+{
+
+SimConfig
+smallConfig()
+{
+    SimConfig cfg;
+    cfg.numSms = 16;
+    cfg.numClusters = 4;
+    cfg.numMcs = 4;
+    cfg.slicesPerMc = 4;
+    cfg.maxResidentWarps = 16;
+    cfg.maxResidentCtas = 2;
+    cfg.maxCycles = 20000;
+    cfg.profileLen = 1000;
+    cfg.epochLen = 50000;
+    return cfg;
+}
+
+std::vector<KernelInfo>
+atomicWorkload(double atomic_fraction, std::uint64_t instrs = 500)
+{
+    TraceParams t;
+    t.pattern = AccessPattern::Broadcast;
+    t.sharedLines = 2048;
+    t.sharedFraction = 0.8;
+    t.privateLinesPerCta = 128;
+    t.memInstrsPerWarp = instrs;
+    t.computePerMem = 3;
+    t.atomicFraction = atomic_fraction;
+    t.seed = 31;
+    return {makeSyntheticKernel("atomic", t, 32, 4)};
+}
+
+std::uint64_t
+totalAtomicsIssued(GpuSystem &gpu)
+{
+    std::uint64_t n = 0;
+    for (SmId s = 0; s < gpu.numSms(); ++s)
+        n += gpu.sm(s).stats().atomics;
+    return n;
+}
+
+} // namespace
+
+TEST(Atomics, RoundTripCompletes)
+{
+    SimConfig cfg = smallConfig();
+    cfg.llcPolicy = LlcPolicy::ForceShared;
+    GpuSystem gpu(cfg);
+    gpu.setWorkload(0, atomicWorkload(0.10, 100));
+    const RunResult r = gpu.run();
+    EXPECT_TRUE(r.finishedWork);
+    const std::uint64_t issued = totalAtomicsIssued(gpu);
+    EXPECT_GT(issued, 0u);
+    EXPECT_EQ(gpu.llc().totalAtomics(), issued);
+}
+
+TEST(Atomics, ExecuteAtLlcInPrivateModeToo)
+{
+    SimConfig cfg = smallConfig();
+    cfg.llcPolicy = LlcPolicy::ForcePrivate;
+    GpuSystem gpu(cfg);
+    gpu.setWorkload(0, atomicWorkload(0.05, 100));
+    const RunResult r = gpu.run();
+    EXPECT_TRUE(r.finishedWork);
+    EXPECT_GT(gpu.llc().totalAtomics(), 0u);
+}
+
+TEST(Atomics, AdaptiveVetoesPrivateMode)
+{
+    // The same broadcast workload WITHOUT atomics flips to private;
+    // with atomics the controller must stay shared (section 4.1).
+    SimConfig cfg = smallConfig();
+    cfg.bwMargin = 1.0; // bare paper rules: isolate the atomic veto
+    cfg.llcPolicy = LlcPolicy::Adaptive;
+    {
+        GpuSystem gpu(cfg);
+        gpu.setWorkload(0, atomicWorkload(0.0, 2000));
+        const RunResult r = gpu.run();
+        EXPECT_GE(r.llcCtrl.transitionsToPrivate, 1u);
+    }
+    {
+        GpuSystem gpu(cfg);
+        gpu.setWorkload(0, atomicWorkload(0.05, 2000));
+        const RunResult r = gpu.run();
+        EXPECT_EQ(r.llcCtrl.transitionsToPrivate, 0u);
+        EXPECT_EQ(r.finalMode, LlcMode::Shared);
+        EXPECT_GE(r.llcCtrl.atomicVetoes, 1u);
+    }
+}
+
+TEST(Atomics, RmwDirtiesLinesUnderWriteBack)
+{
+    SimConfig cfg = smallConfig();
+    cfg.llcPolicy = LlcPolicy::ForceShared;
+    GpuSystem gpu(cfg);
+    gpu.setWorkload(0, atomicWorkload(0.3, 200));
+    gpu.run();
+    std::uint64_t dirty = 0;
+    for (SliceId s = 0; s < gpu.llc().numSlices(); ++s) {
+        gpu.llc().slice(s).tags().forEachLine(
+            [&dirty](const CacheLine &l) { dirty += l.dirty; });
+    }
+    EXPECT_GT(dirty, 0u);
+}
+
+TEST(Atomics, InstructionAccountingConsistent)
+{
+    SimConfig cfg = smallConfig();
+    cfg.maxCycles = 60000; // atomic round trips slow the warps down
+    cfg.llcPolicy = LlcPolicy::ForceShared;
+    GpuSystem gpu(cfg);
+    gpu.setWorkload(0, atomicWorkload(0.15, 200));
+    const RunResult r = gpu.run();
+    EXPECT_TRUE(r.finishedWork);
+    // Every warp retires exactly memInstrsPerWarp memory batches.
+    std::uint64_t mem_instrs = 0;
+    for (SmId s = 0; s < gpu.numSms(); ++s)
+        mem_instrs += gpu.sm(s).stats().memInstrs;
+    EXPECT_EQ(mem_instrs, 32u * 4u * 200u);
+}
+
+} // namespace amsc

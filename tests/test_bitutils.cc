@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for common/bitutils.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutils.hh"
+
+namespace amsc
+{
+
+TEST(BitUtils, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 63));
+    EXPECT_FALSE(isPowerOfTwo((1ULL << 63) + 1));
+}
+
+TEST(BitUtils, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1ULL << 40), 40u);
+}
+
+TEST(BitUtils, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(48), 6u);
+}
+
+TEST(BitUtils, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffu);
+    EXPECT_EQ(bits(0xff00, 7, 0), 0x00u);
+    EXPECT_EQ(bits(0xabcd, 3, 0), 0xdu);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+    EXPECT_EQ(bit(0b100, 2), 1u);
+    EXPECT_EQ(bit(0b100, 1), 0u);
+}
+
+TEST(BitUtils, Rounding)
+{
+    EXPECT_EQ(roundUp(0, 8), 0u);
+    EXPECT_EQ(roundUp(1, 8), 8u);
+    EXPECT_EQ(roundUp(8, 8), 8u);
+    EXPECT_EQ(roundUp(9, 8), 16u);
+    EXPECT_EQ(roundDown(9, 8), 8u);
+    EXPECT_EQ(roundDown(7, 8), 0u);
+}
+
+TEST(BitUtils, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(144, 32), 5u); // reply packet flit count
+}
+
+TEST(BitUtils, XorFold)
+{
+    // Folding a value narrower than the width is the identity.
+    EXPECT_EQ(xorFold(0x5, 4), 0x5u);
+    // 0xAB -> 0xA ^ 0xB = 0x1.
+    EXPECT_EQ(xorFold(0xAB, 4), 0x1u);
+    // Folding is deterministic.
+    EXPECT_EQ(xorFold(0x123456789abcdefULL, 8),
+              xorFold(0x123456789abcdefULL, 8));
+}
+
+TEST(BitUtils, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(1), 1u);
+    EXPECT_EQ(popCount(0xff), 8u);
+    EXPECT_EQ(popCount(~0ULL), 64u);
+    EXPECT_EQ(popCount(0b1010101), 4u);
+}
+
+} // namespace amsc

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the DSENT-class NoC power/area model and the system
+ * energy model: scaling laws, gating savings, paper-level ratios.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "noc/network_factory.hh"
+#include "power/gpu_energy.hh"
+#include "power/noc_power.hh"
+
+namespace amsc
+{
+
+namespace
+{
+
+/** Activity of a single router with given geometry, no traffic. */
+NocActivity
+routerOnly(std::uint32_t in, std::uint32_t out, std::uint32_t width)
+{
+    NocActivity a;
+    RouterActivity r;
+    r.numInPorts = in;
+    r.numOutPorts = out;
+    r.channelWidthBytes = width;
+    r.vcDepthFlits = 8;
+    r.numVcs = 1;
+    r.activeCycles = 1000;
+    a.routers.push_back(r);
+    return a;
+}
+
+/** Paper-scale NoC parameters. */
+NocParams
+paperNoc(NocTopology topo, std::uint32_t width = 32,
+         std::uint32_t conc = 2)
+{
+    NocParams p;
+    p.topology = topo;
+    p.numSms = 80;
+    p.numClusters = 8;
+    p.numMcs = 8;
+    p.slicesPerMc = 8;
+    p.channelWidthBytes = width;
+    p.concentration = conc;
+    return p;
+}
+
+} // namespace
+
+TEST(NocPower, CrossbarAreaScalesWithRadixSquared)
+{
+    NocPowerModel model;
+    const auto small = model.evaluate(routerOnly(8, 8, 32), 1000);
+    const auto large = model.evaluate(routerOnly(80, 64, 32), 1000);
+    const double ratio =
+        large.areaMm2.crossbar / small.areaMm2.crossbar;
+    EXPECT_NEAR(ratio, (80.0 * 64.0) / (8.0 * 8.0), 1.0);
+}
+
+TEST(NocPower, BufferAreaScalesWithPortsAndDepth)
+{
+    NocPowerModel model;
+    const auto a = model.evaluate(routerOnly(8, 8, 32), 1000);
+    const auto b = model.evaluate(routerOnly(16, 8, 32), 1000);
+    EXPECT_NEAR(b.areaMm2.buffer / a.areaMm2.buffer, 2.0, 0.01);
+}
+
+TEST(NocPower, WiderChannelsCostQuadraticallyInCrossbar)
+{
+    NocPowerModel model;
+    const auto w32 = model.evaluate(routerOnly(8, 8, 32), 1000);
+    const auto w64 = model.evaluate(routerOnly(8, 8, 64), 1000);
+    EXPECT_NEAR(w64.areaMm2.crossbar / w32.areaMm2.crossbar, 4.0,
+                0.01);
+    EXPECT_NEAR(w64.areaMm2.buffer / w32.areaMm2.buffer, 2.0, 0.01);
+}
+
+TEST(NocPower, DynamicEnergyFollowsActivity)
+{
+    NocActivity idle = routerOnly(8, 8, 32);
+    NocActivity busy = routerOnly(8, 8, 32);
+    busy.routers[0].bufferWrites = 1000;
+    busy.routers[0].bufferReads = 1000;
+    busy.routers[0].xbarTraversals = 1000;
+    NocPowerModel model;
+    const auto ei = model.evaluate(idle, 1000);
+    const auto eb = model.evaluate(busy, 1000);
+    EXPECT_GT(eb.totalEnergyUj(), ei.totalEnergyUj());
+    EXPECT_GT(eb.dynamicMw.buffer, 0.0);
+    EXPECT_NEAR(ei.dynamicMw.buffer, 0.0, 1e-9);
+}
+
+TEST(NocPower, GatedRouterLeaksLess)
+{
+    NocActivity on = routerOnly(8, 8, 32);
+    NocActivity gated = routerOnly(8, 8, 32);
+    gated.routers[0].activeCycles = 0;
+    gated.routers[0].gatedCycles = 1000;
+    NocPowerModel model;
+    const auto e_on = model.evaluate(on, 1000);
+    const auto e_gated = model.evaluate(gated, 1000);
+    EXPECT_LT(e_gated.staticMw.buffer, 1e-9);
+    EXPECT_GT(e_on.staticMw.buffer, 0.0);
+}
+
+TEST(NocPower, LinkEnergyScalesWithLength)
+{
+    NocActivity a;
+    LinkActivity l;
+    l.widthBytes = 32;
+    l.flitTraversals = 1000;
+    l.lengthMm = 1.0;
+    a.links.push_back(l);
+    NocActivity b = a;
+    b.links[0].lengthMm = 12.3;
+    NocPowerModel model;
+    const auto ea = model.evaluate(a, 1000);
+    const auto eb = model.evaluate(b, 1000);
+    EXPECT_NEAR(eb.energyUj.links / ea.energyUj.links, 12.3, 0.2);
+}
+
+// ----------------------- paper-level design-space ratios (Fig 7)
+
+TEST(NocPower, HXbarAreaWellBelowFullXbar)
+{
+    NocPowerModel model;
+    auto full = makeNetwork(paperNoc(NocTopology::FullXbar));
+    auto hier = makeNetwork(paperNoc(NocTopology::Hierarchical));
+    const double full_area =
+        model.evaluate(full->activity(), 1000).totalAreaMm2();
+    const double hier_area =
+        model.evaluate(hier->activity(), 1000).totalAreaMm2();
+    // Paper: 62-79% net NoC area reduction.
+    const double reduction = 1.0 - hier_area / full_area;
+    EXPECT_GT(reduction, 0.45);
+    EXPECT_LT(reduction, 0.90);
+}
+
+TEST(NocPower, HXbarBufferAreaExceedsFullXbar)
+{
+    // The second stage adds buffers (paper Fig 7b).
+    NocPowerModel model;
+    auto full = makeNetwork(paperNoc(NocTopology::FullXbar));
+    auto hier = makeNetwork(paperNoc(NocTopology::Hierarchical));
+    const double full_buf =
+        model.evaluate(full->activity(), 1000).areaMm2.buffer;
+    const double hier_buf =
+        model.evaluate(hier->activity(), 1000).areaMm2.buffer;
+    EXPECT_GT(hier_buf, full_buf);
+}
+
+TEST(NocPower, HXbarTotalEnergyBelowCXbarSameBisectionUnderLoad)
+{
+    // C-Xbar conc 2 @ 32 B == H-Xbar @ 16 B bisection pairing; the
+    // paper's Fig 7c compares total NoC power under load, where the
+    // H-Xbar's short+narrow links beat the C-Xbar's long wide ones.
+    NocPowerModel model;
+    auto cx = makeNetwork(paperNoc(NocTopology::Concentrated, 32, 2));
+    auto hx = makeNetwork(paperNoc(NocTopology::Hierarchical, 16));
+    const NocParams p = paperNoc(NocTopology::Hierarchical, 16);
+    Rng rng(13);
+    const Cycle horizon = 4000;
+    for (Cycle c = 0; c < horizon; ++c) {
+        for (SmId sm = 0; sm < p.numSms; sm += 5) {
+            const SliceId dst =
+                static_cast<SliceId>(rng.below(p.numSlices()));
+            NocMessage m;
+            m.kind = MsgKind::ReadReq;
+            m.src = sm;
+            m.dst = dst;
+            m.sizeBytes = 16;
+            if (cx->canInjectRequest(sm))
+                cx->injectRequest(m, c);
+            if (hx->canInjectRequest(sm))
+                hx->injectRequest(m, c);
+        }
+        cx->tick(c);
+        hx->tick(c);
+        for (SliceId s = 0; s < p.numSlices(); ++s) {
+            while (cx->hasRequestFor(s))
+                cx->popRequestFor(s, c);
+            while (hx->hasRequestFor(s))
+                hx->popRequestFor(s, c);
+        }
+    }
+    const auto ec = model.evaluate(cx->activity(), horizon);
+    const auto eh = model.evaluate(hx->activity(), horizon);
+    EXPECT_LT(eh.totalEnergyUj(), ec.totalEnergyUj());
+}
+
+TEST(GpuEnergy, StaticScalesWithTime)
+{
+    GpuEnergyModel model;
+    GpuActivity a;
+    a.cycles = 1000;
+    GpuActivity b;
+    b.cycles = 2000;
+    EXPECT_NEAR(model.evaluate(b).staticUj / model.evaluate(a).staticUj,
+                2.0, 1e-9);
+}
+
+TEST(GpuEnergy, DramTrafficCharged)
+{
+    GpuEnergyModel model;
+    GpuActivity a;
+    a.cycles = 1000;
+    a.dramAccesses = 0;
+    GpuActivity b = a;
+    b.dramAccesses = 10000;
+    EXPECT_GT(model.evaluate(b).totalUj(), model.evaluate(a).totalUj());
+}
+
+TEST(GpuEnergy, FasterRunSavesEnergyAtEqualWork)
+{
+    // Same event counts, fewer cycles -> less total energy. This is
+    // the effect behind the paper's 6.1% system-energy saving.
+    GpuEnergyModel model;
+    GpuActivity slow;
+    slow.cycles = 100000;
+    slow.instructions = 1000000;
+    slow.l1Accesses = 200000;
+    slow.llcAccesses = 100000;
+    slow.dramAccesses = 30000;
+    GpuActivity fast = slow;
+    fast.cycles = 78000; // ~28% faster (paper's speedup)
+    const double e_slow = model.evaluate(slow).totalUj();
+    const double e_fast = model.evaluate(fast).totalUj();
+    EXPECT_LT(e_fast, e_slow);
+    const double saving = 1.0 - e_fast / e_slow;
+    EXPECT_GT(saving, 0.02);
+    EXPECT_LT(saving, 0.30);
+}
+
+} // namespace amsc

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Scaled-geometry tests: the Fig-16 SM-count sweep reconfigures the
+ * co-designed fabric (clusters == slices/MC scale with SMs); these
+ * tests pin conservation and mode-correctness at the 40-SM and
+ * 160-SM design points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "noc/hier_xbar.hh"
+#include "sim/gpu_system.hh"
+#include "workloads/trace_gen.hh"
+
+namespace amsc
+{
+
+namespace
+{
+
+NocParams
+scaledNoc(std::uint32_t clusters)
+{
+    NocParams p;
+    p.topology = NocTopology::Hierarchical;
+    p.numSms = clusters * 10;
+    p.numClusters = clusters;
+    p.numMcs = 8;
+    p.slicesPerMc = clusters;
+    return p;
+}
+
+} // namespace
+
+class ScaledHXbar : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(ScaledHXbar, ConservationAtScale)
+{
+    const NocParams p = scaledNoc(GetParam());
+    HierXbarNetwork net(p);
+    Rng rng(21);
+    int injected = 0;
+    int delivered = 0;
+    for (Cycle c = 0; c < 4000; ++c) {
+        if (injected < 300) {
+            const SmId sm = static_cast<SmId>(rng.below(p.numSms));
+            if (net.canInjectRequest(sm)) {
+                NocMessage m;
+                m.src = sm;
+                m.dst = static_cast<SliceId>(
+                    rng.below(p.numSlices()));
+                m.sizeBytes = 16;
+                net.injectRequest(m, c);
+                ++injected;
+            }
+        }
+        net.tick(c);
+        for (SliceId s = 0; s < p.numSlices(); ++s) {
+            while (net.hasRequestFor(s)) {
+                EXPECT_EQ(net.popRequestFor(s, c).dst, s);
+                ++delivered;
+            }
+        }
+    }
+    EXPECT_EQ(delivered, injected);
+    EXPECT_EQ(delivered, 300);
+}
+
+TEST_P(ScaledHXbar, PrivateModeBypassAtScale)
+{
+    const NocParams p = scaledNoc(GetParam());
+    HierXbarNetwork net(p);
+    net.setPrivateMode(true);
+    // Every (cluster, mc) private route must deliver.
+    int delivered = 0;
+    Cycle c = 0;
+    for (ClusterId cl = 0; cl < p.numClusters; ++cl) {
+        const McId mc = cl % p.numMcs;
+        const SliceId dst = mc * p.slicesPerMc + cl;
+        NocMessage m;
+        m.src = cl * p.smsPerCluster();
+        m.dst = dst;
+        m.sizeBytes = 16;
+        net.injectRequest(m, c);
+        for (Cycle end = c + 200; c < end; ++c) {
+            net.tick(c);
+            if (net.hasRequestFor(dst)) {
+                net.popRequestFor(dst, c);
+                ++delivered;
+                break;
+            }
+        }
+    }
+    EXPECT_EQ(delivered, static_cast<int>(p.numClusters));
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterCounts, ScaledHXbar,
+                         ::testing::Values(4u, 8u, 16u),
+                         [](const auto &info) {
+                             return "c" + std::to_string(info.param);
+                         });
+
+TEST(ScaledSystem, Sm160RunsAndStaysConsistent)
+{
+    SimConfig cfg;
+    cfg.numSms = 160;
+    cfg.numClusters = 16;
+    cfg.slicesPerMc = 16;
+    cfg.maxResidentWarps = 16;
+    cfg.maxResidentCtas = 2;
+    cfg.maxCycles = 25000;
+    cfg.llcPolicy = LlcPolicy::ForcePrivate;
+    GpuSystem gpu(cfg);
+    TraceParams t;
+    t.pattern = AccessPattern::Broadcast;
+    t.sharedLines = 4096;
+    t.sharedFraction = 0.85;
+    t.memInstrsPerWarp = 30;
+    t.computePerMem = 3;
+    gpu.setWorkload(0, {makeSyntheticKernel("k", t, 320, 4)});
+    const RunResult r = gpu.run();
+    EXPECT_TRUE(r.finishedWork);
+    EXPECT_EQ(r.finalMode, LlcMode::Private);
+    EXPECT_GT(r.ipc, 0.0);
+}
+
+TEST(ScaledSystem, Sm40RunsAndStaysConsistent)
+{
+    SimConfig cfg;
+    cfg.numSms = 40;
+    cfg.numClusters = 4;
+    cfg.slicesPerMc = 4;
+    cfg.maxResidentWarps = 16;
+    cfg.maxResidentCtas = 2;
+    cfg.maxCycles = 12000;
+    cfg.llcPolicy = LlcPolicy::ForceShared;
+    GpuSystem gpu(cfg);
+    TraceParams t;
+    t.pattern = AccessPattern::PrivateStream;
+    t.privateLinesPerCta = 256;
+    t.memInstrsPerWarp = 40;
+    t.computePerMem = 3;
+    gpu.setWorkload(0, {makeSyntheticKernel("k", t, 80, 4)});
+    const RunResult r = gpu.run();
+    EXPECT_TRUE(r.finishedWork);
+}
+
+} // namespace amsc

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests for the workload suite: Table-2 fidelity and generator
+ * distribution properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workloads/suite.hh"
+#include "workloads/trace_gen.hh"
+
+namespace amsc
+{
+
+TEST(Suite, HasAll17PaperBenchmarks)
+{
+    EXPECT_EQ(WorkloadSuite::all().size(), 17u);
+    for (const char *abbr :
+         {"LUD", "SP", "3DC", "BT", "GEMM", "BP", "AN", "RN", "SN",
+          "NN", "MM", "BS", "DWT2D", "MS", "BINO", "HG", "VA"}) {
+        EXPECT_EQ(WorkloadSuite::byName(abbr).abbr, abbr);
+    }
+}
+
+TEST(Suite, ClassSizesMatchPaper)
+{
+    EXPECT_EQ(
+        WorkloadSuite::byClass(WorkloadClass::SharedFriendly).size(),
+        6u);
+    EXPECT_EQ(
+        WorkloadSuite::byClass(WorkloadClass::PrivateFriendly).size(),
+        5u);
+    EXPECT_EQ(WorkloadSuite::byClass(WorkloadClass::Neutral).size(),
+              6u);
+}
+
+TEST(Suite, Table2FootprintsAndKernels)
+{
+    // Spot-check Table 2 rows.
+    EXPECT_DOUBLE_EQ(WorkloadSuite::byName("LUD").sharedMb, 33.4);
+    EXPECT_EQ(WorkloadSuite::byName("LUD").paperKernels, 3u);
+    EXPECT_DOUBLE_EQ(WorkloadSuite::byName("3DC").sharedMb, 51.1);
+    EXPECT_EQ(WorkloadSuite::byName("3DC").paperKernels, 48u);
+    EXPECT_DOUBLE_EQ(WorkloadSuite::byName("AN").sharedMb, 1.0);
+    EXPECT_EQ(WorkloadSuite::byName("AN").paperKernels, 6u);
+    EXPECT_DOUBLE_EQ(WorkloadSuite::byName("VA").sharedMb, 0.001);
+    EXPECT_EQ(WorkloadSuite::byName("VA").paperKernels, 1u);
+}
+
+TEST(Suite, SharedFootprintMatchesTraceRegion)
+{
+    for (const auto &s : WorkloadSuite::all()) {
+        const double region_mb =
+            static_cast<double>(s.trace.sharedLines) * 128.0 /
+            (1024.0 * 1024.0);
+        if (s.sharedMb >= 0.01) {
+            EXPECT_NEAR(region_mb, s.sharedMb, s.sharedMb * 0.01)
+                << s.abbr;
+        }
+    }
+}
+
+TEST(Suite, ClassTemplatesAreDistinct)
+{
+    for (const auto &s : WorkloadSuite::all()) {
+        switch (s.klass) {
+          case WorkloadClass::PrivateFriendly:
+            EXPECT_EQ(s.trace.pattern, AccessPattern::Broadcast)
+                << s.abbr;
+            EXPECT_GT(s.trace.sharedFraction, 0.5) << s.abbr;
+            break;
+          case WorkloadClass::Neutral:
+            EXPECT_EQ(s.trace.pattern, AccessPattern::PrivateStream)
+                << s.abbr;
+            EXPECT_LT(s.trace.sharedFraction, 0.2) << s.abbr;
+            break;
+          case WorkloadClass::SharedFriendly:
+            EXPECT_TRUE(s.trace.pattern == AccessPattern::ZipfShared ||
+                        s.trace.pattern == AccessPattern::TiledShared)
+                << s.abbr;
+            break;
+        }
+    }
+}
+
+TEST(Suite, BuildKernelsRespectsSimKernelCount)
+{
+    const auto &an = WorkloadSuite::byName("AN");
+    const auto kernels = WorkloadSuite::buildKernels(an, 1);
+    EXPECT_EQ(kernels.size(), an.simKernels);
+    for (const auto &k : kernels) {
+        EXPECT_EQ(k.numCtas, an.numCtas);
+        EXPECT_EQ(k.warpsPerCta, an.warpsPerCta);
+        EXPECT_TRUE(static_cast<bool>(k.makeGen));
+    }
+}
+
+TEST(Suite, AppsGetDisjointAddressSpaces)
+{
+    const auto &an = WorkloadSuite::byName("AN");
+    const auto k0 = WorkloadSuite::buildKernels(an, 1, 0);
+    const auto k1 = WorkloadSuite::buildKernels(an, 1, 1);
+    auto g0 = k0[0].makeGen(0, 0);
+    auto g1 = k1[0].makeGen(0, 0);
+    std::set<Addr> a0;
+    std::set<Addr> a1;
+    WarpInstr wi;
+    for (int i = 0; i < 200; ++i) {
+        if (g0->nextInstr(wi, i))
+            a0.insert(wi.addrs[0]);
+        if (g1->nextInstr(wi, i))
+            a1.insert(wi.addrs[0]);
+    }
+    for (const Addr a : a0)
+        EXPECT_EQ(a1.count(a), 0u);
+}
+
+TEST(Suite, MultiprogramPairsAre30)
+{
+    EXPECT_EQ(WorkloadSuite::multiprogramPairs().size(), 30u);
+}
+
+// ----------------------------------------------------------- Generators
+
+namespace
+{
+
+TraceParams
+baseParams(AccessPattern p)
+{
+    TraceParams t;
+    t.pattern = p;
+    t.sharedLines = 4096;
+    t.privateLinesPerCta = 512;
+    t.sharedFraction = 0.8;
+    t.memInstrsPerWarp = 2000;
+    t.computePerMem = 3;
+    t.seed = 99;
+    return t;
+}
+
+} // namespace
+
+TEST(TraceGen, StreamEndsAtConfiguredLength)
+{
+    const TraceParams t = baseParams(AccessPattern::PrivateStream);
+    SyntheticGen g(t, nullptr, 0, 0, 4);
+    WarpInstr wi;
+    std::uint64_t count = 0;
+    while (g.nextInstr(wi, count))
+        ++count;
+    EXPECT_EQ(count, t.memInstrsPerWarp);
+}
+
+TEST(TraceGen, DeterministicForSameSeed)
+{
+    const TraceParams t = baseParams(AccessPattern::Broadcast);
+    SyntheticGen a(t, nullptr, 3, 1, 4);
+    SyntheticGen b(t, nullptr, 3, 1, 4);
+    WarpInstr wa;
+    WarpInstr wb;
+    for (Cycle c = 0; c < 500; ++c) {
+        ASSERT_TRUE(a.nextInstr(wa, c));
+        ASSERT_TRUE(b.nextInstr(wb, c));
+        EXPECT_EQ(wa.addrs[0], wb.addrs[0]);
+        EXPECT_EQ(wa.isWrite, wb.isWrite);
+        EXPECT_EQ(wa.computeCycles, wb.computeCycles);
+    }
+}
+
+TEST(TraceGen, WriteFractionRespected)
+{
+    TraceParams t = baseParams(AccessPattern::PrivateStream);
+    t.writeFraction = 0.25;
+    SyntheticGen g(t, nullptr, 0, 0, 4);
+    WarpInstr wi;
+    int writes = 0;
+    int n = 0;
+    while (g.nextInstr(wi, n)) {
+        writes += wi.isWrite;
+        ++n;
+    }
+    EXPECT_NEAR(static_cast<double>(writes) / n, 0.25, 0.04);
+}
+
+TEST(TraceGen, WritesNeverTargetSharedRegion)
+{
+    TraceParams t = baseParams(AccessPattern::ZipfShared);
+    t.writeFraction = 0.5;
+    auto zipf = std::make_shared<const ZipfSampler>(t.sharedLines,
+                                                    0.6);
+    SyntheticGen g(t, zipf, 0, 0, 4);
+    WarpInstr wi;
+    int n = 0;
+    while (g.nextInstr(wi, n)) {
+        ++n;
+        if (wi.isWrite) {
+            EXPECT_GE(wi.addrs[0], t.privateBase);
+        }
+    }
+}
+
+TEST(TraceGen, SharedAddressesStayInRegion)
+{
+    TraceParams t = baseParams(AccessPattern::Broadcast);
+    t.sharedFraction = 1.0;
+    t.writeFraction = 0.0;
+    auto zipf =
+        std::make_shared<const ZipfSampler>(t.hotLines, t.hotAlpha);
+    SyntheticGen g(t, zipf, 0, 0, 4);
+    WarpInstr wi;
+    for (Cycle c = 0; c < 2000; ++c) {
+        ASSERT_TRUE(g.nextInstr(wi, c * 7));
+        EXPECT_LT(wi.addrs[0], t.sharedBase + t.sharedLines);
+    }
+}
+
+TEST(TraceGen, BroadcastWarpsOverlapInTime)
+{
+    // Two warps on different CTAs sample overlapping lines at the
+    // same cycle: the inter-cluster sharing driver.
+    TraceParams t = baseParams(AccessPattern::Broadcast);
+    t.sharedFraction = 1.0;
+    t.writeFraction = 0.0;
+    t.hotFraction = 0.0; // isolate the windowed walk
+    SyntheticGen a(t, nullptr, 0, 0, 4);
+    SyntheticGen b(t, nullptr, 77, 2, 4);
+    std::set<Addr> seen_a;
+    std::set<Addr> seen_b;
+    WarpInstr wi;
+    for (Cycle c = 1000; c < 1100; ++c) {
+        a.nextInstr(wi, c);
+        seen_a.insert(wi.addrs[0]);
+        b.nextInstr(wi, c);
+        seen_b.insert(wi.addrs[0]);
+    }
+    int common = 0;
+    for (const Addr x : seen_a)
+        common += seen_b.count(x) != 0;
+    EXPECT_GT(common, 3);
+}
+
+TEST(TraceGen, PrivateStreamsAreDisjointAcrossCtas)
+{
+    TraceParams t = baseParams(AccessPattern::PrivateStream);
+    t.sharedFraction = 0.0;
+    t.writeFraction = 0.0;
+    SyntheticGen a(t, nullptr, 0, 0, 4);
+    SyntheticGen b(t, nullptr, 1, 0, 4);
+    std::set<Addr> sa;
+    std::set<Addr> sb;
+    WarpInstr wi;
+    for (Cycle c = 0; c < 400; ++c) {
+        a.nextInstr(wi, c);
+        sa.insert(wi.addrs[0]);
+        b.nextInstr(wi, c);
+        sb.insert(wi.addrs[0]);
+    }
+    for (const Addr x : sa)
+        EXPECT_EQ(sb.count(x), 0u);
+}
+
+TEST(TraceGen, PrivateStreamWarpsAreDisjointWithinCta)
+{
+    TraceParams t = baseParams(AccessPattern::PrivateStream);
+    t.sharedFraction = 0.0;
+    t.writeFraction = 0.0;
+    SyntheticGen a(t, nullptr, 0, 0, 4);
+    SyntheticGen b(t, nullptr, 0, 1, 4);
+    std::set<Addr> sa;
+    std::set<Addr> sb;
+    WarpInstr wi;
+    for (Cycle c = 0; c < 100; ++c) {
+        a.nextInstr(wi, c);
+        sa.insert(wi.addrs[0]);
+        b.nextInstr(wi, c);
+        sb.insert(wi.addrs[0]);
+    }
+    for (const Addr x : sa)
+        EXPECT_EQ(sb.count(x), 0u);
+}
+
+TEST(TraceGen, TiledSharingGroupsCtas)
+{
+    TraceParams t = baseParams(AccessPattern::TiledShared);
+    t.sharedFraction = 1.0;
+    t.writeFraction = 0.0;
+    t.tileLines = 64;
+    t.ctasPerTile = 4;
+    // CTAs 0 and 1 share a tile group; CTA 40 does not (initially).
+    SyntheticGen a(t, nullptr, 0, 0, 4);
+    SyntheticGen b(t, nullptr, 1, 0, 4);
+    SyntheticGen c(t, nullptr, 40, 0, 4);
+    std::set<Addr> sa;
+    std::set<Addr> sb;
+    std::set<Addr> sc;
+    WarpInstr wi;
+    for (Cycle cyc = 0; cyc < 50; ++cyc) {
+        a.nextInstr(wi, cyc);
+        sa.insert(wi.addrs[0]);
+        b.nextInstr(wi, cyc);
+        sb.insert(wi.addrs[0]);
+        c.nextInstr(wi, cyc);
+        sc.insert(wi.addrs[0]);
+    }
+    int common_ab = 0;
+    int common_ac = 0;
+    for (const Addr x : sa) {
+        common_ab += sb.count(x) != 0;
+        common_ac += sc.count(x) != 0;
+    }
+    EXPECT_GT(common_ab, 10);
+    EXPECT_EQ(common_ac, 0);
+}
+
+TEST(TraceGen, ComputeJitterStaysNearNominal)
+{
+    TraceParams t = baseParams(AccessPattern::PrivateStream);
+    t.computePerMem = 5;
+    SyntheticGen g(t, nullptr, 0, 0, 4);
+    WarpInstr wi;
+    for (int i = 0; i < 500; ++i) {
+        g.nextInstr(wi, i);
+        EXPECT_GE(wi.computeCycles, 4u);
+        EXPECT_LE(wi.computeCycles, 6u);
+    }
+}
+
+} // namespace amsc
