@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the example drivers.
+ *
+ * Both `simulate` and `trace_tool` accept the same workload
+ * description on the command line -- a Table-2 benchmark
+ * (`workload=AN`) or an inline synthetic pattern (`pattern=zipf
+ * shared_mb=4 ...`) -- so the parsing lives here once: a drifting
+ * copy would make "record with trace_tool, compare with simulate"
+ * silently compare different workloads.
+ */
+
+#ifndef AMSC_EXAMPLES_EXAMPLE_UTIL_HH
+#define AMSC_EXAMPLES_EXAMPLE_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/kvargs.hh"
+#include "sim/sim_config.hh"
+#include "workloads/suite.hh"
+
+namespace amsc
+{
+
+/** Build the kernel sequence described by the command line. */
+inline std::vector<KernelInfo>
+workloadFromArgs(const KvArgs &args, const SimConfig &cfg)
+{
+    if (args.has("workload")) {
+        const WorkloadSpec &spec =
+            WorkloadSuite::byName(args.getString("workload", "AN"));
+        std::printf("workload: %s (%s), %.3f MB shared, class %s\n",
+                    spec.abbr.c_str(), spec.fullName.c_str(),
+                    spec.sharedMb,
+                    workloadClassName(spec.klass).c_str());
+        return WorkloadSuite::buildKernels(spec, cfg.seed);
+    }
+    // Synthetic workload described inline.
+    TraceParams t;
+    const std::string pattern =
+        args.getString("pattern", "broadcast");
+    if (pattern == "broadcast")
+        t.pattern = AccessPattern::Broadcast;
+    else if (pattern == "zipf")
+        t.pattern = AccessPattern::ZipfShared;
+    else if (pattern == "tiled")
+        t.pattern = AccessPattern::TiledShared;
+    else if (pattern == "stream")
+        t.pattern = AccessPattern::PrivateStream;
+    else
+        fatal("unknown pattern '%s'", pattern.c_str());
+    t.sharedLines = static_cast<std::uint64_t>(
+        args.getDouble("shared_mb", 1.0) * 8192.0);
+    t.sharedFraction = args.getDouble("shared_fraction", 0.8);
+    t.zipfAlpha = args.getDouble("zipf_alpha", 0.6);
+    t.writeFraction = args.getDouble("write_fraction", 0.05);
+    t.atomicFraction = args.getDouble("atomic_fraction", 0.0);
+    t.computePerMem = static_cast<std::uint32_t>(
+        args.getUint("compute_per_mem", 4));
+    t.memInstrsPerWarp = args.getUint("mem_instrs", 600);
+    t.seed = cfg.seed;
+    std::printf("workload: synthetic %s (%.2f MB shared)\n",
+                pattern.c_str(),
+                static_cast<double>(t.sharedLines) * 128.0 / 1048576);
+    return {makeSyntheticKernel(
+        "cli", t,
+        static_cast<std::uint32_t>(args.getUint("ctas", 320)),
+        static_cast<std::uint32_t>(args.getUint("warps", 8)))};
+}
+
+} // namespace amsc
+
+#endif // AMSC_EXAMPLES_EXAMPLE_UTIL_HH

@@ -20,59 +20,13 @@
 #include "power/gpu_energy.hh"
 #include "power/noc_power.hh"
 #include "sim/gpu_system.hh"
+#include "trace/recording_gen.hh"
+#include "trace/replay_gen.hh"
 #include "workloads/suite.hh"
 
+#include "example_util.hh"
+
 using namespace amsc;
-
-namespace
-{
-
-std::vector<KernelInfo>
-workloadFromArgs(const KvArgs &args, const SimConfig &cfg)
-{
-    if (args.has("workload")) {
-        const WorkloadSpec &spec =
-            WorkloadSuite::byName(args.getString("workload", "AN"));
-        std::printf("workload: %s (%s), %.3f MB shared, class %s\n",
-                    spec.abbr.c_str(), spec.fullName.c_str(),
-                    spec.sharedMb,
-                    workloadClassName(spec.klass).c_str());
-        return WorkloadSuite::buildKernels(spec, cfg.seed);
-    }
-    // Synthetic workload described inline.
-    TraceParams t;
-    const std::string pattern =
-        args.getString("pattern", "broadcast");
-    if (pattern == "broadcast")
-        t.pattern = AccessPattern::Broadcast;
-    else if (pattern == "zipf")
-        t.pattern = AccessPattern::ZipfShared;
-    else if (pattern == "tiled")
-        t.pattern = AccessPattern::TiledShared;
-    else if (pattern == "stream")
-        t.pattern = AccessPattern::PrivateStream;
-    else
-        fatal("unknown pattern '%s'", pattern.c_str());
-    t.sharedLines = static_cast<std::uint64_t>(
-        args.getDouble("shared_mb", 1.0) * 8192.0);
-    t.sharedFraction = args.getDouble("shared_fraction", 0.8);
-    t.zipfAlpha = args.getDouble("zipf_alpha", 0.6);
-    t.writeFraction = args.getDouble("write_fraction", 0.05);
-    t.atomicFraction = args.getDouble("atomic_fraction", 0.0);
-    t.computePerMem = static_cast<std::uint32_t>(
-        args.getUint("compute_per_mem", 4));
-    t.memInstrsPerWarp = args.getUint("mem_instrs", 600);
-    t.seed = cfg.seed;
-    std::printf("workload: synthetic %s (%.2f MB shared)\n",
-                pattern.c_str(),
-                static_cast<double>(t.sharedLines) * 128.0 / 1048576);
-    return {makeSyntheticKernel(
-        "cli", t,
-        static_cast<std::uint32_t>(args.getUint("ctas", 320)),
-        static_cast<std::uint32_t>(args.getUint("warps", 8)))};
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -85,9 +39,33 @@ main(int argc, char **argv)
     cfg.applyKv(args);
 
     cfg.print(std::cout);
+    // Trace hooks: writer outlives the GpuSystem so its destructor
+    // finalizes the file after every warp stream has been flushed.
+    std::shared_ptr<TraceWriter> writer;
+    std::shared_ptr<const TraceReader> reader;
     GpuSystem gpu(cfg);
-    gpu.setWorkload(0, workloadFromArgs(args, cfg));
+    if (!cfg.traceReplayPath.empty()) {
+        reader =
+            std::make_shared<const TraceReader>(cfg.traceReplayPath);
+        std::printf("workload: replay of %s\n",
+                    cfg.traceReplayPath.c_str());
+        gpu.setWorkload(0, WorkloadSuite::buildReplayKernels(reader));
+    } else if (!cfg.traceRecordPath.empty()) {
+        writer = std::make_shared<TraceWriter>(cfg.traceRecordPath);
+        gpu.setWorkload(
+            0, wrapKernelsForRecording(workloadFromArgs(args, cfg),
+                                       writer));
+    } else {
+        gpu.setWorkload(0, workloadFromArgs(args, cfg));
+    }
     const RunResult r = gpu.run();
+    if (writer) {
+        writer->setRunSummary(summarizeRun(r));
+        if (!r.finishedWork)
+            warn("recorded run hit its cycle horizon; warps "
+                 "mid-stream were truncated and a replay will "
+                 "finish early");
+    }
 
     std::printf("\n==== run summary ====\n");
     std::printf("cycles               %llu%s\n",

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Warp-trace capture & replay tool.
+ *
+ * Subcommands (first positional argument):
+ *
+ *   record  run a workload, capturing every warp stream to a trace
+ *           trace_tool record trace=an.trc workload=AN [key=value...]
+ *           trace_tool record trace=z.trc pattern=zipf shared_mb=4 ...
+ *   info    print a trace's manifest and embedded run summary
+ *           trace_tool info trace=an.trc
+ *   replay  re-run a trace under a (matching) configuration
+ *           trace_tool replay trace=an.trc [key=value...]
+ *   verify  record, then replay, and assert bit-identical RunResult
+ *           trace_tool verify trace=an.trc workload=AN [key=value...]
+ *
+ * A replayed run reproduces the recorded run's metrics exactly
+ * provided the SimConfig matches the recording; `verify` automates
+ * that check in one process and exits non-zero on any drift.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/kvargs.hh"
+#include "sim/gpu_system.hh"
+#include "trace/recording_gen.hh"
+#include "trace/replay_gen.hh"
+#include "trace/trace_reader.hh"
+#include "trace/trace_writer.hh"
+#include "workloads/suite.hh"
+
+#include "example_util.hh"
+
+using namespace amsc;
+
+namespace
+{
+
+SimConfig
+configFromArgs(const KvArgs &args)
+{
+    SimConfig cfg;
+    cfg.maxCycles = 60000;
+    cfg.profileLen = 5000;
+    cfg.epochLen = 200000;
+    cfg.applyKv(args);
+    return cfg;
+}
+
+/** Produces the (recording-wrapped) kernels once the writer exists. */
+using KernelBuilder = std::function<std::vector<KernelInfo>(
+    const std::shared_ptr<TraceWriter> &)>;
+
+/**
+ * Kernel builder for the command line: Table-2 workloads go through
+ * the suite's recording entry point, inline synthetic ones through
+ * the generic wrapper.
+ */
+KernelBuilder
+recordedWorkloadFromArgs(const KvArgs &args, const SimConfig &cfg)
+{
+    if (args.has("workload")) {
+        const WorkloadSpec &spec =
+            WorkloadSuite::byName(args.getString("workload", "AN"));
+        std::printf("workload: %s (%s), class %s\n",
+                    spec.abbr.c_str(), spec.fullName.c_str(),
+                    workloadClassName(spec.klass).c_str());
+        const std::uint64_t seed = cfg.seed;
+        return [&spec,
+                seed](const std::shared_ptr<TraceWriter> &writer) {
+            return WorkloadSuite::buildRecordedKernels(spec, seed,
+                                                       writer);
+        };
+    }
+    return [&args, &cfg](const std::shared_ptr<TraceWriter> &writer) {
+        return wrapKernelsForRecording(workloadFromArgs(args, cfg),
+                                       writer);
+    };
+}
+
+std::string
+tracePath(const KvArgs &args)
+{
+    const std::string path = args.getString("trace");
+    if (path.empty())
+        fatal("missing trace=<file> argument");
+    return path;
+}
+
+void
+printRun(const char *tag, const RunResult &r)
+{
+    std::printf("%-8s cycles=%llu instrs=%llu ipc=%.6f "
+                "llc=%llu missRate=%.6f dram=%llu%s\n",
+                tag, static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.instructions),
+                r.ipc, static_cast<unsigned long long>(r.llcAccesses),
+                r.llcReadMissRate,
+                static_cast<unsigned long long>(r.dramAccesses),
+                r.finishedWork ? "" : " (horizon reached)");
+}
+
+RunResult
+recordRun(const SimConfig &cfg, const KernelBuilder &build,
+          const std::string &path)
+{
+    auto writer = std::make_shared<TraceWriter>(path);
+    RunResult r;
+    {
+        GpuSystem gpu(cfg);
+        gpu.setWorkload(0, build(writer));
+        r = gpu.run();
+        // Leaving the scope destroys the GpuSystem, flushing every
+        // live RecordingGen into the writer.
+    }
+    writer->setRunSummary(summarizeRun(r));
+    writer->finalize();
+    if (!r.finishedWork)
+        warn("recorded run hit its cycle horizon; warps mid-stream "
+             "were truncated and a replay will finish early");
+    return r;
+}
+
+RunResult
+replayRun(const SimConfig &cfg,
+          const std::shared_ptr<const TraceReader> &reader)
+{
+    GpuSystem gpu(cfg);
+    gpu.setWorkload(0, WorkloadSuite::buildReplayKernels(reader));
+    return gpu.run();
+}
+
+bool
+sameResult(const RunResult &a, const RunResult &b)
+{
+    return a.cycles == b.cycles &&
+        a.instructions == b.instructions && a.ipc == b.ipc &&
+        a.llcAccesses == b.llcAccesses &&
+        a.dramAccesses == b.dramAccesses &&
+        a.llcReadMissRate == b.llcReadMissRate;
+}
+
+int
+cmdRecord(const KvArgs &args)
+{
+    const std::string path = tracePath(args);
+    const SimConfig cfg = configFromArgs(args);
+    const RunResult r =
+        recordRun(cfg, recordedWorkloadFromArgs(args, cfg), path);
+    printRun("recorded", r);
+    std::printf("trace written to %s\n", path.c_str());
+    return 0;
+}
+
+int
+cmdInfo(const KvArgs &args)
+{
+    const TraceReader reader(tracePath(args));
+    std::printf("trace:   %s (format v%u)\n", reader.path().c_str(),
+                reader.version());
+    std::printf("kernels: %zu\n", reader.kernels().size());
+    for (const TraceKernel &k : reader.kernels()) {
+        const std::uint64_t instrs = k.totalInstrs();
+        const std::uint64_t bytes = k.totalPayloadBytes();
+        std::printf("  %-16s %u CTAs x %u warps, %zu streams, "
+                    "%llu instrs, %llu bytes (%.2f B/instr)\n",
+                    k.name.c_str(), k.numCtas, k.warpsPerCta,
+                    k.warps.size(),
+                    static_cast<unsigned long long>(instrs),
+                    static_cast<unsigned long long>(bytes),
+                    instrs == 0 ? 0.0
+                                : static_cast<double>(bytes) /
+                            static_cast<double>(instrs));
+    }
+    const TraceRunSummary &s = reader.summary();
+    if (s.valid) {
+        std::printf("recorded run: cycles=%llu instrs=%llu "
+                    "ipc=%.6f missRate=%.6f\n",
+                    static_cast<unsigned long long>(s.cycles),
+                    static_cast<unsigned long long>(s.instructions),
+                    s.ipc, s.llcReadMissRate);
+    }
+    return 0;
+}
+
+int
+cmdReplay(const KvArgs &args)
+{
+    const std::string path = tracePath(args);
+    const SimConfig cfg = configFromArgs(args);
+    auto reader = std::make_shared<const TraceReader>(path);
+    const RunResult r = replayRun(cfg, reader);
+    printRun("replayed", r);
+
+    const TraceRunSummary &s = reader->summary();
+    if (s.valid) {
+        const bool same = r.cycles == s.cycles &&
+            r.instructions == s.instructions &&
+            r.llcReadMissRate == s.llcReadMissRate;
+        std::printf("recorded-run summary %s\n",
+                    same ? "matches"
+                         : "DIFFERS (configuration mismatch?)");
+    }
+    return 0;
+}
+
+int
+cmdVerify(const KvArgs &args)
+{
+    const std::string path = tracePath(args);
+    const SimConfig cfg = configFromArgs(args);
+    const RunResult rec =
+        recordRun(cfg, recordedWorkloadFromArgs(args, cfg), path);
+    const RunResult rep = replayRun(
+        cfg, std::make_shared<const TraceReader>(path));
+    printRun("recorded", rec);
+    printRun("replayed", rep);
+    if (sameResult(rec, rep)) {
+        std::printf("verify: PASS (replay reproduces the recorded "
+                    "run bit-for-bit)\n");
+        return 0;
+    }
+    if (!rec.finishedWork) {
+        // A horizon-cut recording truncates warps mid-stream, so the
+        // replay legitimately finishes early: not a subsystem fault.
+        std::printf("verify: INCONCLUSIVE (the recording hit its "
+                    "cycle horizon; raise max_cycles so the "
+                    "workload completes)\n");
+        return 2;
+    }
+    std::printf("verify: FAIL (replay diverged from the recorded "
+                "run)\n");
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const KvArgs args = KvArgs::parse(argc, argv);
+    if (args.positionals().empty())
+        fatal("usage: trace_tool record|info|replay|verify "
+              "trace=<file> [key=value...]");
+    const std::string &cmd = args.positionals().front();
+
+    int rc = 0;
+    if (cmd == "record")
+        rc = cmdRecord(args);
+    else if (cmd == "info")
+        rc = cmdInfo(args);
+    else if (cmd == "replay")
+        rc = cmdReplay(args);
+    else if (cmd == "verify")
+        rc = cmdVerify(args);
+    else
+        fatal("unknown subcommand '%s' (record|info|replay|verify)",
+              cmd.c_str());
+    args.warnUnused();
+    return rc;
+}

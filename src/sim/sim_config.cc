@@ -168,6 +168,8 @@ SimConfig::applyKv(const KvArgs &args)
     maxCycles = args.getUint("max_cycles", maxCycles);
     maxInstructions = args.getUint("max_instructions", maxInstructions);
     seed = args.getUint("seed", seed);
+    traceRecordPath = args.getString("trace_record", traceRecordPath);
+    traceReplayPath = args.getString("trace_replay", traceReplayPath);
     validate();
 }
 
@@ -190,6 +192,8 @@ SimConfig::validate() const
         fatal("config: L1 size not divisible into sets");
     if (dramRowBytes % lineBytes != 0)
         fatal("config: DRAM row not a multiple of the line size");
+    if (!traceRecordPath.empty() && !traceReplayPath.empty())
+        fatal("config: trace_record and trace_replay are exclusive");
 }
 
 void
@@ -224,6 +228,10 @@ SimConfig::print(std::ostream &os) const
     os << "Address mapping        "
        << AddressMapping::schemeName(mappingScheme) << "\n";
     os << "CTA scheduling         " << ctaPolicyName(ctaPolicy) << "\n";
+    if (!traceRecordPath.empty())
+        os << "Trace recording        " << traceRecordPath << "\n";
+    if (!traceReplayPath.empty())
+        os << "Trace replay           " << traceReplayPath << "\n";
 }
 
 } // namespace amsc

@@ -98,6 +98,12 @@ struct SimConfig
     std::uint64_t maxInstructions = 0; ///< 0 = unlimited
     std::uint64_t seed = 42;
 
+    // ---- trace capture / replay (src/trace) ------------------------
+    /** Record the run's warp streams to this trace file. */
+    std::string traceRecordPath;
+    /** Replay the workload from this trace file instead. */
+    std::string traceReplayPath;
+
     /** SMs per cluster. */
     std::uint32_t
     smsPerCluster() const

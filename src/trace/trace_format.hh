@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Binary warp-trace file format: constants and record codec.
+ *
+ * A trace file persists the exact WarpInstr streams a workload fed to
+ * the simulator, so runs can be exchanged, diffed and replayed
+ * bit-for-bit. The layout (see docs/trace_format.md) is:
+ *
+ *   [header]        32 bytes: magic, version, header size, index offset
+ *   [warp blocks]   one per finished warp stream, in completion order
+ *   [index]         per-kernel manifest + per-warp block directory
+ *   [end magic]     8 bytes guarding index truncation
+ *
+ * Warp payloads are delta+varint compressed: each record stores the
+ * instruction flags, the compute-cycle count as a varint, and every
+ * line address as a zigzag varint delta against the previous address
+ * of the same warp stream. Synthetic streams walk regions with small
+ * strides, so records average a few bytes instead of the 77 bytes of
+ * the raw struct.
+ *
+ * All fixed-width fields are little-endian; varints are endianness
+ * free. Version bumps (kTraceVersion) are required for any layout
+ * change; readers reject files whose major version they do not know.
+ */
+
+#ifndef AMSC_TRACE_TRACE_FORMAT_HH
+#define AMSC_TRACE_TRACE_FORMAT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/types.hh"
+#include "gpu/trace.hh"
+
+namespace amsc
+{
+
+/** Leading file magic ("AMSCTRC1"). */
+inline constexpr char kTraceMagic[8] = {'A', 'M', 'S', 'C',
+                                        'T', 'R', 'C', '1'};
+
+/** Trailing index magic ("AMSCEND1"). */
+inline constexpr char kTraceEndMagic[8] = {'A', 'M', 'S', 'C',
+                                           'E', 'N', 'D', '1'};
+
+/** Current format version. */
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/** Fixed header size in bytes. */
+inline constexpr std::uint32_t kTraceHeaderBytes = 32;
+
+/**
+ * Upper bound of one encoded instruction record: flags byte, compute
+ * varint (<= 5 bytes for 32 bits), and kMaxAccessesPerInstr zigzag
+ * deltas of <= 10 bytes each. Readers keep this many bytes buffered
+ * so a record never straddles a refill boundary.
+ */
+inline constexpr std::size_t kMaxEncodedInstrBytes =
+    1 + 5 + kMaxAccessesPerInstr * 10;
+
+// ---- varints ---------------------------------------------------------
+
+/** Append @p v as a LEB128 varint. */
+inline void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/**
+ * Decode a LEB128 varint from [@p p, @p end).
+ *
+ * @return true and advances @p p on success; false on overrun or an
+ *         over-long (> 10 byte) encoding.
+ */
+inline bool
+getVarint(const std::uint8_t *&p, const std::uint8_t *end,
+          std::uint64_t &v)
+{
+    v = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        if (p == end)
+            return false;
+        const std::uint8_t byte = *p++;
+        // Only one bit of the 10th byte fits in 64; reject encodings
+        // whose overflow bits would otherwise be dropped silently.
+        if (shift == 63 && byte > 1)
+            return false;
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return true;
+    }
+    return false;
+}
+
+/** Zigzag-map a signed delta onto an unsigned varint-friendly value. */
+inline std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+        static_cast<std::uint64_t>(v >> 63);
+}
+
+/** Inverse of zigzagEncode(). */
+inline std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+        -static_cast<std::int64_t>(v & 1);
+}
+
+// ---- instruction record codec ----------------------------------------
+
+/** Flags-byte layout of an encoded instruction record. */
+inline constexpr std::uint8_t kInstrAccessMask = 0x0f;
+inline constexpr std::uint8_t kInstrWriteBit = 0x10;
+inline constexpr std::uint8_t kInstrAtomicBit = 0x20;
+
+/**
+ * Append one WarpInstr to @p out.
+ *
+ * @param prev  running previous-address state of the warp stream;
+ *              updated to the record's last address.
+ */
+inline void
+encodeInstr(std::vector<std::uint8_t> &out, const WarpInstr &wi,
+            Addr &prev)
+{
+    std::uint8_t flags =
+        static_cast<std::uint8_t>(wi.numAccesses & kInstrAccessMask);
+    if (wi.isWrite)
+        flags |= kInstrWriteBit;
+    if (wi.isAtomic)
+        flags |= kInstrAtomicBit;
+    out.push_back(flags);
+    putVarint(out, wi.computeCycles);
+    for (std::uint32_t i = 0; i < wi.numAccesses; ++i) {
+        const std::int64_t delta = static_cast<std::int64_t>(
+            wi.addrs[i] - prev);
+        putVarint(out, zigzagEncode(delta));
+        prev = wi.addrs[i];
+    }
+}
+
+/**
+ * Decode one WarpInstr from [@p p, @p end).
+ *
+ * @return true and advances @p p on success; false on a malformed or
+ *         truncated record (bad access count, varint overrun).
+ */
+inline bool
+decodeInstr(const std::uint8_t *&p, const std::uint8_t *end,
+            WarpInstr &wi, Addr &prev)
+{
+    if (p == end)
+        return false;
+    const std::uint8_t flags = *p++;
+    const std::uint32_t num_accesses = flags & kInstrAccessMask;
+    if (num_accesses > kMaxAccessesPerInstr)
+        return false;
+    wi = WarpInstr{};
+    wi.numAccesses = num_accesses;
+    wi.isWrite = (flags & kInstrWriteBit) != 0;
+    wi.isAtomic = (flags & kInstrAtomicBit) != 0;
+    std::uint64_t compute = 0;
+    if (!getVarint(p, end, compute) ||
+        compute > std::numeric_limits<std::uint32_t>::max())
+        return false;
+    wi.computeCycles = static_cast<std::uint32_t>(compute);
+    for (std::uint32_t i = 0; i < num_accesses; ++i) {
+        std::uint64_t zz = 0;
+        if (!getVarint(p, end, zz))
+            return false;
+        prev = static_cast<Addr>(static_cast<std::int64_t>(prev) +
+                                 zigzagDecode(zz));
+        wi.addrs[i] = prev;
+    }
+    return true;
+}
+
+} // namespace amsc
+
+#endif // AMSC_TRACE_TRACE_FORMAT_HH

@@ -1,0 +1,186 @@
+#include "trace/trace_reader.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+#include "trace/trace_format.hh"
+
+namespace amsc
+{
+
+namespace
+{
+
+std::uint32_t
+readU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+readU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+double
+readDoubleBits(const std::uint8_t *p)
+{
+    const std::uint64_t bits = readU64(p);
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+TraceKernel::totalInstrs() const
+{
+    std::uint64_t n = 0;
+    for (const auto &kv : warps)
+        n += kv.second.numInstrs;
+    return n;
+}
+
+std::uint64_t
+TraceKernel::totalPayloadBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &kv : warps)
+        n += kv.second.payloadBytes;
+    return n;
+}
+
+TraceReader::TraceReader(const std::string &path) : path_(path)
+{
+    in_.open(path, std::ios::binary);
+    if (!in_)
+        fatal("trace: cannot open '%s'", path.c_str());
+    in_.seekg(0, std::ios::end);
+    fileSize_ = static_cast<std::uint64_t>(in_.tellg());
+    if (fileSize_ < kTraceHeaderBytes)
+        fatal("trace: '%s' shorter than the file header",
+              path.c_str());
+
+    std::uint8_t hdr[kTraceHeaderBytes];
+    readAt(0, hdr, sizeof(hdr));
+    if (std::memcmp(hdr, kTraceMagic, 8) != 0)
+        fatal("trace: '%s' is not a warp-trace file (bad magic)",
+              path.c_str());
+    version_ = readU32(hdr + 8);
+    if (version_ != kTraceVersion)
+        fatal("trace: '%s' has unsupported version %u (reader "
+              "supports %u)",
+              path.c_str(), version_, kTraceVersion);
+    const std::uint32_t header_bytes = readU32(hdr + 12);
+    const std::uint64_t index_offset = readU64(hdr + 16);
+    if (header_bytes < kTraceHeaderBytes)
+        fatal("trace: '%s' has a malformed header", path.c_str());
+    if (index_offset == 0)
+        fatal("trace: '%s' was never finalized (recording "
+              "interrupted?)",
+              path.c_str());
+    if (index_offset + 8 > fileSize_)
+        fatal("trace: '%s' is truncated (index offset beyond EOF)",
+              path.c_str());
+
+    std::vector<std::uint8_t> index(
+        static_cast<std::size_t>(fileSize_ - index_offset));
+    readAt(index_offset, index.data(), index.size());
+    if (index.size() < 8 ||
+        std::memcmp(index.data() + index.size() - 8, kTraceEndMagic,
+                    8) != 0)
+        fatal("trace: '%s' is truncated (index end marker missing)",
+              path.c_str());
+    index.resize(index.size() - 8);
+    parseIndex(index);
+}
+
+void
+TraceReader::parseIndex(const std::vector<std::uint8_t> &index)
+{
+    const std::uint8_t *p = index.data();
+    const std::uint8_t *end = p + index.size();
+    auto need = [this](bool ok) {
+        if (!ok)
+            fatal("trace: '%s' has a corrupt index", path_.c_str());
+    };
+
+    std::uint64_t num_kernels = 0;
+    need(getVarint(p, end, num_kernels));
+    for (std::uint64_t k = 0; k < num_kernels; ++k) {
+        TraceKernel kernel;
+        std::uint64_t name_len = 0;
+        need(getVarint(p, end, name_len));
+        need(static_cast<std::uint64_t>(end - p) >= name_len);
+        kernel.name.assign(reinterpret_cast<const char *>(p),
+                           static_cast<std::size_t>(name_len));
+        p += name_len;
+        std::uint64_t v = 0;
+        need(getVarint(p, end, v));
+        kernel.numCtas = static_cast<std::uint32_t>(v);
+        need(getVarint(p, end, v));
+        kernel.warpsPerCta = static_cast<std::uint32_t>(v);
+        std::uint64_t num_warps = 0;
+        need(getVarint(p, end, num_warps));
+        for (std::uint64_t w = 0; w < num_warps; ++w) {
+            std::uint64_t cta = 0;
+            std::uint64_t warp = 0;
+            TraceWarpBlock block;
+            need(getVarint(p, end, cta));
+            need(getVarint(p, end, warp));
+            need(getVarint(p, end, block.offset));
+            need(getVarint(p, end, block.numInstrs));
+            need(getVarint(p, end, block.payloadBytes));
+            need(block.offset + block.payloadBytes <= fileSize_);
+            kernel.warps[(cta << 32) | warp] = block;
+        }
+        kernels_.push_back(std::move(kernel));
+    }
+
+    need(p != end);
+    summary_.valid = *p++ != 0;
+    need(getVarint(p, end, summary_.cycles));
+    need(getVarint(p, end, summary_.instructions));
+    need(getVarint(p, end, summary_.llcAccesses));
+    need(getVarint(p, end, summary_.dramAccesses));
+    need(static_cast<std::size_t>(end - p) >= 16);
+    summary_.llcReadMissRate = readDoubleBits(p);
+    summary_.ipc = readDoubleBits(p + 8);
+    p += 16;
+    need(p == end);
+}
+
+const TraceWarpBlock *
+TraceReader::findWarp(std::uint32_t kernel, CtaId cta,
+                      std::uint32_t warp) const
+{
+    if (kernel >= kernels_.size())
+        return nullptr;
+    const auto &warps = kernels_[kernel].warps;
+    const auto it =
+        warps.find((static_cast<std::uint64_t>(cta) << 32) | warp);
+    return it == warps.end() ? nullptr : &it->second;
+}
+
+void
+TraceReader::readAt(std::uint64_t offset, std::uint8_t *dst,
+                    std::size_t n) const
+{
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(offset));
+    in_.read(reinterpret_cast<char *>(dst),
+             static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in_.gcount()) != n)
+        fatal("trace: short read in '%s' (file truncated?)",
+              path_.c_str());
+}
+
+} // namespace amsc

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Random-access reader of binary warp-trace files.
+ *
+ * On open, the reader validates the header, seeks to the index and
+ * loads the per-kernel manifest plus the per-warp block directory
+ * into memory (a few dozen bytes per warp). Warp payloads stay on
+ * disk: ReplayGen instances pull them through readAt() in fixed-size
+ * chunks, so replay memory is O(1) per live warp regardless of trace
+ * length.
+ *
+ * Any structural damage -- bad magic, unknown version, missing or
+ * truncated index, directory entries pointing past EOF -- is a
+ * fatal() at open time: a corrupt trace is a user-input error, not a
+ * simulator bug.
+ */
+
+#ifndef AMSC_TRACE_TRACE_READER_HH
+#define AMSC_TRACE_TRACE_READER_HH
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/trace_writer.hh"
+
+namespace amsc
+{
+
+/** Directory entry of one recorded warp stream. */
+struct TraceWarpBlock
+{
+    std::uint64_t offset = 0; ///< payload file offset
+    std::uint64_t numInstrs = 0;
+    std::uint64_t payloadBytes = 0;
+};
+
+/** Manifest entry of one recorded kernel. */
+struct TraceKernel
+{
+    std::string name;
+    std::uint32_t numCtas = 0;
+    std::uint32_t warpsPerCta = 0;
+    /** Recorded warp streams keyed by (cta << 32 | warp). */
+    std::map<std::uint64_t, TraceWarpBlock> warps;
+
+    /** Total recorded instructions across warps. */
+    std::uint64_t totalInstrs() const;
+    /** Total payload bytes across warps. */
+    std::uint64_t totalPayloadBytes() const;
+};
+
+/** Trace-file reader. */
+class TraceReader
+{
+  public:
+    /** Open and validate @p path; fatal() on any corruption. */
+    explicit TraceReader(const std::string &path);
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    const std::string &path() const { return path_; }
+    std::uint32_t version() const { return version_; }
+    const std::vector<TraceKernel> &kernels() const
+    {
+        return kernels_;
+    }
+    const TraceRunSummary &summary() const { return summary_; }
+
+    /**
+     * Directory entry for (kernel, cta, warp), or nullptr if that
+     * warp has no recorded stream (e.g. the recording run was cut at
+     * its cycle horizon before the warp launched).
+     */
+    const TraceWarpBlock *findWarp(std::uint32_t kernel, CtaId cta,
+                                   std::uint32_t warp) const;
+
+    /**
+     * Read @p n bytes at absolute file @p offset into @p dst;
+     * fatal() on a short read (the directory guarantees bounds).
+     */
+    void readAt(std::uint64_t offset, std::uint8_t *dst,
+                std::size_t n) const;
+
+  private:
+    void parseIndex(const std::vector<std::uint8_t> &index);
+
+    std::string path_;
+    mutable std::ifstream in_;
+    std::uint64_t fileSize_ = 0;
+    std::uint32_t version_ = 0;
+    std::vector<TraceKernel> kernels_;
+    TraceRunSummary summary_{};
+};
+
+} // namespace amsc
+
+#endif // AMSC_TRACE_TRACE_READER_HH

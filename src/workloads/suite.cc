@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "trace/recording_gen.hh"
+#include "trace/replay_gen.hh"
 
 namespace amsc
 {
@@ -220,6 +222,22 @@ WorkloadSuite::buildKernels(const WorkloadSpec &spec,
             spec.warpsPerCta));
     }
     return kernels;
+}
+
+std::vector<KernelInfo>
+WorkloadSuite::buildRecordedKernels(
+    const WorkloadSpec &spec, std::uint64_t seed,
+    const std::shared_ptr<TraceWriter> &writer, AppId app)
+{
+    return wrapKernelsForRecording(buildKernels(spec, seed, app),
+                                   writer);
+}
+
+std::vector<KernelInfo>
+WorkloadSuite::buildReplayKernels(
+    const std::shared_ptr<const TraceReader> &reader)
+{
+    return makeReplayKernels(reader);
 }
 
 std::vector<std::pair<WorkloadSpec, WorkloadSpec>>

@@ -14,6 +14,7 @@
 #define AMSC_WORKLOADS_SUITE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -23,6 +24,9 @@
 
 namespace amsc
 {
+
+class TraceWriter;
+class TraceReader;
 
 /** Paper workload classification (Fig 2). */
 enum class WorkloadClass
@@ -79,6 +83,25 @@ class WorkloadSuite
      */
     static std::vector<std::pair<WorkloadSpec, WorkloadSpec>>
     multiprogramPairs();
+
+    // ---- trace capture / replay (src/trace) ------------------------
+
+    /**
+     * buildKernels() with every warp stream captured into @p writer
+     * (see wrapKernelsForRecording): the run behaves identically to
+     * the unrecorded one while producing a replayable trace.
+     */
+    static std::vector<KernelInfo>
+    buildRecordedKernels(const WorkloadSpec &spec, std::uint64_t seed,
+                         const std::shared_ptr<TraceWriter> &writer,
+                         AppId app = 0);
+
+    /**
+     * Kernel sequence replaying @p reader's trace; substitutes for
+     * any makeSyntheticKernel-built workload.
+     */
+    static std::vector<KernelInfo>
+    buildReplayKernels(const std::shared_ptr<const TraceReader> &reader);
 };
 
 } // namespace amsc
