@@ -9,6 +9,7 @@
  * and the shared/private/adaptive IPC of a private-friendly workload.
  */
 
+#include <array>
 #include <memory>
 
 #include "bench/bench_util.hh"
@@ -89,48 +90,60 @@ main(int argc, char **argv)
 {
     const KvArgs args = KvArgs::parse(argc, argv);
     const SimConfig base = benchConfig(args);
+    const SweepRunner runner = benchRunner(args);
     const WorkloadSpec &spec = WorkloadSuite::byName("NN");
+
+    // 2 line sizes x 3 policies; the shared points additionally
+    // sample the LLC's resident sharer counts after the run.
+    const LlcPolicy policies[] = {LlcPolicy::ForceShared,
+                                  LlcPolicy::ForcePrivate,
+                                  LlcPolicy::Adaptive};
+    std::vector<SweepPoint> points;
+    std::array<double, 2> sharer_slots{};
+    std::size_t slot = 0;
+    for (const std::uint32_t line_bytes : {128u, 256u}) {
+        const unsigned shift = line_bytes == 128 ? 0 : 1;
+        for (const LlcPolicy policy : policies) {
+            SweepPoint p;
+            p.cfg = base;
+            p.cfg.lineBytes = line_bytes;
+            // Keep geometry legal: 48 KB L1 6-way (64/32 sets), 96 KB
+            // slice 16-way (48/24 sets), 2 KB rows (16/8 lines).
+            p.cfg.llcPolicy = policy;
+            const std::uint64_t seed = p.cfg.seed;
+            p.setup = [&spec, seed, shift](GpuSystem &gpu) {
+                gpu.setWorkload(0,
+                                coarsenedKernels(spec, seed, shift));
+            };
+            if (policy == LlcPolicy::ForceShared) {
+                double *out = &sharer_slots[slot++];
+                p.post = [out](GpuSystem &gpu, RunResult &) {
+                    *out = avgSharers(gpu);
+                };
+            }
+            p.label = spec.abbr + "@" + std::to_string(line_bytes);
+            points.push_back(std::move(p));
+        }
+    }
+    const std::vector<RunResult> results = runner.run(points);
 
     std::printf("# Ablation: cache line size (workload NN)\n\n");
     std::printf("| line size | avg sharers/line | shared IPC | "
                 "private/shared | adaptive/shared |\n");
     printRule(5);
 
-    double sharers128 = 0.0;
-    double sharers256 = 0.0;
+    const double sharers128 = sharer_slots[0];
+    const double sharers256 = sharer_slots[1];
+    std::size_t idx = 0;
     for (const std::uint32_t line_bytes : {128u, 256u}) {
-        SimConfig cfg = base;
-        cfg.lineBytes = line_bytes;
-        // Keep geometry legal: 48 KB L1 6-way (64/32 sets), 96 KB
-        // slice 16-way (48/24 sets), 2 KB rows (16/8 lines).
-        double sharers = 0.0;
-        double shared_ipc = 0.0;
-        double ratios[2] = {0.0, 0.0};
-        int i = 0;
-        const unsigned shift = line_bytes == 128 ? 0 : 1;
-        for (const LlcPolicy policy :
-             {LlcPolicy::ForceShared, LlcPolicy::ForcePrivate,
-              LlcPolicy::Adaptive}) {
-            SimConfig c = cfg;
-            c.llcPolicy = policy;
-            GpuSystem gpu(c);
-            gpu.setWorkload(0,
-                            coarsenedKernels(spec, c.seed, shift));
-            const RunResult r = gpu.run();
-            if (policy == LlcPolicy::ForceShared) {
-                shared_ipc = r.ipc;
-                sharers = avgSharers(gpu);
-            } else {
-                ratios[i++] = r.ipc / shared_ipc;
-            }
-        }
-        if (line_bytes == 128)
-            sharers128 = sharers;
-        else
-            sharers256 = sharers;
+        const double shared_ipc = results[idx].ipc;
+        const double rp = results[idx + 1].ipc / shared_ipc;
+        const double ra = results[idx + 2].ipc / shared_ipc;
         std::printf("| %u B | %.2f | %.1f | %.2f | %.2f |\n",
-                    line_bytes, sharers, shared_ipc, ratios[0],
-                    ratios[1]);
+                    line_bytes,
+                    line_bytes == 128 ? sharers128 : sharers256,
+                    shared_ipc, rp, ra);
+        idx += 3;
     }
     std::printf("\nSharer increase at 256 B: %+.1f%% (paper: ~+10%%, "
                 "\"more sharers per line further exacerbates the LLC "

@@ -18,6 +18,31 @@ main(int argc, char **argv)
 {
     const KvArgs args = KvArgs::parse(argc, argv);
     const SimConfig base = benchConfig(args);
+    const SweepRunner runner = benchRunner(args);
+
+    const char *const names[] = {"LUD", "GEMM", "BP", "AN",
+                                 "NN",  "MM",   "BS", "VA"};
+    constexpr std::size_t kApps = sizeof(names) / sizeof(names[0]);
+
+    // Per workload: adaptive (capturing the profile snapshot),
+    // private and shared ground-truth runs.
+    std::vector<SweepPoint> points;
+    std::vector<ProfileSnapshot> snaps(kApps);
+    for (std::size_t i = 0; i < kApps; ++i) {
+        const WorkloadSpec &spec = WorkloadSuite::byName(names[i]);
+        SweepPoint adaptive =
+            policyPoint(base, spec, LlcPolicy::Adaptive);
+        ProfileSnapshot *out = &snaps[i];
+        adaptive.post = [out](GpuSystem &gpu, RunResult &) {
+            *out = gpu.llc().lastSnapshot();
+        };
+        points.push_back(std::move(adaptive));
+        points.push_back(
+            policyPoint(base, spec, LlcPolicy::ForcePrivate));
+        points.push_back(
+            policyPoint(base, spec, LlcPolicy::ForceShared));
+    }
+    const std::vector<RunResult> results = runner.run(points);
 
     std::printf("# Ablation: profiler prediction accuracy (section "
                 "4.4 models)\n\n");
@@ -25,24 +50,12 @@ main(int argc, char **argv)
                 "meas | LSP_s | LSP_p pred | decision | rule |\n");
     printRule(9);
 
-    for (const char *name :
-         {"LUD", "GEMM", "BP", "AN", "NN", "MM", "BS", "VA"}) {
-        const WorkloadSpec &spec = WorkloadSuite::byName(name);
-
-        // Adaptive run exposes the last profile snapshot + decision.
-        SimConfig cfg = base;
-        cfg.llcPolicy = LlcPolicy::Adaptive;
-        GpuSystem gpu(cfg);
-        gpu.setWorkload(0,
-                        WorkloadSuite::buildKernels(spec, cfg.seed));
-        const RunResult ra = gpu.run();
-        const ProfileSnapshot snap = gpu.llc().lastSnapshot();
-
-        // Ground truth under the private organization.
-        const RunResult rp =
-            runWorkload(base, spec, LlcPolicy::ForcePrivate);
-        const RunResult rs =
-            runWorkload(base, spec, LlcPolicy::ForceShared);
+    for (std::size_t i = 0; i < kApps; ++i) {
+        const WorkloadSpec &spec = WorkloadSuite::byName(names[i]);
+        const RunResult &ra = results[3 * i];
+        const RunResult &rp = results[3 * i + 1];
+        const RunResult &rs = results[3 * i + 2];
+        const ProfileSnapshot &snap = snaps[i];
 
         const char *rule = ra.llcCtrl.rule1Fires > 0 ? "#1"
             : ra.llcCtrl.rule2Fires > 0              ? "#2"

@@ -20,10 +20,30 @@ main(int argc, char **argv)
 {
     const KvArgs args = KvArgs::parse(argc, argv);
     const SimConfig base = benchConfig(args);
+    const SweepRunner runner = benchRunner(args);
     const WorkloadSpec &spec = WorkloadSuite::byName("AN");
 
-    const RunResult priv =
-        runWorkload(base, spec, LlcPolicy::ForcePrivate);
+    const Cycle epochs[] = {25000u, 50000u, 100000u, 200000u};
+    const Cycle delays[] = {10u, 30u, 100u, 300u};
+
+    // One static-private reference + both sweeps, all concurrent.
+    std::vector<SweepPoint> points;
+    points.push_back(
+        policyPoint(base, spec, LlcPolicy::ForcePrivate));
+    for (const Cycle epoch : epochs) {
+        SimConfig cfg = base;
+        cfg.epochLen = epoch;
+        cfg.profileLen = epoch / 40;
+        points.push_back(policyPoint(cfg, spec, LlcPolicy::Adaptive));
+    }
+    for (const Cycle delay : delays) {
+        SimConfig cfg = base;
+        cfg.epochLen = 100000;
+        cfg.gateDelay = delay;
+        points.push_back(policyPoint(cfg, spec, LlcPolicy::Adaptive));
+    }
+    const std::vector<RunResult> results = runner.run(points);
+    const RunResult &priv = results[0];
 
     std::printf("# Ablation: reconfiguration overhead (workload AN)"
                 "\n\n");
@@ -31,12 +51,9 @@ main(int argc, char **argv)
     std::printf("| epoch | transitions | stall cycles | stall/cycle "
                 "%% | IPC vs static private |\n");
     printRule(5);
-    for (const Cycle epoch : {25000u, 50000u, 100000u, 200000u}) {
-        SimConfig cfg = base;
-        cfg.epochLen = epoch;
-        cfg.profileLen = epoch / 40;
-        const RunResult r =
-            runWorkload(cfg, spec, LlcPolicy::Adaptive);
+    std::size_t idx = 1;
+    for (const Cycle epoch : epochs) {
+        const RunResult &r = results[idx++];
         const std::uint64_t transitions =
             r.llcCtrl.transitionsToPrivate +
             r.llcCtrl.transitionsToShared;
@@ -55,12 +72,8 @@ main(int argc, char **argv)
     std::printf("\n## Power-gate delay sweep (epoch = 100000)\n\n");
     std::printf("| gate delay | stall cycles/transition |\n");
     printRule(2);
-    for (const Cycle delay : {10u, 30u, 100u, 300u}) {
-        SimConfig cfg = base;
-        cfg.epochLen = 100000;
-        cfg.gateDelay = delay;
-        const RunResult r =
-            runWorkload(cfg, spec, LlcPolicy::Adaptive);
+    for (const Cycle delay : delays) {
+        const RunResult &r = results[idx++];
         const std::uint64_t transitions =
             r.llcCtrl.transitionsToPrivate +
             r.llcCtrl.transitionsToShared;

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Core performance harness: measures the simulator's own speed and
+ * the sweep engine's thread scaling, and emits BENCH_core.json for
+ * the performance trajectory (docs/performance.md).
+ *
+ * Phases:
+ *   1. core throughput -- representative single runs on one thread:
+ *      simulated cycles/sec and instructions/sec of the cycle core.
+ *   2. fig11 sweep scaling -- the Figure-11 grid (workloads x
+ *      {shared, private, adaptive}) executed at 1/2/4/8 threads;
+ *      reports wall clock per sweep and speedup vs 1 thread.
+ *
+ * Every multi-threaded sweep is compared field-by-field against the
+ * single-threaded reference (identicalResults); any mismatch is
+ * nondeterminism and fails the harness (exit 1). `smoke=1` runs a
+ * reduced grid on {1, 2} threads for CI.
+ *
+ * Keys: out=BENCH_core.json  smoke=1 (or `--smoke`)  threads (extra
+ * count to probe)
+ * plus the usual SimConfig overrides (see bench_util.hh).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using namespace amsc;
+using namespace amsc::bench;
+
+namespace
+{
+
+double
+wallSeconds(const std::function<void()> &fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const KvArgs args = KvArgs::parse(argc, argv);
+    bool smoke = args.getBool("smoke", false);
+    for (const std::string &pos : args.positionals())
+        smoke = smoke || pos == "--smoke" || pos == "smoke";
+    const std::string out_path =
+        args.getString("out", "BENCH_core.json");
+
+    SimConfig cfg = benchConfig(args);
+    if (smoke) {
+        cfg.maxCycles /= 4;
+        cfg.profileLen /= 4;
+    }
+
+    // ---- phase 1: core throughput (single runs, one thread) -------
+    const std::vector<std::string> core_apps =
+        smoke ? std::vector<std::string>{"AN", "LUD"}
+              : std::vector<std::string>{"AN", "LUD", "BP", "MM"};
+    std::uint64_t core_cycles = 0;
+    std::uint64_t core_instrs = 0;
+    const double core_wall = wallSeconds([&]() {
+        for (const std::string &name : core_apps) {
+            const RunResult r = runWorkload(
+                cfg, WorkloadSuite::byName(name),
+                LlcPolicy::Adaptive);
+            core_cycles += r.cycles;
+            core_instrs += r.instructions;
+        }
+    });
+    const double cycles_per_sec =
+        static_cast<double>(core_cycles) / core_wall;
+    const double instrs_per_sec =
+        static_cast<double>(core_instrs) / core_wall;
+    std::printf("core: %llu cycles, %llu instrs in %.2f s "
+                "(%.0f cycles/s, %.0f instrs/s)\n",
+                static_cast<unsigned long long>(core_cycles),
+                static_cast<unsigned long long>(core_instrs),
+                core_wall, cycles_per_sec, instrs_per_sec);
+
+    // ---- phase 2: fig11 sweep at 1/2/4/8 threads ------------------
+    std::vector<SweepPoint> points;
+    if (smoke) {
+        pushPolicyTriple(points, cfg, WorkloadSuite::byName("AN"));
+        pushPolicyTriple(points, cfg, WorkloadSuite::byName("LUD"));
+    } else {
+        for (const WorkloadSpec &spec : WorkloadSuite::all())
+            pushPolicyTriple(points, cfg, spec);
+    }
+
+    std::vector<unsigned> thread_counts =
+        smoke ? std::vector<unsigned>{1, 2}
+              : std::vector<unsigned>{1, 2, 4, 8};
+    const unsigned extra =
+        static_cast<unsigned>(args.getUint("threads", 0));
+    if (extra != 0 &&
+        std::find(thread_counts.begin(), thread_counts.end(),
+                  extra) == thread_counts.end())
+        thread_counts.push_back(extra);
+
+    std::vector<double> walls;
+    std::vector<RunResult> reference;
+    bool deterministic = true;
+    for (const unsigned t : thread_counts) {
+        const SweepRunner runner(t);
+        std::vector<RunResult> results;
+        const double wall = wallSeconds(
+            [&]() { results = runner.run(points); });
+        walls.push_back(wall);
+        if (reference.empty()) {
+            reference = std::move(results);
+        } else {
+            for (std::size_t i = 0; i < points.size(); ++i) {
+                if (!identicalResults(reference[i], results[i])) {
+                    deterministic = false;
+                    std::fprintf(stderr,
+                                 "NONDETERMINISM: point %zu (%s) "
+                                 "differs at %u threads\n",
+                                 i, points[i].label.c_str(), t);
+                }
+            }
+        }
+        std::printf("fig11 sweep (%zu points) @ %u threads: %.2f s "
+                    "(%.2fx vs 1 thread)\n",
+                    points.size(), t, wall, walls.front() / wall);
+    }
+
+    // ---- emit JSON ------------------------------------------------
+    std::ofstream out(out_path);
+    out << "{\n";
+    out << "  \"bench\": \"core\",\n";
+    out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+    out << "  \"hardware_threads\": "
+        << std::thread::hardware_concurrency() << ",\n";
+    out << "  \"core\": {\n";
+    out << "    \"simulated_cycles\": " << core_cycles << ",\n";
+    out << "    \"instructions\": " << core_instrs << ",\n";
+    out << "    \"wall_seconds\": " << core_wall << ",\n";
+    out << "    \"cycles_per_sec\": " << cycles_per_sec << ",\n";
+    out << "    \"instrs_per_sec\": " << instrs_per_sec << "\n";
+    out << "  },\n";
+    out << "  \"fig11_sweep\": {\n";
+    out << "    \"points\": " << points.size() << ",\n";
+    out << "    \"wall_seconds\": {";
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+        out << (i == 0 ? "" : ", ") << "\"" << thread_counts[i]
+            << "\": " << walls[i];
+    }
+    out << "},\n";
+    out << "    \"speedup\": {";
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+        out << (i == 0 ? "" : ", ") << "\"" << thread_counts[i]
+            << "\": " << walls.front() / walls[i];
+    }
+    out << "},\n";
+    out << "    \"deterministic\": "
+        << (deterministic ? "true" : "false") << "\n";
+    out << "  }\n";
+    out << "}\n";
+    out.close();
+    std::printf("wrote %s\n", out_path.c_str());
+
+    args.warnUnused();
+    if (!deterministic) {
+        std::fprintf(stderr,
+                     "FAIL: multi-threaded sweep results differ from "
+                     "the single-threaded reference\n");
+        return 1;
+    }
+    return 0;
+}

@@ -5,9 +5,14 @@
  * Every bench accepts SimConfig key=value overrides plus:
  *   max_cycles=N   simulated cycles per run (default 60000)
  *   quick=1        quarter-length runs for smoke testing
+ *   threads=N      sweep worker threads (default: all cores, or
+ *                  AMSC_SWEEP_THREADS)
  *
- * Benches print GitHub-flavoured markdown tables plus ASCII bars so
- * the series can be compared against the paper's figures directly.
+ * Benches build their whole (config, workload) grid as SweepPoints,
+ * execute it on the SweepRunner thread pool, and print GitHub-
+ * flavoured markdown tables plus ASCII bars from the order-stable
+ * results, so the series can be compared against the paper's figures
+ * directly. Results are bit-identical at any thread count.
  */
 
 #ifndef AMSC_BENCH_BENCH_UTIL_HH
@@ -15,10 +20,12 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/kvargs.hh"
 #include "sim/gpu_system.hh"
+#include "sim/sweep.hh"
 #include "workloads/suite.hh"
 
 namespace amsc::bench
@@ -43,14 +50,60 @@ benchConfig(const KvArgs &args)
     return cfg;
 }
 
-/** Run one workload under one LLC policy. */
+/** Sweep executor honouring the bench-level `threads=N` override. */
+inline SweepRunner
+benchRunner(const KvArgs &args)
+{
+    return SweepRunner(
+        static_cast<unsigned>(args.getUint("threads", 0)));
+}
+
+/** Sweep point: one workload under one LLC policy. */
+inline SweepPoint
+policyPoint(SimConfig cfg, const WorkloadSpec &spec, LlcPolicy policy)
+{
+    cfg.llcPolicy = policy;
+    SweepPoint p;
+    p.label = spec.abbr + "/" + llcPolicyName(policy);
+    p.cfg = std::move(cfg);
+    p.apps = {spec};
+    return p;
+}
+
+/**
+ * Indices of one workload's {shared, private, adaptive} sweep points
+ * inside the grid they were pushed into.
+ */
+struct PolicyTriple
+{
+    std::size_t shared;
+    std::size_t priv;
+    std::size_t adaptive;
+};
+
+/**
+ * Append shared/private/adaptive points for @p spec to @p points and
+ * return their indices, so result consumption cannot drift from the
+ * grid construction order.
+ */
+inline PolicyTriple
+pushPolicyTriple(std::vector<SweepPoint> &points, const SimConfig &cfg,
+                 const WorkloadSpec &spec)
+{
+    const PolicyTriple t{points.size(), points.size() + 1,
+                         points.size() + 2};
+    points.push_back(policyPoint(cfg, spec, LlcPolicy::ForceShared));
+    points.push_back(policyPoint(cfg, spec, LlcPolicy::ForcePrivate));
+    points.push_back(policyPoint(cfg, spec, LlcPolicy::Adaptive));
+    return t;
+}
+
+/** Run one workload under one LLC policy (single-point shorthand). */
 inline RunResult
 runWorkload(SimConfig cfg, const WorkloadSpec &spec, LlcPolicy policy)
 {
-    cfg.llcPolicy = policy;
-    GpuSystem gpu(cfg);
-    gpu.setWorkload(0, WorkloadSuite::buildKernels(spec, cfg.seed));
-    return gpu.run();
+    return SweepRunner::runPoint(
+        policyPoint(std::move(cfg), spec, policy));
 }
 
 /** Render a fixed-width ASCII bar for value in [0, max]. */

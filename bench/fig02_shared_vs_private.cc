@@ -18,6 +18,21 @@ main(int argc, char **argv)
 {
     const KvArgs args = KvArgs::parse(argc, argv);
     const SimConfig cfg = benchConfig(args);
+    const SweepRunner runner = benchRunner(args);
+
+    // Whole grid up front: (class, app) x {shared, private}.
+    std::vector<SweepPoint> points;
+    for (const WorkloadClass klass :
+         {WorkloadClass::SharedFriendly, WorkloadClass::PrivateFriendly,
+          WorkloadClass::Neutral}) {
+        for (const WorkloadSpec &spec : WorkloadSuite::byClass(klass)) {
+            points.push_back(
+                policyPoint(cfg, spec, LlcPolicy::ForceShared));
+            points.push_back(
+                policyPoint(cfg, spec, LlcPolicy::ForcePrivate));
+        }
+    }
+    const std::vector<RunResult> results = runner.run(points);
 
     std::printf("# Figure 2: shared vs private memory-side LLC "
                 "(normalized IPC)\n\n");
@@ -26,6 +41,7 @@ main(int argc, char **argv)
                 cfg.numSms, cfg.numClusters, "H-Xbar",
                 static_cast<unsigned long long>(cfg.maxCycles));
 
+    std::size_t idx = 0;
     for (const WorkloadClass klass :
          {WorkloadClass::SharedFriendly, WorkloadClass::PrivateFriendly,
           WorkloadClass::Neutral}) {
@@ -41,10 +57,8 @@ main(int argc, char **argv)
 
         std::vector<double> ratios;
         for (const WorkloadSpec &spec : WorkloadSuite::byClass(klass)) {
-            const RunResult shared =
-                runWorkload(cfg, spec, LlcPolicy::ForceShared);
-            const RunResult priv =
-                runWorkload(cfg, spec, LlcPolicy::ForcePrivate);
+            const RunResult &shared = results[idx++];
+            const RunResult &priv = results[idx++];
             const double ratio = priv.ipc / shared.ipc;
             ratios.push_back(ratio);
             std::printf("| %-6s | 1.00 | %.2f | %-24s |\n",

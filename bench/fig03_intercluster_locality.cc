@@ -20,10 +20,35 @@ main(int argc, char **argv)
     const KvArgs args = KvArgs::parse(argc, argv);
     SimConfig cfg = benchConfig(args);
     cfg.trackSharing = true;
+    const SweepRunner runner = benchRunner(args);
+
+    // One shared-LLC run per workload; the post hook closes the last
+    // tracker window and overwrites the result's sharing buckets with
+    // the flushed values (collect() reads them mid-window otherwise).
+    std::vector<SweepPoint> points;
+    for (const WorkloadClass klass :
+         {WorkloadClass::SharedFriendly, WorkloadClass::PrivateFriendly,
+          WorkloadClass::Neutral}) {
+        for (const WorkloadSpec &spec : WorkloadSuite::byClass(klass)) {
+            SweepPoint p = policyPoint(cfg, spec,
+                                       LlcPolicy::ForceShared);
+            const Cycle flush_at = cfg.maxCycles + 1000;
+            p.post = [flush_at](GpuSystem &gpu, RunResult &r) {
+                gpu.llc().sharingTracker().flush(flush_at);
+                for (std::size_t b = 0; b < 4; ++b) {
+                    r.sharingBuckets[b] =
+                        gpu.llc().sharingTracker().bucketFraction(b);
+                }
+            };
+            points.push_back(std::move(p));
+        }
+    }
+    const std::vector<RunResult> results = runner.run(points);
 
     std::printf("# Figure 3: inter-cluster locality "
                 "(%% of LLC lines, 1000-cycle windows)\n\n");
 
+    std::size_t idx = 0;
     for (const WorkloadClass klass :
          {WorkloadClass::SharedFriendly, WorkloadClass::PrivateFriendly,
           WorkloadClass::Neutral}) {
@@ -39,21 +64,11 @@ main(int argc, char **argv)
 
         std::vector<double> multi;
         for (const WorkloadSpec &spec : WorkloadSuite::byClass(klass)) {
-            SimConfig c = cfg;
-            c.llcPolicy = LlcPolicy::ForceShared;
-            GpuSystem gpu(c);
-            gpu.setWorkload(0,
-                            WorkloadSuite::buildKernels(spec, c.seed));
-            gpu.run();
-            gpu.llc().sharingTracker().flush(c.maxCycles + 1000);
-            const double b1 =
-                gpu.llc().sharingTracker().bucketFraction(0);
-            const double b2 =
-                gpu.llc().sharingTracker().bucketFraction(1);
-            const double b34 =
-                gpu.llc().sharingTracker().bucketFraction(2);
-            const double b58 =
-                gpu.llc().sharingTracker().bucketFraction(3);
+            const RunResult &r = results[idx++];
+            const double b1 = r.sharingBuckets[0];
+            const double b2 = r.sharingBuckets[1];
+            const double b34 = r.sharingBuckets[2];
+            const double b58 = r.sharingBuckets[3];
             multi.push_back(b2 + b34 + b58);
             std::printf(
                 "| %-6s | %5.1f%% | %5.1f%% | %5.1f%% | %5.1f%% | "

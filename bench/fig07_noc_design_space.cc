@@ -54,15 +54,28 @@ main(int argc, char **argv)
 {
     const KvArgs args = KvArgs::parse(argc, argv);
     const SimConfig base = benchConfig(args);
+    const SweepRunner runner = benchRunner(args);
     const NocPowerModel power_model;
 
     // Representative workloads: two per class.
-    const WorkloadSpec &an = WorkloadSuite::byName("AN");
-    const WorkloadSpec &mm = WorkloadSuite::byName("MM");
-    const WorkloadSpec &gemm = WorkloadSuite::byName("GEMM");
-    const WorkloadSpec &bp = WorkloadSuite::byName("BP");
-    const WorkloadSpec &va = WorkloadSuite::byName("VA");
-    const WorkloadSpec &hg = WorkloadSuite::byName("HG");
+    const std::vector<const WorkloadSpec *> specs = {
+        &WorkloadSuite::byName("AN"),   &WorkloadSuite::byName("MM"),
+        &WorkloadSuite::byName("GEMM"), &WorkloadSuite::byName("BP"),
+        &WorkloadSuite::byName("VA"),   &WorkloadSuite::byName("HG"),
+    };
+
+    // 8 design points x 6 workloads, one sweep.
+    std::vector<SweepPoint> points;
+    for (const DesignPoint &dp : kPoints) {
+        SimConfig cfg = base;
+        cfg.topology = dp.topo;
+        cfg.channelWidthBytes = dp.width;
+        cfg.concentration = dp.conc;
+        for (const WorkloadSpec *spec : specs)
+            points.push_back(
+                policyPoint(cfg, *spec, LlcPolicy::ForceShared));
+    }
+    const std::vector<RunResult> results = runner.run(points);
 
     std::printf("# Figure 7: NoC design space (Full vs C-Xbar vs "
                 "H-Xbar at equal bisection bandwidth)\n\n");
@@ -71,25 +84,16 @@ main(int argc, char **argv)
                 "(buf/xbar/link/other) |\n");
     printRule(5);
 
+    std::size_t idx = 0;
     double full_ipc = 0.0;
     double full_power = 0.0;
     for (const DesignPoint &dp : kPoints) {
-        SimConfig cfg = base;
-        cfg.topology = dp.topo;
-        cfg.channelWidthBytes = dp.width;
-        cfg.concentration = dp.conc;
-        cfg.llcPolicy = LlcPolicy::ForceShared;
-
         std::vector<double> ipcs;
         NocPowerResult pw{};
         NocBreakdown energy{};
         std::uint64_t cycles = 0;
-        for (const WorkloadSpec *spec :
-             {&an, &mm, &gemm, &bp, &va, &hg}) {
-            GpuSystem gpu(cfg);
-            gpu.setWorkload(
-                0, WorkloadSuite::buildKernels(*spec, cfg.seed));
-            const RunResult r = gpu.run();
+        for (std::size_t w = 0; w < specs.size(); ++w) {
+            const RunResult &r = results[idx++];
             ipcs.push_back(r.ipc);
             const NocPowerResult e =
                 power_model.evaluate(r.nocActivity, r.cycles);

@@ -19,6 +19,18 @@ main(int argc, char **argv)
 {
     const KvArgs args = KvArgs::parse(argc, argv);
     const SimConfig cfg = benchConfig(args);
+    const SweepRunner runner = benchRunner(args);
+
+    // 17 workloads x {shared, private, adaptive}, one sweep.
+    std::vector<SweepPoint> points;
+    std::vector<PolicyTriple> triples;
+    for (const WorkloadClass klass :
+         {WorkloadClass::SharedFriendly, WorkloadClass::PrivateFriendly,
+          WorkloadClass::Neutral}) {
+        for (const WorkloadSpec &spec : WorkloadSuite::byClass(klass))
+            triples.push_back(pushPolicyTriple(points, cfg, spec));
+    }
+    const std::vector<RunResult> results = runner.run(points);
 
     std::printf("# Figure 11: shared vs private vs adaptive LLC "
                 "(normalized IPC)\n\n");
@@ -26,6 +38,7 @@ main(int argc, char **argv)
                 "adaptive bar |\n");
     printRule(6);
 
+    std::size_t widx = 0;
     std::vector<double> adaptive_gain_private_class;
     for (const WorkloadClass klass :
          {WorkloadClass::SharedFriendly, WorkloadClass::PrivateFriendly,
@@ -33,12 +46,10 @@ main(int argc, char **argv)
         std::vector<double> priv_r;
         std::vector<double> adpt_r;
         for (const WorkloadSpec &spec : WorkloadSuite::byClass(klass)) {
-            const RunResult s =
-                runWorkload(cfg, spec, LlcPolicy::ForceShared);
-            const RunResult p =
-                runWorkload(cfg, spec, LlcPolicy::ForcePrivate);
-            const RunResult a =
-                runWorkload(cfg, spec, LlcPolicy::Adaptive);
+            const PolicyTriple &t = triples[widx++];
+            const RunResult &s = results[t.shared];
+            const RunResult &p = results[t.priv];
+            const RunResult &a = results[t.adaptive];
             const double rp = p.ipc / s.ipc;
             const double ra = a.ipc / s.ipc;
             priv_r.push_back(rp);

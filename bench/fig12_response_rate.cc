@@ -18,9 +18,17 @@ main(int argc, char **argv)
 {
     const KvArgs args = KvArgs::parse(argc, argv);
     const SimConfig cfg = benchConfig(args);
+    const SweepRunner runner = benchRunner(args);
     const std::uint32_t reply_flits =
         (16 + cfg.lineBytes + cfg.channelWidthBytes - 1) /
         cfg.channelWidthBytes;
+
+    std::vector<SweepPoint> points;
+    std::vector<PolicyTriple> triples;
+    for (const WorkloadSpec &spec :
+         WorkloadSuite::byClass(WorkloadClass::PrivateFriendly))
+        triples.push_back(pushPolicyTriple(points, cfg, spec));
+    const std::vector<RunResult> results = runner.run(points);
 
     std::printf("# Figure 12: LLC response rate (flits/cycle), "
                 "private-cache-friendly apps\n\n");
@@ -28,15 +36,14 @@ main(int argc, char **argv)
                 "private/shared |\n");
     printRule(5);
 
+    std::size_t widx = 0;
     std::vector<double> ratios;
     for (const WorkloadSpec &spec :
          WorkloadSuite::byClass(WorkloadClass::PrivateFriendly)) {
-        const RunResult s =
-            runWorkload(cfg, spec, LlcPolicy::ForceShared);
-        const RunResult p =
-            runWorkload(cfg, spec, LlcPolicy::ForcePrivate);
-        const RunResult a =
-            runWorkload(cfg, spec, LlcPolicy::Adaptive);
+        const PolicyTriple &t = triples[widx++];
+        const RunResult &s = results[t.shared];
+        const RunResult &p = results[t.priv];
+        const RunResult &a = results[t.adaptive];
         const double fs = s.llcResponseRate * reply_flits;
         const double fp = p.llcResponseRate * reply_flits;
         const double fa = a.llcResponseRate * reply_flits;

@@ -19,6 +19,14 @@ main(int argc, char **argv)
 {
     const KvArgs args = KvArgs::parse(argc, argv);
     const SimConfig cfg = benchConfig(args);
+    const SweepRunner runner = benchRunner(args);
+
+    std::vector<SweepPoint> points;
+    std::vector<PolicyTriple> triples;
+    for (const WorkloadSpec &spec :
+         WorkloadSuite::byClass(WorkloadClass::SharedFriendly))
+        triples.push_back(pushPolicyTriple(points, cfg, spec));
+    const std::vector<RunResult> results = runner.run(points);
 
     std::printf("# Figure 13: LLC read miss rate, "
                 "shared-cache-friendly apps\n\n");
@@ -26,15 +34,14 @@ main(int argc, char **argv)
                 "|\n");
     printRule(5);
 
+    std::size_t widx = 0;
     std::vector<double> deltas;
     for (const WorkloadSpec &spec :
          WorkloadSuite::byClass(WorkloadClass::SharedFriendly)) {
-        const RunResult s =
-            runWorkload(cfg, spec, LlcPolicy::ForceShared);
-        const RunResult p =
-            runWorkload(cfg, spec, LlcPolicy::ForcePrivate);
-        const RunResult a =
-            runWorkload(cfg, spec, LlcPolicy::Adaptive);
+        const PolicyTriple &t = triples[widx++];
+        const RunResult &s = results[t.shared];
+        const RunResult &p = results[t.priv];
+        const RunResult &a = results[t.adaptive];
         const double delta =
             (p.llcReadMissRate - s.llcReadMissRate) * 100.0;
         deltas.push_back(delta);

@@ -25,8 +25,21 @@ main(int argc, char **argv)
 {
     const KvArgs args = KvArgs::parse(argc, argv);
     const SimConfig cfg = benchConfig(args);
+    const SweepRunner runner = benchRunner(args);
     const NocPowerModel noc_model;
     const GpuEnergyModel gpu_model;
+
+    std::vector<SweepPoint> points;
+    for (const WorkloadClass klass :
+         {WorkloadClass::PrivateFriendly, WorkloadClass::Neutral}) {
+        for (const WorkloadSpec &spec : WorkloadSuite::byClass(klass)) {
+            points.push_back(
+                policyPoint(cfg, spec, LlcPolicy::ForceShared));
+            points.push_back(
+                policyPoint(cfg, spec, LlcPolicy::Adaptive));
+        }
+    }
+    const std::vector<RunResult> results = runner.run(points);
 
     std::printf("# Figure 14: NoC energy, adaptive vs shared LLC "
                 "(per kilo-instruction)\n\n");
@@ -34,35 +47,35 @@ main(int argc, char **argv)
                 "system energy |\n");
     printRule(4);
 
+    // Everything below derives from the collected RunResults alone.
+    const auto evaluate = [&](const RunResult &r, NocBreakdown &bd,
+                              double &sys_uj_per_ki) {
+        const NocPowerResult e =
+            noc_model.evaluate(r.nocActivity, r.cycles);
+        const double ki =
+            static_cast<double>(r.instructions) / 1000.0;
+        bd.buffer = e.energyUj.buffer / ki;
+        bd.crossbar = e.energyUj.crossbar / ki;
+        bd.links = e.energyUj.links / ki;
+        bd.other = e.energyUj.other / ki;
+        GpuActivity act = r.gpuActivity;
+        act.nocEnergyUj = e.totalEnergyUj();
+        sys_uj_per_ki = gpu_model.evaluate(act).totalUj() / ki;
+        return e.totalEnergyUj() / ki;
+    };
+
+    std::size_t idx = 0;
     std::vector<double> noc_savings;
     std::vector<double> sys_savings;
     for (const WorkloadClass klass :
          {WorkloadClass::PrivateFriendly, WorkloadClass::Neutral}) {
         for (const WorkloadSpec &spec : WorkloadSuite::byClass(klass)) {
-            auto evaluate = [&](LlcPolicy policy, NocBreakdown &bd,
-                                double &sys_uj_per_ki) {
-                const RunResult r = runWorkload(cfg, spec, policy);
-                const NocPowerResult e =
-                    noc_model.evaluate(r.nocActivity, r.cycles);
-                const double ki =
-                    static_cast<double>(r.instructions) / 1000.0;
-                bd.buffer = e.energyUj.buffer / ki;
-                bd.crossbar = e.energyUj.crossbar / ki;
-                bd.links = e.energyUj.links / ki;
-                bd.other = e.energyUj.other / ki;
-                GpuActivity act = r.gpuActivity;
-                act.nocEnergyUj = e.totalEnergyUj();
-                sys_uj_per_ki = gpu_model.evaluate(act).totalUj() / ki;
-                return e.totalEnergyUj() / ki;
-            };
             NocBreakdown bs{};
             NocBreakdown ba{};
             double sys_s = 0.0;
             double sys_a = 0.0;
-            const double es =
-                evaluate(LlcPolicy::ForceShared, bs, sys_s);
-            const double ea =
-                evaluate(LlcPolicy::Adaptive, ba, sys_a);
+            const double es = evaluate(results[idx++], bs, sys_s);
+            const double ea = evaluate(results[idx++], ba, sys_a);
             noc_savings.push_back(1.0 - ea / es);
             sys_savings.push_back(1.0 - sys_a / sys_s);
             std::printf("| %-22s | %-6s | %.2f "

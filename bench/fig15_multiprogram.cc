@@ -26,32 +26,42 @@ main(int argc, char **argv)
 {
     const KvArgs args = KvArgs::parse(argc, argv);
     const SimConfig base = benchConfig(args);
+    const SweepRunner runner = benchRunner(args);
+    const auto pairs = WorkloadSuite::multiprogramPairs();
 
-    // Isolated-run IPCs (full machine, shared LLC), cached per app.
-    std::map<std::string, double> alone;
-    auto alone_ipc = [&](const WorkloadSpec &spec) {
-        auto it = alone.find(spec.abbr);
-        if (it != alone.end())
-            return it->second;
-        const RunResult r =
-            runWorkload(base, spec, LlcPolicy::ForceShared);
-        alone[spec.abbr] = r.ipc;
-        return r.ipc;
+    // Point grid: one isolated run per distinct app (full machine,
+    // shared LLC), then two joint runs per pair (shared+shared and
+    // shared+private).
+    std::vector<SweepPoint> points;
+    std::map<std::string, std::size_t> alone_idx;
+    for (const auto &[sf, pf] : pairs) {
+        for (const WorkloadSpec *spec : {&sf, &pf}) {
+            if (alone_idx.count(spec->abbr) != 0)
+                continue;
+            alone_idx[spec->abbr] = points.size();
+            points.push_back(
+                policyPoint(base, *spec, LlcPolicy::ForceShared));
+        }
+    }
+    const auto jointPoint = [&](const WorkloadSpec &a,
+                                const WorkloadSpec &b, LlcPolicy pa,
+                                LlcPolicy pb) {
+        SweepPoint p;
+        p.cfg = base;
+        p.cfg.llcPolicy = pa;
+        p.cfg.extraAppPolicies = {pb};
+        p.apps = {a, b};
+        p.label = a.abbr + "+" + b.abbr;
+        return p;
     };
-
-    auto joint = [&](const WorkloadSpec &a, const WorkloadSpec &b,
-                     LlcPolicy pa, LlcPolicy pb) {
-        SimConfig cfg = base;
-        cfg.llcPolicy = pa;
-        cfg.extraAppPolicies = {pb};
-        GpuSystem gpu(cfg);
-        gpu.setWorkload(0,
-                        WorkloadSuite::buildKernels(a, cfg.seed, 0));
-        gpu.setWorkload(1,
-                        WorkloadSuite::buildKernels(b, cfg.seed, 1));
-        const RunResult r = gpu.run();
-        return std::pair<double, double>(r.appIpc[0], r.appIpc[1]);
-    };
+    const std::size_t joint_base = points.size();
+    for (const auto &[sf, pf] : pairs) {
+        points.push_back(jointPoint(sf, pf, LlcPolicy::ForceShared,
+                                    LlcPolicy::ForceShared));
+        points.push_back(jointPoint(sf, pf, LlcPolicy::ForceShared,
+                                    LlcPolicy::ForcePrivate));
+    }
+    const std::vector<RunResult> results = runner.run(points);
 
     std::printf("# Figure 15: multi-program STP, shared vs adaptive "
                 "LLC (30 pairs)\n\n");
@@ -65,15 +75,15 @@ main(int argc, char **argv)
         double stp_adaptive;
     };
     std::vector<Row> rows;
-    for (const auto &[sf, pf] : WorkloadSuite::multiprogramPairs()) {
-        const double a0 = alone_ipc(sf);
-        const double a1 = alone_ipc(pf);
-        const auto [s0, s1] = joint(sf, pf, LlcPolicy::ForceShared,
-                                    LlcPolicy::ForceShared);
-        const auto [m0, m1] = joint(sf, pf, LlcPolicy::ForceShared,
-                                    LlcPolicy::ForcePrivate);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto &[sf, pf] = pairs[i];
+        const double a0 = results[alone_idx[sf.abbr]].ipc;
+        const double a1 = results[alone_idx[pf.abbr]].ipc;
+        const RunResult &s = results[joint_base + 2 * i];
+        const RunResult &m = results[joint_base + 2 * i + 1];
         rows.push_back({sf.abbr + "+" + pf.abbr,
-                        s0 / a0 + s1 / a1, m0 / a0 + m1 / a1});
+                        s.appIpc[0] / a0 + s.appIpc[1] / a1,
+                        m.appIpc[0] / a0 + m.appIpc[1] / a1});
     }
     std::sort(rows.begin(), rows.end(),
               [](const Row &a, const Row &b) {

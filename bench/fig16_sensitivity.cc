@@ -36,6 +36,7 @@ main(int argc, char **argv)
 {
     const KvArgs args = KvArgs::parse(argc, argv);
     const SimConfig base = benchConfig(args);
+    const SweepRunner runner = benchRunner(args);
 
     const std::vector<Point> points = {
         {"mapping", "PAE (default)", [](SimConfig &) {}},
@@ -79,22 +80,34 @@ main(int argc, char **argv)
         {"CTA sched", "DCS",
          [](SimConfig &c) { c.ctaPolicy = CtaPolicy::Dcs; }},
     };
+    const char *const names[] = {"AN", "NN", "MM"};
+
+    // 15 sensitivity points x 3 workloads x {shared, adaptive}.
+    std::vector<SweepPoint> grid;
+    for (const Point &pt : points) {
+        SimConfig cfg = base;
+        pt.apply(cfg);
+        for (const char *name : names) {
+            const WorkloadSpec &spec = WorkloadSuite::byName(name);
+            grid.push_back(
+                policyPoint(cfg, spec, LlcPolicy::ForceShared));
+            grid.push_back(
+                policyPoint(cfg, spec, LlcPolicy::Adaptive));
+        }
+    }
+    const std::vector<RunResult> results = runner.run(grid);
 
     std::printf("# Figure 16: sensitivity of the adaptive-LLC gain "
                 "(AN/NN/MM harmonic mean)\n\n");
     std::printf("| dimension | point | shared | adaptive | gain |\n");
     printRule(5);
 
+    std::size_t idx = 0;
     for (const Point &pt : points) {
-        SimConfig cfg = base;
-        pt.apply(cfg);
         std::vector<double> ratios;
-        for (const char *name : {"AN", "NN", "MM"}) {
-            const WorkloadSpec &spec = WorkloadSuite::byName(name);
-            const RunResult s =
-                runWorkload(cfg, spec, LlcPolicy::ForceShared);
-            const RunResult a =
-                runWorkload(cfg, spec, LlcPolicy::Adaptive);
+        for (std::size_t w = 0; w < 3; ++w) {
+            const RunResult &s = results[idx++];
+            const RunResult &a = results[idx++];
             ratios.push_back(a.ipc / s.ipc);
         }
         const double hm = harmonicMean(ratios);

@@ -75,6 +75,14 @@ class DelayQueue
         return !q_.empty() && q_.front().first <= now;
     }
 
+    /** Cycle at which the front item becomes visible. @pre !empty(). */
+    Cycle
+    frontReadyCycle() const
+    {
+        assert(!q_.empty());
+        return q_.front().first;
+    }
+
     /** Peek the front item. @pre ready(now). */
     const T &
     front() const

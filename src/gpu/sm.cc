@@ -50,7 +50,7 @@ Sm::activateCtas(Cycle now)
             warp.gen = kernel_->makeGen(cta, w);
             warp.cta = cta;
             warp.age = ++warpAgeCounter_;
-            warp.state = WarpState::Compute;
+            setWarpState(warp, WarpState::Compute);
             advanceWarp(warp, now);
         }
     }
@@ -70,14 +70,14 @@ Sm::advanceWarp(Warp &w, Cycle now)
     w.computeLeft = instr.computeCycles;
     w.nextAccess = 0;
     w.outstanding = 0;
-    w.state = w.computeLeft > 0 ? WarpState::Compute
-                                : WarpState::IssueMem;
+    setWarpState(w, w.computeLeft > 0 ? WarpState::Compute
+                                      : WarpState::IssueMem);
 }
 
 void
 Sm::onWarpDone(Warp &w, Cycle now)
 {
-    w.state = WarpState::Done;
+    setWarpState(w, WarpState::Done);
     for (auto it = activeCtaWarps_.begin();
          it != activeCtaWarps_.end(); ++it) {
         if (it->first == w.cta) {
@@ -93,6 +93,8 @@ Sm::onWarpDone(Warp &w, Cycle now)
                 activeCtaWarps_.erase(it);
                 ++stats_.ctasCompleted;
                 activateCtas(now);
+                if (done() && doneCb_)
+                    doneCb_();
             }
             return;
         }
@@ -139,6 +141,8 @@ Sm::maybeRetireMem(std::uint32_t slot, Cycle now)
     if (w.nextAccess == w.cur.numAccesses && w.outstanding == 0) {
         ++stats_.instructions;
         ++stats_.memInstrs;
+        if (retiredCounter_ != nullptr)
+            ++*retiredCounter_;
         advanceWarp(w, now);
     }
 }
@@ -151,9 +155,11 @@ Sm::issueFrom(std::uint32_t slot, Cycle now)
         --w.computeLeft;
         ++stats_.instructions;
         ++stats_.computeInstrs;
+        if (retiredCounter_ != nullptr)
+            ++*retiredCounter_;
         if (w.computeLeft == 0) {
             if (w.cur.numAccesses > 0)
-                w.state = WarpState::IssueMem;
+                setWarpState(w, WarpState::IssueMem);
             else
                 advanceWarp(w, now); // pure compute batch
         }
@@ -183,7 +189,7 @@ Sm::issueFrom(std::uint32_t slot, Cycle now)
         ++w.outstanding;
         ++w.nextAccess;
         if (w.nextAccess == w.cur.numAccesses)
-            w.state = WarpState::WaitMem;
+            setWarpState(w, WarpState::WaitMem);
         return;
     }
     if (w.cur.isWrite) {
@@ -260,7 +266,7 @@ Sm::issueFrom(std::uint32_t slot, Cycle now)
     }
     ++w.nextAccess;
     if (w.nextAccess == w.cur.numAccesses)
-        w.state = WarpState::WaitMem;
+        setWarpState(w, WarpState::WaitMem);
     maybeRetireMem(slot, now);
 }
 
@@ -275,6 +281,14 @@ Sm::tick(Cycle now)
 
     if (stalled_)
         return;
+
+    // Fast path: with no warp in an issueable state the scheduler
+    // scan below cannot pick anything; account the stall and leave.
+    if (issueCandidates_ == 0) {
+        if (!done())
+            ++stats_.issueStallCycles;
+        return;
+    }
 
     // 2. Schedulers: GTO issue, warps partitioned by slot parity.
     bool issued_any = false;

@@ -104,6 +104,27 @@ class Sm
     /** True when all assigned CTAs have completed. */
     bool done() const;
 
+    /**
+     * Invoked once per launched kernel when the SM finishes its last
+     * CTA (event-driven kernel management in GpuSystem).
+     */
+    void setDoneCallback(std::function<void()> cb)
+    {
+        doneCb_ = std::move(cb);
+    }
+
+    /**
+     * Mirror every instruction retirement into @p counter (running
+     * whole-GPU total; avoids the per-cycle all-SM stats scan).
+     */
+    void setRetiredCounter(std::uint64_t *counter)
+    {
+        retiredCounter_ = counter;
+    }
+
+    /** True while L1-hit completions are still in flight. */
+    bool hasPendingCompletions() const { return !hitQueue_.empty(); }
+
     /** Stall/unstall instruction issue (LLC reconfiguration). */
     void setStalled(bool stalled) { stalled_ = stalled; }
 
@@ -149,6 +170,21 @@ class Sm
         std::uint64_t age = 0;
         CtaId cta = 0;
     };
+
+    /** @return true if state @p s competes for issue slots. */
+    static bool countsIssue(WarpState s)
+    {
+        return s == WarpState::Compute || s == WarpState::IssueMem;
+    }
+
+    /** Transition @p w to @p s, maintaining issueCandidates_. */
+    void setWarpState(Warp &w, WarpState s)
+    {
+        issueCandidates_ +=
+            static_cast<int>(countsIssue(s)) -
+            static_cast<int>(countsIssue(w.state));
+        w.state = s;
+    }
 
     /** Try to activate pending CTAs into free warp slots. */
     void activateCtas(Cycle now);
@@ -197,6 +233,10 @@ class Sm
 
     bool stalled_ = false;
     std::uint64_t warpAgeCounter_ = 0;
+    /** Warps in Compute/IssueMem state (scheduler fast-path gate). */
+    std::uint32_t issueCandidates_ = 0;
+    std::function<void()> doneCb_;
+    std::uint64_t *retiredCounter_ = nullptr;
     SmStats stats_;
 };
 

@@ -145,6 +145,36 @@ class LlcSystem
     /** True when all slices are drained. */
     bool drained() const;
 
+    /**
+     * Cycle at which the controller FSM next changes state on time
+     * alone (the power-gate/ungate countdowns); kNoCycle in every
+     * state that advances on external progress instead. Feeds the
+     * quiescence fast-forward in GpuSystem::run().
+     */
+    Cycle
+    nextTimedEventCycle() const
+    {
+        return (state_ == CtrlState::GateWait ||
+                state_ == CtrlState::UngateWait)
+            ? stateDeadline_
+            : kNoCycle;
+    }
+
+    /**
+     * Account @p n externally skipped idle cycles in the per-cycle
+     * mode counters (tick() increments one of them every cycle).
+     * Only legal while the whole system is quiescent and no FSM
+     * deadline lies inside the skipped range.
+     */
+    void
+    advanceIdleCycles(Cycle n)
+    {
+        if (mapper_.mode(adaptiveApp()) == LlcMode::Private)
+            stats_.cyclesPrivate += n;
+        else
+            stats_.cyclesShared += n;
+    }
+
     // ---- aggregate metrics ---------------------------------------
     std::uint64_t totalAtomics() const;
     std::uint64_t totalReads() const;
@@ -163,6 +193,7 @@ class LlcSystem
     SliceMapper &mapper() { return mapper_; }
     const LlcProfiler &profiler() const { return profiler_; }
     SharingTracker &sharingTracker() { return tracker_; }
+    const SharingTracker &sharingTracker() const { return tracker_; }
     const LlcSystemStats &stats() const { return stats_; }
     const LlcParams &params() const { return params_; }
     /** Most recent profile snapshot (after a decision). */

@@ -58,6 +58,18 @@ class MemorySystem
     /** True when all controllers are empty. */
     bool drained() const;
 
+    /**
+     * Earliest future cycle at which the DRAM subsystem can make
+     * progress, assuming no further requests; kNoCycle when drained.
+     * Conservatively now + 1 while any request is queued or in
+     * flight (FR-FCFS issue eligibility changes cycle by cycle).
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        return drained() ? kNoCycle : now + 1;
+    }
+
     std::uint32_t numMcs() const
     {
         return static_cast<std::uint32_t>(mcs_.size());

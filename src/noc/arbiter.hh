@@ -53,6 +53,30 @@ class RoundRobinArbiter
         return numInputs_;
     }
 
+    /**
+     * Grant among the inputs whose requested output equals @p out.
+     *
+     * Equivalent to grant() on the bit vector
+     * `requests[i] = (requested_out[i] == out)` -- same winner, same
+     * pointer update -- without materializing that vector. Used by
+     * the router's switch allocator, where each input requests at
+     * most one output per cycle.
+     */
+    std::uint32_t
+    grantMatching(const std::vector<std::uint32_t> &requested_out,
+                  std::uint32_t out)
+    {
+        for (std::uint32_t i = 0; i < numInputs_; ++i) {
+            const std::uint32_t cand = (pointer_ + i) % numInputs_;
+            if (cand < requested_out.size() &&
+                requested_out[cand] == out) {
+                pointer_ = (cand + 1) % numInputs_;
+                return cand;
+            }
+        }
+        return numInputs_;
+    }
+
     /** Current pointer position (for tests). */
     std::uint32_t pointer() const { return pointer_; }
 

@@ -1,5 +1,7 @@
 #include "noc/concentrated_xbar.hh"
 
+#include <algorithm>
+
 #include "common/bitutils.hh"
 #include "common/log.hh"
 
@@ -158,6 +160,20 @@ ConcentratedXbarNetwork::tick(Cycle now)
         a->tick(now);
     for (auto &a : repDist_)
         a->tick(now);
+    if (replyHandler_) {
+        for (std::size_t d = 0; d < repDist_.size(); ++d) {
+            const std::uint32_t locals = std::min(
+                conc_, params_.numSms -
+                    static_cast<std::uint32_t>(d) * conc_);
+            for (std::uint32_t local = 0; local < locals; ++local) {
+                while (repDist_[d]->hasMessage(local)) {
+                    const NocMessage msg = repDist_[d]->pop(local);
+                    accountDelivery(repStats_, msg, now);
+                    replyHandler_(msg, now);
+                }
+            }
+        }
+    }
 }
 
 bool

@@ -32,12 +32,8 @@ void
 CrossbarBase::accountDelivery(NetworkStats &stats, const NocMessage &msg,
                               Cycle now) const
 {
-    NetworkStats &s = const_cast<NetworkStats &>(stats);
-    ++s.messagesDelivered;
-    s.flitsDelivered += msg.numFlits(params_.channelWidthBytes);
-    s.totalLatency += now >= msg.injectCycle
-        ? now - msg.injectCycle
-        : 0;
+    Network::accountDelivery(stats, msg, now,
+                             params_.channelWidthBytes);
 }
 
 bool
@@ -107,6 +103,28 @@ CrossbarBase::tick(Cycle now)
         ej->tick(now);
     for (auto &ej : repEj_)
         ej->tick(now);
+    deliverReplies(now);
+}
+
+void
+CrossbarBase::deliverReplies(Cycle now)
+{
+    if (!replyHandler_)
+        return;
+    for (auto &ej : repEj_) {
+        while (ej->hasMessage()) {
+            const NocMessage msg = ej->pop();
+            accountDelivery(repStats_, msg, now);
+            replyHandler_(msg, now);
+        }
+    }
+}
+
+void
+CrossbarBase::advanceIdleCycles(Cycle n)
+{
+    for (auto &r : routers_)
+        r->skipIdleCycles(n);
 }
 
 bool

@@ -40,11 +40,14 @@ class CrossbarBase : public Network
     NocMessage popReplyFor(SmId sm, Cycle now) override;
     void tick(Cycle now) override;
     bool drained() const override;
+    void advanceIdleCycles(Cycle n) override;
     NocActivity activity() const override;
 
     const NocParams &nocParams() const { return params_; }
 
   protected:
+    /** Push all deliverable replies into the installed handler. */
+    void deliverReplies(Cycle now);
     /** Allocate and register a channel. */
     FlitChannel *makeChannel(Cycle flit_latency, std::uint32_t credits,
                              double length_mm);

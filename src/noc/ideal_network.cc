@@ -1,5 +1,7 @@
 #include "noc/ideal_network.hh"
 
+#include <algorithm>
+
 namespace amsc
 {
 
@@ -49,10 +51,8 @@ NocMessage
 IdealNetwork::popRequestFor(SliceId slice, Cycle now)
 {
     NocMessage msg = toSlice_[slice].pop(now);
-    ++reqStats_.messagesDelivered;
-    reqStats_.flitsDelivered +=
-        msg.numFlits(params_.channelWidthBytes);
-    reqStats_.totalLatency += now - msg.injectCycle;
+    accountDelivery(reqStats_, msg, now,
+                    params_.channelWidthBytes);
     return msg;
 }
 
@@ -66,10 +66,8 @@ NocMessage
 IdealNetwork::popReplyFor(SmId sm, Cycle now)
 {
     NocMessage msg = toSm_[sm].pop(now);
-    ++repStats_.messagesDelivered;
-    repStats_.flitsDelivered +=
-        msg.numFlits(params_.channelWidthBytes);
-    repStats_.totalLatency += now - msg.injectCycle;
+    accountDelivery(repStats_, msg, now,
+                    params_.channelWidthBytes);
     return msg;
 }
 
@@ -77,6 +75,32 @@ void
 IdealNetwork::tick(Cycle now)
 {
     now_ = now;
+    if (!replyHandler_)
+        return;
+    for (auto &q : toSm_) {
+        while (q.ready(now)) {
+            const NocMessage msg = q.pop(now);
+            accountDelivery(repStats_, msg, now,
+                            params_.channelWidthBytes);
+            replyHandler_(msg, now);
+        }
+    }
+}
+
+Cycle
+IdealNetwork::nextEventCycle(Cycle now) const
+{
+    (void)now;
+    Cycle next = kNoCycle;
+    for (const auto &q : toSlice_) {
+        if (!q.empty())
+            next = std::min(next, q.frontReadyCycle());
+    }
+    for (const auto &q : toSm_) {
+        if (!q.empty())
+            next = std::min(next, q.frontReadyCycle());
+    }
+    return next;
 }
 
 bool

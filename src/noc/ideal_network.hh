@@ -34,6 +34,7 @@ class IdealNetwork : public Network
     NocMessage popReplyFor(SmId sm, Cycle now) override;
     void tick(Cycle now) override;
     bool drained() const override;
+    Cycle nextEventCycle(Cycle now) const override;
     NocActivity activity() const override;
     std::string name() const override { return "Ideal"; }
 

@@ -15,6 +15,7 @@
 #define AMSC_NOC_NETWORK_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/stats.hh"
@@ -56,7 +57,23 @@ struct NetworkStats
 class Network
 {
   public:
+    /**
+     * Sink for delivered replies (msg.dst = SM id). When installed,
+     * every reply is handed over at the end of tick() in the cycle it
+     * becomes deliverable, instead of waiting in the per-SM ejection
+     * queue for hasReplyFor()/popReplyFor() polling. The delivered
+     * set, per-SM order and accounting are identical to draining the
+     * queues right after tick() returns.
+     */
+    using ReplyHandler = std::function<void(const NocMessage &, Cycle)>;
+
     virtual ~Network() = default;
+
+    /** Install @p fn as the push-delivery sink for replies. */
+    void setReplyHandler(ReplyHandler fn)
+    {
+        replyHandler_ = std::move(fn);
+    }
 
     /** @return true if SM @p sm can inject another request. */
     virtual bool canInjectRequest(SmId sm) const = 0;
@@ -95,6 +112,29 @@ class Network
 
     /** True when no message or flit is anywhere in the network. */
     virtual bool drained() const = 0;
+
+    /**
+     * Earliest future cycle at which the network can deliver or move
+     * anything, assuming no further injections; kNoCycle when empty.
+     * Conservative implementations return now + 1 while non-drained.
+     * Used by the quiescence fast-forward (see docs/performance.md).
+     */
+    virtual Cycle
+    nextEventCycle(Cycle now) const
+    {
+        return drained() ? kNoCycle : now + 1;
+    }
+
+    /**
+     * Account @p n externally skipped idle cycles (per-cycle activity
+     * counters such as router active/gated cycles). The caller
+     * guarantees no network state can change during the skipped
+     * range (nothing becomes deliverable before nextEventCycle());
+     * messages may still be parked in delay queues, so an
+     * implementation must only touch counters that tick()
+     * unconditionally advances.
+     */
+    virtual void advanceIdleCycles(Cycle n) { (void)n; }
 
     /**
      * Reconfigure for the private-LLC mode (H-Xbar bypasses and
@@ -137,8 +177,20 @@ class Network
     }
 
   protected:
+    /** Account one delivered message in @p stats. */
+    void
+    accountDelivery(NetworkStats &stats, const NocMessage &msg,
+                    Cycle now, std::uint32_t channel_width_bytes) const
+    {
+        ++stats.messagesDelivered;
+        stats.flitsDelivered += msg.numFlits(channel_width_bytes);
+        stats.totalLatency +=
+            now >= msg.injectCycle ? now - msg.injectCycle : 0;
+    }
+
     NetworkStats reqStats_;
     NetworkStats repStats_;
+    ReplyHandler replyHandler_;
 };
 
 } // namespace amsc

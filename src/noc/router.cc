@@ -17,9 +17,8 @@ Router::Router(const RouterParams &params, RouteFn route_fn)
     outputs_.resize(params_.numOutPorts);
     for (auto &o : outputs_)
         o.arb.resize(params_.numInPorts);
-    requestScratch_.assign(params_.numOutPorts,
-                           std::vector<bool>(params_.numInPorts, false));
     requestedOut_.assign(params_.numInPorts, kInvalidId);
+    outputRequested_.assign(params_.numOutPorts, 0);
 
     activity_.numInPorts = params_.numInPorts;
     activity_.numOutPorts = params_.numOutPorts;
@@ -89,6 +88,7 @@ Router::acceptArrivals(Cycle now)
                       "(credit protocol violated)",
                       params_.name.c_str());
             in.buffer.emplace_back(eligible, in.in->receive(now));
+            ++bufferedFlits_;
             if (!bypass_)
                 ++activity_.bufferWrites;
         }
@@ -109,6 +109,7 @@ Router::tickBypass(Cycle now)
             continue;
         Flit flit = std::move(in.buffer.front().second);
         in.buffer.pop_front();
+        --bufferedFlits_;
         out.out->send(std::move(flit), now);
         if (in.in != nullptr)
             in.in->returnCredit(now);
@@ -120,10 +121,10 @@ Router::tickBypass(Cycle now)
 void
 Router::tickAllocate(Cycle now)
 {
-    // Request phase: each input nominates its head-of-line flit.
-    for (auto &reqs : requestScratch_)
-        reqs.assign(params_.numInPorts, false);
-
+    // Request phase: each input nominates its head-of-line flit for
+    // exactly one output, so requestedOut_ fully encodes the request
+    // matrix the separable allocator consumes.
+    bool any_request = false;
     for (std::uint32_t i = 0; i < params_.numInPorts; ++i) {
         InputPort &in = inputs_[i];
         requestedOut_[i] = kInvalidId;
@@ -153,14 +154,22 @@ Router::tickAllocate(Cycle now)
         if (out.out == nullptr || !out.out->canSend())
             continue;
 
-        requestScratch_[out_port][i] = true;
         requestedOut_[i] = out_port;
+        outputRequested_[out_port] = 1;
+        any_request = true;
     }
 
-    // Grant phase: per-output round-robin.
-    for (std::uint32_t o = 0; o < params_.numOutPorts; ++o) {
+    // Grant phase: per-output round-robin over requested outputs.
+    // Each input requests at most one output, so grants touch
+    // disjoint inputs and skipping request-free outputs is exact.
+    for (std::uint32_t o = 0;
+         any_request && o < params_.numOutPorts; ++o) {
+        if (outputRequested_[o] == 0)
+            continue;
+        outputRequested_[o] = 0;
         OutputPort &out = outputs_[o];
-        const std::uint32_t winner = out.arb.grant(requestScratch_[o]);
+        const std::uint32_t winner =
+            out.arb.grantMatching(requestedOut_, o);
         if (winner >= params_.numInPorts)
             continue;
         ++activity_.allocRounds;
@@ -168,6 +177,7 @@ Router::tickAllocate(Cycle now)
         InputPort &in = inputs_[winner];
         Flit flit = std::move(in.buffer.front().second);
         in.buffer.pop_front();
+        --bufferedFlits_;
         ++activity_.bufferReads;
         ++activity_.xbarTraversals;
 
@@ -196,6 +206,15 @@ Router::tick(Cycle now)
             out.out->tickSender(now);
     }
     acceptArrivals(now);
+    if (bufferedFlits_ == 0) {
+        // Empty router: allocation (or the bypass walk) cannot move
+        // anything and mutates no state beyond the cycle counters.
+        if (bypass_)
+            ++activity_.gatedCycles;
+        else
+            ++activity_.activeCycles;
+        return;
+    }
     if (bypass_)
         tickBypass(now);
     else

@@ -91,6 +91,20 @@ class Router
     /** True when all input buffers are empty. */
     bool drained() const;
 
+    /**
+     * Account @p n skipped idle ticks: tick() unconditionally counts
+     * one active (or gated, under bypass) cycle, so an external
+     * fast-forward over drained cycles must add the same amount.
+     */
+    void
+    skipIdleCycles(Cycle n)
+    {
+        if (bypass_)
+            activity_.gatedCycles += n;
+        else
+            activity_.activeCycles += n;
+    }
+
     /** Buffer depth seen by upstream credit counters. */
     std::uint32_t
     inputBufferDepth() const
@@ -129,9 +143,17 @@ class Router
     std::vector<OutputPort> outputs_;
     bool bypass_ = false;
     RouterActivity activity_;
-    // Per-tick scratch: requests[out] = input index list.
-    std::vector<std::vector<bool>> requestScratch_;
+    /**
+     * Flits across all input buffers. Gates the allocation scan: with
+     * zero buffered flits, request/grant phases are provable no-ops
+     * (the arbiter pointer only moves on grant), so tick() can skip
+     * straight to the per-cycle activity accounting.
+     */
+    std::uint32_t bufferedFlits_ = 0;
+    // Per-tick scratch: output requested by each input (kInvalidId =
+    // none) and a per-output any-request flag gating the grant scan.
     std::vector<std::uint32_t> requestedOut_;
+    std::vector<std::uint8_t> outputRequested_;
 };
 
 } // namespace amsc

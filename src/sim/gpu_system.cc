@@ -9,6 +9,96 @@
 namespace amsc
 {
 
+bool
+identicalResults(const RunResult &a, const RunResult &b)
+{
+    // Field-drift guards: this function is the determinism gate for
+    // SweepRunner, bench_harness and test_perf_invariance. Adding a
+    // field to any compared struct must extend the matching lambda
+    // below -- on the LP64 CI platform these asserts force that
+    // update (other ABIs may pad differently, so they are scoped).
+#ifdef __LP64__
+    static_assert(sizeof(LlcSystemStats) == 11 * sizeof(std::uint64_t),
+                  "update sameCtrl for the new LlcSystemStats field");
+    static_assert(sizeof(RouterActivity) == 80,
+                  "update sameRouter for the new RouterActivity field");
+    static_assert(sizeof(LinkActivity) == 24,
+                  "update sameLink for the new LinkActivity field");
+    static_assert(sizeof(GpuActivity) == 48,
+                  "update the GpuActivity compare for the new field");
+#endif
+
+    const auto sameCtrl = [](const LlcSystemStats &x,
+                             const LlcSystemStats &y) {
+        return x.profileWindows == y.profileWindows &&
+            x.decisionsPrivate == y.decisionsPrivate &&
+            x.decisionsShared == y.decisionsShared &&
+            x.rule1Fires == y.rule1Fires &&
+            x.rule2Fires == y.rule2Fires &&
+            x.atomicVetoes == y.atomicVetoes &&
+            x.transitionsToPrivate == y.transitionsToPrivate &&
+            x.transitionsToShared == y.transitionsToShared &&
+            x.reconfigStallCycles == y.reconfigStallCycles &&
+            x.cyclesPrivate == y.cyclesPrivate &&
+            x.cyclesShared == y.cyclesShared;
+    };
+    const auto sameRouter = [](const RouterActivity &x,
+                               const RouterActivity &y) {
+        return x.numInPorts == y.numInPorts &&
+            x.numOutPorts == y.numOutPorts && x.numVcs == y.numVcs &&
+            x.vcDepthFlits == y.vcDepthFlits &&
+            x.channelWidthBytes == y.channelWidthBytes &&
+            x.gateable == y.gateable &&
+            x.bufferWrites == y.bufferWrites &&
+            x.bufferReads == y.bufferReads &&
+            x.xbarTraversals == y.xbarTraversals &&
+            x.allocRounds == y.allocRounds &&
+            x.activeCycles == y.activeCycles &&
+            x.gatedCycles == y.gatedCycles &&
+            x.bypassTraversals == y.bypassTraversals;
+    };
+    const auto sameLink = [](const LinkActivity &x,
+                             const LinkActivity &y) {
+        return x.lengthMm == y.lengthMm &&
+            x.widthBytes == y.widthBytes &&
+            x.flitTraversals == y.flitTraversals;
+    };
+
+    if (a.cycles != b.cycles || a.instructions != b.instructions ||
+        a.ipc != b.ipc || a.appIpc != b.appIpc ||
+        a.appInstructions != b.appInstructions ||
+        a.finishedWork != b.finishedWork ||
+        a.llcReadMissRate != b.llcReadMissRate ||
+        a.llcResponseRate != b.llcResponseRate ||
+        a.llcAccesses != b.llcAccesses ||
+        a.dramAccesses != b.dramAccesses ||
+        a.avgRequestLatency != b.avgRequestLatency ||
+        a.avgReplyLatency != b.avgReplyLatency ||
+        a.finalMode != b.finalMode ||
+        a.sharingBuckets != b.sharingBuckets)
+        return false;
+    if (!sameCtrl(a.llcCtrl, b.llcCtrl))
+        return false;
+    if (a.nocActivity.routers.size() != b.nocActivity.routers.size() ||
+        a.nocActivity.links.size() != b.nocActivity.links.size())
+        return false;
+    for (std::size_t i = 0; i < a.nocActivity.routers.size(); ++i) {
+        if (!sameRouter(a.nocActivity.routers[i],
+                        b.nocActivity.routers[i]))
+            return false;
+    }
+    for (std::size_t i = 0; i < a.nocActivity.links.size(); ++i) {
+        if (!sameLink(a.nocActivity.links[i], b.nocActivity.links[i]))
+            return false;
+    }
+    return a.gpuActivity.cycles == b.gpuActivity.cycles &&
+        a.gpuActivity.instructions == b.gpuActivity.instructions &&
+        a.gpuActivity.l1Accesses == b.gpuActivity.l1Accesses &&
+        a.gpuActivity.llcAccesses == b.gpuActivity.llcAccesses &&
+        a.gpuActivity.dramAccesses == b.gpuActivity.dramAccesses &&
+        a.gpuActivity.nocEnergyUj == b.gpuActivity.nocEnergyUj;
+}
+
 GpuSystem::GpuSystem(const SimConfig &config) : config_(config)
 {
     config_.validate();
@@ -31,6 +121,9 @@ GpuSystem::GpuSystem(const SimConfig &config) : config_(config)
                 local * apps / spc);
         }
     }
+    appSms_.resize(apps);
+    for (SmId sm = 0; sm < config_.numSms; ++sm)
+        appSms_[smApp_[sm]].push_back(sm);
 
     llc_ = std::make_unique<LlcSystem>(
         config_.buildLlcParams(), *mapping_, net_.get(), mem_.get(),
@@ -59,7 +152,17 @@ GpuSystem::GpuSystem(const SimConfig &config) : config_(config)
             [this, cluster, app](Addr line) {
                 return llc_->sliceFor(line, cluster, app);
             }));
+        sms_.back()->setDoneCallback([this]() {
+            manageDirty_ = true;
+        });
+        sms_.back()->setRetiredCounter(&instrRetired_);
     }
+
+    // Replies go straight from the NoC into the owning SM the cycle
+    // they become deliverable (no per-SM polling in tickOnce).
+    net_->setReplyHandler([this](const NocMessage &msg, Cycle now) {
+        sms_[msg.dst]->onReply(msg, now);
+    });
 
     workloads_.resize(apps);
     nextKernel_.assign(apps, 0);
@@ -74,24 +177,21 @@ GpuSystem::setWorkload(AppId app, std::vector<KernelInfo> kernels)
     if (app >= workloads_.size())
         fatal("setWorkload: app %u out of range", app);
     workloads_[app] = std::move(kernels);
-}
-
-std::vector<SmId>
-GpuSystem::smsOfApp(AppId app) const
-{
-    std::vector<SmId> out;
-    for (SmId sm = 0; sm < smApp_.size(); ++sm) {
-        if (smApp_[sm] == app)
-            out.push_back(sm);
+    unfinishedApps_ = 0;
+    for (AppId a = 0; a < workloads_.size(); ++a) {
+        if (workloads_[a].empty())
+            continue;
+        if (appRunning_[a] || nextKernel_[a] < workloads_[a].size())
+            ++unfinishedApps_;
     }
-    return out;
+    manageDirty_ = true;
 }
 
 void
 GpuSystem::launchKernel(AppId app, std::size_t kernel_index)
 {
     const KernelInfo &kernel = workloads_[app][kernel_index];
-    const std::vector<SmId> app_sms = smsOfApp(app);
+    const std::vector<SmId> &app_sms = appSms_[app];
     // The app's SM list is cluster-major; its per-cluster width is
     // its share of each cluster (all of it for single-program runs).
     const std::uint32_t app_spc = std::max<std::uint32_t>(
@@ -104,6 +204,14 @@ GpuSystem::launchKernel(AppId app, std::size_t kernel_index)
     for (std::size_t i = 0; i < app_sms.size(); ++i)
         sms_[app_sms[i]]->launchKernel(&kernel, assignment[i], now_);
     appRunning_[app] = true;
+    // A kernel that assigns no work (or whose streams are all empty)
+    // produces no SM completion event; re-arm kernel management so
+    // the next cycle advances past it, as the per-cycle scan did.
+    bool any_busy = false;
+    for (const SmId sm : app_sms)
+        any_busy = any_busy || !sms_[sm]->done();
+    if (!any_busy)
+        manageDirty_ = true;
 }
 
 void
@@ -123,7 +231,7 @@ GpuSystem::manageKernels()
 
         // Check whether the running kernel finished on all its SMs.
         bool done = true;
-        for (const SmId sm : smsOfApp(app)) {
+        for (const SmId sm : appSms_[app]) {
             if (!sms_[sm]->done()) {
                 done = false;
                 break;
@@ -135,12 +243,13 @@ GpuSystem::manageKernels()
         if (nextKernel_[app] < workloads_[app].size()) {
             // Kernel boundary: software coherence flushes the L1s and
             // (if private) the LLC; the controller re-profiles.
-            for (const SmId sm : smsOfApp(app))
+            for (const SmId sm : appSms_[app])
                 sms_[sm]->flushL1();
             llc_->onKernelLaunch(now_);
             launchKernel(app, nextKernel_[app]++);
         } else {
             appRunning_[app] = false;
+            --unfinishedApps_;
         }
     }
 }
@@ -163,13 +272,13 @@ GpuSystem::tickOnce()
 {
     llc_->tick(now_);
     mem_->tick(now_);
-    net_->tick(now_);
-    for (auto &sm : sms_) {
-        while (net_->hasReplyFor(sm->id()))
-            sm->onReply(net_->popReplyFor(sm->id(), now_), now_);
+    net_->tick(now_); // pushes delivered replies into the SMs
+    for (auto &sm : sms_)
         sm->tick(now_);
+    if (manageDirty_) {
+        manageDirty_ = false;
+        manageKernels();
     }
-    manageKernels();
     ++now_;
 }
 
@@ -180,25 +289,60 @@ GpuSystem::step(Cycle n)
         tickOnce();
 }
 
-std::uint64_t
-GpuSystem::totalInstructions() const
+void
+GpuSystem::maybeFastForward()
 {
-    std::uint64_t n = 0;
-    for (const auto &sm : sms_)
-        n += sm->stats().instructions;
-    return n;
+    if (!config_.fastForward || !smsStalled_)
+        return;
+    // A pending kernel-management event must be processed by the next
+    // tick, exactly as the per-cycle loop would.
+    if (manageDirty_)
+        return;
+    // An exhausted instruction budget must still terminate the run at
+    // the next 128-cycle check, not after the skipped range.
+    if (config_.maxInstructions != 0 &&
+        instrRetired_ >= config_.maxInstructions)
+        return;
+    // In-flight L1 hit completions retire instructions even while the
+    // SMs are stalled; slices with queued work pop it cycle by cycle.
+    if (!llc_->drained())
+        return;
+    for (const auto &sm : sms_) {
+        if (sm->hasPendingCompletions())
+            return;
+    }
+    const Cycle target = std::min({llc_->nextTimedEventCycle(),
+                                   net_->nextEventCycle(now_),
+                                   mem_->nextEventCycle(now_)});
+    if (target == kNoCycle)
+        return;
+    const Cycle to = std::min(target, config_.maxCycles);
+    if (to <= now_ + 1)
+        return;
+    // Ticks in [now_, to) are no-ops apart from per-cycle activity
+    // counters; account those and jump. The tick at `to` runs live.
+    const Cycle skipped = to - now_;
+    llc_->advanceIdleCycles(skipped);
+    net_->advanceIdleCycles(skipped);
+    now_ = to;
 }
 
 RunResult
 GpuSystem::run()
 {
+    manageDirty_ = false;
     manageKernels(); // initial launches
     while (now_ < config_.maxCycles) {
+        if (smsStalled_) {
+            maybeFastForward();
+            if (now_ >= config_.maxCycles)
+                break;
+        }
         tickOnce();
-        if (allWorkDone())
+        if (unfinishedApps_ == 0)
             break;
         if (config_.maxInstructions != 0 && (now_ & 127) == 0 &&
-            totalInstructions() >= config_.maxInstructions)
+            instrRetired_ >= config_.maxInstructions)
             break;
     }
     return collect();
@@ -209,7 +353,7 @@ GpuSystem::collect() const
 {
     RunResult r;
     r.cycles = now_;
-    r.instructions = totalInstructions();
+    r.instructions = instrRetired_;
     r.ipc = now_ == 0 ? 0.0
                       : static_cast<double>(r.instructions) /
             static_cast<double>(now_);
@@ -240,11 +384,8 @@ GpuSystem::collect() const
 
     r.finalMode = llc_->mode(0);
     r.llcCtrl = llc_->stats();
-    for (std::size_t b = 0; b < 4; ++b) {
-        r.sharingBuckets[b] = const_cast<LlcSystem &>(*llc_)
-                                  .sharingTracker()
-                                  .bucketFraction(b);
-    }
+    for (std::size_t b = 0; b < 4; ++b)
+        r.sharingBuckets[b] = llc_->sharingTracker().bucketFraction(b);
 
     r.nocActivity = net_->activity();
 

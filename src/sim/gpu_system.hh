@@ -6,6 +6,13 @@
  * Fig 6), owns the cycle loop, manages kernel launches per
  * application (including the multi-program SM partitioning of Fig 9)
  * and assembles the run metrics the benches report.
+ *
+ * The cycle core is event-assisted: replies are pushed from the NoC
+ * straight into the SMs (no per-SM polling), kernel management runs
+ * only on kernel-state transitions, instruction retirement feeds a
+ * running counter, and fully-quiescent reconfiguration stalls are
+ * fast-forwarded. All of it is bit-exact with the naive per-cycle
+ * loop (tests/test_perf_invariance.cc, docs/performance.md).
  */
 
 #ifndef AMSC_SIM_GPU_SYSTEM_HH
@@ -60,6 +67,14 @@ struct RunResult
     GpuActivity gpuActivity{};
 };
 
+/**
+ * Field-by-field bitwise equality of two run results, including the
+ * controller statistics and the NoC/GPU activity snapshots. This is
+ * the determinism contract of the optimized cycle core and of
+ * SweepRunner: "identical" means *identical*, not "close".
+ */
+bool identicalResults(const RunResult &a, const RunResult &b);
+
 /** The simulated GPU. */
 class GpuSystem
 {
@@ -93,6 +108,7 @@ class GpuSystem
     const SimConfig &config() const { return config_; }
     Network &network() { return *net_; }
     LlcSystem &llc() { return *llc_; }
+    const LlcSystem &llc() const { return *llc_; }
     MemorySystem &memory() { return *mem_; }
     Sm &sm(SmId id) { return *sms_[id]; }
     std::uint32_t numSms() const
@@ -102,13 +118,16 @@ class GpuSystem
     Cycle now() const { return now_; }
 
     /** SMs (cluster-major) belonging to application @p app. */
-    std::vector<SmId> smsOfApp(AppId app) const;
+    const std::vector<SmId> &smsOfApp(AppId app) const
+    {
+        return appSms_[app];
+    }
 
     /** Application owning SM @p sm. */
     AppId appOf(SmId sm) const { return smApp_[sm]; }
 
-    /** Total instructions retired so far. */
-    std::uint64_t totalInstructions() const;
+    /** Total instructions retired so far (running counter, O(1)). */
+    std::uint64_t totalInstructions() const { return instrRetired_; }
 
     /** Register all statistics into @p set. */
     void registerStats(StatSet &set) const;
@@ -118,6 +137,12 @@ class GpuSystem
     void manageKernels();
     void launchKernel(AppId app, std::size_t kernel_index);
     bool allWorkDone() const;
+    /**
+     * While every SM is stalled for an LLC reconfiguration and NoC,
+     * DRAM and LLC are quiescent, jump now_ to the next cycle at
+     * which anything can happen instead of empty-ticking towards it.
+     */
+    void maybeFastForward();
 
     SimConfig config_;
     std::unique_ptr<AddressMapping> mapping_;
@@ -126,6 +151,8 @@ class GpuSystem
     std::unique_ptr<LlcSystem> llc_;
     std::vector<std::unique_ptr<Sm>> sms_;
     std::vector<AppId> smApp_;
+    /** Per-app SM lists (cluster-major), built once at construction. */
+    std::vector<std::vector<SmId>> appSms_;
 
     /** Kernel sequences per application. */
     std::vector<std::vector<KernelInfo>> workloads_;
@@ -134,6 +161,12 @@ class GpuSystem
 
     Cycle now_ = 0;
     bool smsStalled_ = false;
+    /** Kernel state changed; manageKernels() must run this cycle. */
+    bool manageDirty_ = true;
+    /** Apps that still have kernels to launch or finish. */
+    std::uint32_t unfinishedApps_ = 0;
+    /** Running whole-GPU retirement counter (fed by the SMs). */
+    std::uint64_t instrRetired_ = 0;
 };
 
 } // namespace amsc

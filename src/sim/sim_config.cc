@@ -168,6 +168,7 @@ SimConfig::applyKv(const KvArgs &args)
     maxCycles = args.getUint("max_cycles", maxCycles);
     maxInstructions = args.getUint("max_instructions", maxInstructions);
     seed = args.getUint("seed", seed);
+    fastForward = args.getBool("fast_forward", fastForward);
     traceRecordPath = args.getString("trace_record", traceRecordPath);
     traceReplayPath = args.getString("trace_replay", traceReplayPath);
     validate();

@@ -97,6 +97,13 @@ struct SimConfig
     Cycle maxCycles = 200000;
     std::uint64_t maxInstructions = 0; ///< 0 = unlimited
     std::uint64_t seed = 42;
+    /**
+     * Skip fully-quiescent stall cycles (LLC reconfiguration
+     * countdowns) instead of empty-ticking them. Bit-exact with the
+     * unskipped run (see docs/performance.md); the switch exists so
+     * tests can prove that.
+     */
+    bool fastForward = true;
 
     // ---- trace capture / replay (src/trace) ------------------------
     /** Record the run's warp streams to this trace file. */

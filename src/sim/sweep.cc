@@ -1,0 +1,108 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace amsc
+{
+
+SweepRunner::SweepRunner(unsigned num_threads)
+    : threads_(num_threads == 0 ? defaultThreads() : num_threads)
+{
+}
+
+unsigned
+SweepRunner::defaultThreads()
+{
+    if (const char *env = std::getenv("AMSC_SWEEP_THREADS")) {
+        const long n = std::atol(env);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+        warn("AMSC_SWEEP_THREADS='%s' ignored", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+SweepRunner::parallelFor(
+    std::size_t n, const std::function<void(std::size_t)> &fn) const
+{
+    if (n == 0)
+        return;
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(threads_, n));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                // Stop handing out further work.
+                next.store(n, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+RunResult
+SweepRunner::runPoint(const SweepPoint &point)
+{
+    GpuSystem gpu(point.cfg);
+    if (point.setup) {
+        point.setup(gpu);
+    } else {
+        for (AppId a = 0;
+             a < static_cast<AppId>(point.apps.size()); ++a) {
+            gpu.setWorkload(a, WorkloadSuite::buildKernels(
+                                   point.apps[a], point.cfg.seed, a));
+        }
+    }
+    RunResult r = gpu.run();
+    if (point.post)
+        point.post(gpu, r);
+    return r;
+}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<SweepPoint> &points) const
+{
+    std::vector<RunResult> results(points.size());
+    parallelFor(points.size(), [&](std::size_t i) {
+        results[i] = runPoint(points[i]);
+    });
+    return results;
+}
+
+} // namespace amsc

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Multi-threaded sweep engine for configuration/workload grids.
+ *
+ * Every figure and ablation bench evaluates many independent
+ * (SimConfig, workload) points; SweepRunner executes them on a
+ * thread pool with deterministic, order-stable result collection:
+ * point i's result lands in slot i no matter which thread ran it or
+ * in what order the points finished, and every point builds its own
+ * GpuSystem, so an N-thread sweep returns bit-identical results to a
+ * sequential loop (tests/test_perf_invariance.cc).
+ *
+ * The engine is two-layered: parallelFor() runs arbitrary
+ * independent jobs; run() adds the standard build-run-collect recipe
+ * for simulation points (workload construction from WorkloadSpecs,
+ * optional custom setup, optional post-run metric extraction).
+ */
+
+#ifndef AMSC_SIM_SWEEP_HH
+#define AMSC_SIM_SWEEP_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/gpu_system.hh"
+#include "workloads/suite.hh"
+
+namespace amsc
+{
+
+/** One point of a sweep: a configuration plus its workload(s). */
+struct SweepPoint
+{
+    SimConfig cfg;
+    /**
+     * Per-application workloads; app i receives
+     * WorkloadSuite::buildKernels(apps[i], cfg.seed, i). Ignored when
+     * @ref setup is set.
+     */
+    std::vector<WorkloadSpec> apps;
+    /** Custom workload installation (overrides @ref apps). */
+    std::function<void(GpuSystem &)> setup;
+    /**
+     * Runs after GpuSystem::run() on the worker thread, with the
+     * system still alive: extract extra metrics (profiler snapshots,
+     * sharing buckets, cache contents) into the result or into
+     * caller-owned per-point slots.
+     */
+    std::function<void(GpuSystem &, RunResult &)> post;
+    /** Display label (bench tables, BENCH_core.json). */
+    std::string label;
+};
+
+/** Deterministic thread-pool executor for sweeps. */
+class SweepRunner
+{
+  public:
+    /**
+     * @param num_threads worker count; 0 picks defaultThreads().
+     */
+    explicit SweepRunner(unsigned num_threads = 0);
+
+    /** Worker count this runner uses. */
+    unsigned numThreads() const { return threads_; }
+
+    /**
+     * AMSC_SWEEP_THREADS if set, else the hardware concurrency
+     * (at least 1).
+     */
+    static unsigned defaultThreads();
+
+    /**
+     * Execute fn(0) .. fn(n-1) across the worker threads. Jobs must
+     * be mutually independent; each index runs exactly once. The
+     * first exception thrown by any job is rethrown here after all
+     * workers stop picking up new work.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn) const;
+
+    /**
+     * Run all points concurrently; result i corresponds to points[i].
+     * Bit-identical to calling runPoint() in a sequential loop.
+     */
+    std::vector<RunResult>
+    run(const std::vector<SweepPoint> &points) const;
+
+    /** Build, run and collect one point (the sequential reference). */
+    static RunResult runPoint(const SweepPoint &point);
+
+  private:
+    unsigned threads_;
+};
+
+} // namespace amsc
+
+#endif // AMSC_SIM_SWEEP_HH
