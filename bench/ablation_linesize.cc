@@ -125,7 +125,8 @@ main(int argc, char **argv)
             points.push_back(std::move(p));
         }
     }
-    const std::vector<RunResult> results = runner.run(points);
+    const std::vector<RunResult> results =
+        runAndEmit(args, runner, points);
 
     std::printf("# Ablation: cache line size (workload NN)\n\n");
     std::printf("| line size | avg sharers/line | shared IPC | "

@@ -42,7 +42,8 @@ main(int argc, char **argv)
         points.push_back(
             policyPoint(base, spec, LlcPolicy::ForceShared));
     }
-    const std::vector<RunResult> results = runner.run(points);
+    const std::vector<RunResult> results =
+        runAndEmit(args, runner, points);
 
     std::printf("# Ablation: profiler prediction accuracy (section "
                 "4.4 models)\n\n");

@@ -42,7 +42,8 @@ main(int argc, char **argv)
         cfg.gateDelay = delay;
         points.push_back(policyPoint(cfg, spec, LlcPolicy::Adaptive));
     }
-    const std::vector<RunResult> results = runner.run(points);
+    const std::vector<RunResult> results =
+        runAndEmit(args, runner, points);
     const RunResult &priv = results[0];
 
     std::printf("# Ablation: reconfiguration overhead (workload AN)"

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/kvargs.hh"
+#include "scenario/emit.hh"
 #include "sim/gpu_system.hh"
 #include "sim/sweep.hh"
 #include "workloads/suite.hh"
@@ -56,6 +57,20 @@ benchRunner(const KvArgs &args)
 {
     return SweepRunner(
         static_cast<unsigned>(args.getUint("threads", 0)));
+}
+
+/**
+ * Run the whole grid and additionally honour `json=FILE` / `csv=FILE`
+ * overrides: every bench can dump its raw per-point metrics in the
+ * scenario emitters' stable column format next to its table output.
+ */
+inline std::vector<RunResult>
+runAndEmit(const KvArgs &args, const SweepRunner &runner,
+           const std::vector<SweepPoint> &points)
+{
+    std::vector<RunResult> results = runner.run(points);
+    scenario::maybeEmit(args, points, results);
+    return results;
 }
 
 /** Sweep point: one workload under one LLC policy. */

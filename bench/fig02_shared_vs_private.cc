@@ -32,7 +32,8 @@ main(int argc, char **argv)
                 policyPoint(cfg, spec, LlcPolicy::ForcePrivate));
         }
     }
-    const std::vector<RunResult> results = runner.run(points);
+    const std::vector<RunResult> results =
+        runAndEmit(args, runner, points);
 
     std::printf("# Figure 2: shared vs private memory-side LLC "
                 "(normalized IPC)\n\n");

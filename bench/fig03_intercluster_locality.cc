@@ -43,7 +43,8 @@ main(int argc, char **argv)
             points.push_back(std::move(p));
         }
     }
-    const std::vector<RunResult> results = runner.run(points);
+    const std::vector<RunResult> results =
+        runAndEmit(args, runner, points);
 
     std::printf("# Figure 3: inter-cluster locality "
                 "(%% of LLC lines, 1000-cycle windows)\n\n");

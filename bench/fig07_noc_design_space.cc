@@ -75,7 +75,8 @@ main(int argc, char **argv)
             points.push_back(
                 policyPoint(cfg, *spec, LlcPolicy::ForceShared));
     }
-    const std::vector<RunResult> results = runner.run(points);
+    const std::vector<RunResult> results =
+        runAndEmit(args, runner, points);
 
     std::printf("# Figure 7: NoC design space (Full vs C-Xbar vs "
                 "H-Xbar at equal bisection bandwidth)\n\n");

@@ -30,7 +30,8 @@ main(int argc, char **argv)
         for (const WorkloadSpec &spec : WorkloadSuite::byClass(klass))
             triples.push_back(pushPolicyTriple(points, cfg, spec));
     }
-    const std::vector<RunResult> results = runner.run(points);
+    const std::vector<RunResult> results =
+        runAndEmit(args, runner, points);
 
     std::printf("# Figure 11: shared vs private vs adaptive LLC "
                 "(normalized IPC)\n\n");

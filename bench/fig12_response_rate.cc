@@ -28,7 +28,8 @@ main(int argc, char **argv)
     for (const WorkloadSpec &spec :
          WorkloadSuite::byClass(WorkloadClass::PrivateFriendly))
         triples.push_back(pushPolicyTriple(points, cfg, spec));
-    const std::vector<RunResult> results = runner.run(points);
+    const std::vector<RunResult> results =
+        runAndEmit(args, runner, points);
 
     std::printf("# Figure 12: LLC response rate (flits/cycle), "
                 "private-cache-friendly apps\n\n");

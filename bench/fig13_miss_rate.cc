@@ -26,7 +26,8 @@ main(int argc, char **argv)
     for (const WorkloadSpec &spec :
          WorkloadSuite::byClass(WorkloadClass::SharedFriendly))
         triples.push_back(pushPolicyTriple(points, cfg, spec));
-    const std::vector<RunResult> results = runner.run(points);
+    const std::vector<RunResult> results =
+        runAndEmit(args, runner, points);
 
     std::printf("# Figure 13: LLC read miss rate, "
                 "shared-cache-friendly apps\n\n");

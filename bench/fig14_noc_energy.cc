@@ -39,7 +39,8 @@ main(int argc, char **argv)
                 policyPoint(cfg, spec, LlcPolicy::Adaptive));
         }
     }
-    const std::vector<RunResult> results = runner.run(points);
+    const std::vector<RunResult> results =
+        runAndEmit(args, runner, points);
 
     std::printf("# Figure 14: NoC energy, adaptive vs shared LLC "
                 "(per kilo-instruction)\n\n");

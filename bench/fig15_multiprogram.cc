@@ -61,7 +61,8 @@ main(int argc, char **argv)
         points.push_back(jointPoint(sf, pf, LlcPolicy::ForceShared,
                                     LlcPolicy::ForcePrivate));
     }
-    const std::vector<RunResult> results = runner.run(points);
+    const std::vector<RunResult> results =
+        runAndEmit(args, runner, points);
 
     std::printf("# Figure 15: multi-program STP, shared vs adaptive "
                 "LLC (30 pairs)\n\n");

@@ -95,7 +95,8 @@ main(int argc, char **argv)
                 policyPoint(cfg, spec, LlcPolicy::Adaptive));
         }
     }
-    const std::vector<RunResult> results = runner.run(grid);
+    const std::vector<RunResult> results =
+        runAndEmit(args, runner, grid);
 
     std::printf("# Figure 16: sensitivity of the adaptive-LLC gain "
                 "(AN/NN/MM harmonic mean)\n\n");

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "common/log.hh"
+#include "common/strutil.hh"
 
 namespace amsc
 {
@@ -29,12 +32,163 @@ KvArgs::parse(const std::vector<std::string> &args)
             out.positionals_.push_back(arg);
             continue;
         }
-        const std::string key = arg.substr(0, eq);
-        const std::string value = arg.substr(eq + 1);
-        out.kv_[key] = value;
-        out.used_[key] = false;
+        out.insert(arg.substr(0, eq), arg.substr(eq + 1));
     }
     return out;
+}
+
+void
+KvArgs::insert(const std::string &key, const std::string &value)
+{
+    if (kv_.count(key) == 0)
+        order_.push_back(key);
+    kv_[key] = value;
+    used_[key] = false;
+}
+
+void
+KvArgs::set(const std::string &key, const std::string &value)
+{
+    insert(key, value);
+}
+
+void
+KvArgs::renamePrefix(const std::string &from, const std::string &to)
+{
+    for (auto &key : order_) {
+        if (!startsWith(key, from))
+            continue;
+        const std::string renamed = to + key.substr(from.size());
+        kv_[renamed] = kv_.at(key);
+        kv_.erase(key);
+        used_[renamed] = used_.at(key);
+        used_.erase(key);
+        key = renamed;
+    }
+}
+
+namespace
+{
+
+/**
+ * Strip a trailing `#` / `//` comment from a line, honouring one
+ * level of double quotes.
+ */
+std::string
+stripComment(const std::string &line)
+{
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (c == '"')
+            quoted = !quoted;
+        if (quoted)
+            continue;
+        if (c == '#')
+            return line.substr(0, i);
+        if (c == '/' && i + 1 < line.size() && line[i + 1] == '/')
+            return line.substr(0, i);
+    }
+    return line;
+}
+
+/** Remove one level of surrounding double quotes, if present. */
+std::string
+unquote(const std::string &s)
+{
+    if (s.size() >= 2 && s.front() == '"' && s.back() == '"')
+        return s.substr(1, s.size() - 2);
+    return s;
+}
+
+std::string
+joinPath(const std::vector<std::string> &stack)
+{
+    std::string out;
+    for (const auto &c : stack) {
+        if (!out.empty())
+            out += '.';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+KvArgs
+KvArgs::parseText(const std::string &text, const std::string &origin,
+                  const std::vector<std::string> &indexed)
+{
+    KvArgs out;
+    std::vector<std::string> stack; ///< resolved block components
+    /** (parent-path, block name) -> occurrences seen so far. */
+    std::map<std::string, int> block_count;
+    const auto is_indexed = [&indexed](const std::string &name) {
+        return std::find(indexed.begin(), indexed.end(), name) !=
+            indexed.end();
+    };
+
+    std::istringstream is(text);
+    std::string raw;
+    int lineno = 0;
+    while (std::getline(is, raw)) {
+        ++lineno;
+        const std::string line = trim(stripComment(raw));
+        if (line.empty())
+            continue;
+
+        if (line == "}") {
+            if (stack.empty())
+                fatal("%s:%d: unmatched '}'", origin.c_str(), lineno);
+            stack.pop_back();
+            continue;
+        }
+        if (line.back() == '{') {
+            const std::string name = trim(line.substr(0, line.size() - 1));
+            if (name.empty() || name.find('=') != std::string::npos)
+                fatal("%s:%d: malformed block header '%s'",
+                      origin.c_str(), lineno, line.c_str());
+            const std::string parent = joinPath(stack);
+            const std::string full =
+                parent.empty() ? name : parent + "." + name;
+            // Indexed (repeatable) blocks: the second occurrence
+            // retroactively moves the first one's keys under an
+            // explicit ".0". Any other repeated block merges.
+            const int n = is_indexed(name) ? block_count[full]++ : 0;
+            if (n == 1)
+                out.renamePrefix(full + ".", full + ".0.");
+            stack.push_back(n == 0 ? name
+                                   : name + "." + std::to_string(n));
+            continue;
+        }
+        const auto eq = line.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fatal("%s:%d: expected 'key = value', got '%s'",
+                  origin.c_str(), lineno, line.c_str());
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = unquote(trim(line.substr(eq + 1)));
+        if (key.empty() || key.find(' ') != std::string::npos)
+            fatal("%s:%d: malformed key in '%s'", origin.c_str(),
+                  lineno, line.c_str());
+        const std::string parent = joinPath(stack);
+        out.insert(parent.empty() ? key : parent + "." + key, value);
+    }
+    if (!stack.empty())
+        fatal("%s: unterminated block '%s'", origin.c_str(),
+              stack.back().c_str());
+    return out;
+}
+
+KvArgs
+KvArgs::parseFile(const std::string &path,
+                  const std::vector<std::string> &indexed)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot open scenario file '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return parseText(ss.str(), path, indexed);
 }
 
 bool
@@ -60,23 +214,17 @@ KvArgs::getInt(const std::string &key, std::int64_t def) const
     if (it == kv_.end())
         return def;
     used_[key] = true;
-    errno = 0;
-    char *end = nullptr;
-    const long long v = std::strtoll(it->second.c_str(), &end, 0);
-    if (errno != 0 || end == it->second.c_str() || *end != '\0')
-        fatal("malformed integer for key '%s': '%s'", key.c_str(),
-              it->second.c_str());
-    return v;
+    return parseIntValue(key.c_str(), it->second);
 }
 
 std::uint64_t
 KvArgs::getUint(const std::string &key, std::uint64_t def) const
 {
-    const std::int64_t v =
-        getInt(key, static_cast<std::int64_t>(def));
-    if (v < 0)
-        fatal("negative value for unsigned key '%s'", key.c_str());
-    return static_cast<std::uint64_t>(v);
+    const auto it = kv_.find(key);
+    if (it == kv_.end())
+        return def;
+    used_[key] = true;
+    return parseUintValue(key.c_str(), it->second);
 }
 
 double
@@ -86,13 +234,7 @@ KvArgs::getDouble(const std::string &key, double def) const
     if (it == kv_.end())
         return def;
     used_[key] = true;
-    errno = 0;
-    char *end = nullptr;
-    const double v = std::strtod(it->second.c_str(), &end);
-    if (errno != 0 || end == it->second.c_str() || *end != '\0')
-        fatal("malformed float for key '%s': '%s'", key.c_str(),
-              it->second.c_str());
-    return v;
+    return parseDoubleValue(key.c_str(), it->second);
 }
 
 bool
@@ -102,15 +244,28 @@ KvArgs::getBool(const std::string &key, bool def) const
     if (it == kv_.end())
         return def;
     used_[key] = true;
-    std::string v = it->second;
-    std::transform(v.begin(), v.end(), v.begin(),
-                   [](unsigned char c) { return std::tolower(c); });
-    if (v == "1" || v == "true" || v == "yes" || v == "on")
-        return true;
-    if (v == "0" || v == "false" || v == "no" || v == "off")
-        return false;
-    fatal("malformed bool for key '%s': '%s'", key.c_str(),
-          it->second.c_str());
+    return parseBoolValue(key.c_str(), it->second);
+}
+
+std::vector<std::string>
+KvArgs::getList(const std::string &key) const
+{
+    const auto it = kv_.find(key);
+    if (it == kv_.end())
+        return {};
+    used_[key] = true;
+    return splitList(it->second);
+}
+
+std::vector<std::string>
+KvArgs::keysWithPrefix(const std::string &prefix) const
+{
+    std::vector<std::string> out;
+    for (const auto &key : order_) {
+        if (startsWith(key, prefix))
+            out.push_back(key);
+    }
+    return out;
 }
 
 std::vector<std::string>

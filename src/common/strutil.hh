@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Small string helpers shared by the key=value machinery.
+ *
+ * Used by KvArgs (scenario-file parsing, list values, typed getters),
+ * the SimConfig key registry (the same value-parsing contract, so
+ * error messages cannot drift between the two) and the scenario
+ * schema (nearest-key suggestions for unknown-key error messages).
+ */
+
+#ifndef AMSC_COMMON_STRUTIL_HH
+#define AMSC_COMMON_STRUTIL_HH
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace amsc
+{
+
+/** Strip leading and trailing whitespace. */
+inline std::string
+trim(const std::string &s)
+{
+    const auto first = s.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos)
+        return "";
+    const auto last = s.find_last_not_of(" \t\r\n");
+    return s.substr(first, last - first + 1);
+}
+
+/**
+ * Split @p s on @p sep, trimming each element. Empty elements are
+ * dropped, so "a, b,,c" yields {"a","b","c"}.
+ */
+inline std::vector<std::string>
+splitList(const std::string &s, char sep = ',')
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const auto end = s.find(sep, start);
+        const std::string item = trim(
+            s.substr(start, end == std::string::npos ? std::string::npos
+                                                     : end - start));
+        if (!item.empty())
+            out.push_back(item);
+        if (end == std::string::npos)
+            break;
+        start = end + 1;
+    }
+    return out;
+}
+
+/**
+ * Parse an integer value (base auto-detected, so 0x40 works);
+ * fatal() naming @p key on malformed input.
+ */
+inline std::int64_t
+parseIntValue(const char *key, const std::string &v)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long long n = std::strtoll(v.c_str(), &end, 0);
+    if (errno != 0 || end == v.c_str() || *end != '\0')
+        fatal("malformed integer for key '%s': '%s'", key, v.c_str());
+    return n;
+}
+
+/** parseIntValue() rejecting negatives. */
+inline std::uint64_t
+parseUintValue(const char *key, const std::string &v)
+{
+    const std::int64_t n = parseIntValue(key, v);
+    if (n < 0)
+        fatal("negative value for unsigned key '%s'", key);
+    return static_cast<std::uint64_t>(n);
+}
+
+/** Parse a floating-point value; fatal() naming @p key. */
+inline double
+parseDoubleValue(const char *key, const std::string &v)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double d = std::strtod(v.c_str(), &end);
+    if (errno != 0 || end == v.c_str() || *end != '\0')
+        fatal("malformed float for key '%s': '%s'", key, v.c_str());
+    return d;
+}
+
+/** Parse 1/0/true/false/yes/no/on/off; fatal() naming @p key. */
+inline bool
+parseBoolValue(const char *key, const std::string &value)
+{
+    std::string v = value;
+    std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    if (v == "1" || v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "0" || v == "false" || v == "no" || v == "off")
+        return false;
+    fatal("malformed bool for key '%s': '%s'", key, value.c_str());
+}
+
+/** @return true if @p s starts with @p prefix. */
+inline bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+        s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/**
+ * Levenshtein edit distance; powers the "did you mean" suggestions
+ * in unknown-key error messages.
+ */
+inline std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t prev = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               prev + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            prev = up;
+        }
+    }
+    return row[b.size()];
+}
+
+/** Nearest candidate to @p key by edit distance ("" if none). */
+inline std::string
+nearestOf(const std::string &key,
+          const std::vector<std::string> &candidates)
+{
+    std::string best;
+    std::size_t best_d = static_cast<std::size_t>(-1);
+    for (const auto &c : candidates) {
+        const std::size_t d = editDistance(key, c);
+        if (d < best_d) {
+            best_d = d;
+            best = c;
+        }
+    }
+    return best;
+}
+
+} // namespace amsc
+
+#endif // AMSC_COMMON_STRUTIL_HH

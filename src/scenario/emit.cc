@@ -1,0 +1,263 @@
+#include "scenario/emit.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "power/gpu_energy.hh"
+#include "power/noc_power.hh"
+
+namespace amsc::scenario
+{
+
+namespace
+{
+
+/** Round-trip-exact double rendering. */
+std::string
+d17(double v)
+{
+    return strfmt("%.17g", v);
+}
+
+/** One rendered metric cell: name, value text, whether JSON quotes it. */
+struct Cell
+{
+    std::string name;
+    std::string value;
+    bool quoted = false;
+};
+
+/**
+ * The metric schema. Power/energy are derived from the activity
+ * snapshots with the same models the figure benches use (1.4 GHz
+ * core clock), so the emitted row is self-contained.
+ */
+std::vector<Cell>
+metricCells(const RunResult &r)
+{
+    const NocPowerResult noc =
+        NocPowerModel{}.evaluate(r.nocActivity, r.cycles);
+    GpuActivity act = r.gpuActivity;
+    act.nocEnergyUj = noc.totalEnergyUj();
+    const double sys_uj = GpuEnergyModel{}.evaluate(act).totalUj();
+
+    std::string app_ipc;
+    for (std::size_t i = 0; i < r.appIpc.size(); ++i)
+        app_ipc += (i ? "+" : "") + d17(r.appIpc[i]);
+
+    return {
+        {"cycles", std::to_string(r.cycles), false},
+        {"instructions", std::to_string(r.instructions), false},
+        {"ipc", d17(r.ipc), false},
+        {"finished", r.finishedWork ? "true" : "false", false},
+        {"llc_read_miss_rate", d17(r.llcReadMissRate), false},
+        {"llc_response_rate", d17(r.llcResponseRate), false},
+        {"llc_accesses", std::to_string(r.llcAccesses), false},
+        {"dram_accesses", std::to_string(r.dramAccesses), false},
+        {"avg_request_latency", d17(r.avgRequestLatency), false},
+        {"avg_reply_latency", d17(r.avgReplyLatency), false},
+        {"final_llc_mode", llcModeName(r.finalMode), true},
+        {"llc_to_private",
+         std::to_string(r.llcCtrl.transitionsToPrivate), false},
+        {"llc_to_shared",
+         std::to_string(r.llcCtrl.transitionsToShared), false},
+        {"reconfig_stall_cycles",
+         std::to_string(r.llcCtrl.reconfigStallCycles), false},
+        {"sharing_1c", d17(r.sharingBuckets[0]), false},
+        {"sharing_2c", d17(r.sharingBuckets[1]), false},
+        {"sharing_3_4c", d17(r.sharingBuckets[2]), false},
+        {"sharing_5_8c", d17(r.sharingBuckets[3]), false},
+        {"app_ipc", app_ipc, true},
+        {"noc_energy_uj", d17(noc.totalEnergyUj()), false},
+        {"noc_buffer_uj", d17(noc.energyUj.buffer), false},
+        {"noc_xbar_uj", d17(noc.energyUj.crossbar), false},
+        {"noc_link_uj", d17(noc.energyUj.links), false},
+        {"noc_other_uj", d17(noc.energyUj.other), false},
+        {"noc_area_mm2", d17(noc.totalAreaMm2()), false},
+        {"sys_energy_uj", d17(sys_uj), false},
+    };
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/** RFC-4180 quoting for label/axis cells that need it. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+metricColumns()
+{
+    static const std::vector<std::string> cols = [] {
+        std::vector<std::string> out;
+        for (const Cell &c : metricCells(RunResult{}))
+            out.push_back(c.name);
+        return out;
+    }();
+    return cols;
+}
+
+std::vector<EmitPoint>
+emitPoints(const std::vector<ExpandedPoint> &points)
+{
+    std::vector<EmitPoint> out;
+    out.reserve(points.size());
+    for (const ExpandedPoint &p : points)
+        out.push_back({p.point.label, p.coords});
+    return out;
+}
+
+std::vector<EmitPoint>
+emitPoints(const std::vector<SweepPoint> &points)
+{
+    std::vector<EmitPoint> out;
+    out.reserve(points.size());
+    for (const SweepPoint &p : points)
+        out.push_back({p.label, {}});
+    return out;
+}
+
+std::vector<std::string>
+axisColumns(const std::vector<EmitPoint> &points)
+{
+    std::vector<std::string> out;
+    for (const EmitPoint &p : points) {
+        for (const auto &[key, value] : p.coords) {
+            if (std::find(out.begin(), out.end(), key) == out.end())
+                out.push_back(key);
+        }
+    }
+    return out;
+}
+
+std::string
+emitCsv(const std::vector<EmitPoint> &points,
+        const std::vector<RunResult> &results)
+{
+    const std::vector<std::string> axes = axisColumns(points);
+    std::ostringstream os;
+    os << "label";
+    for (const std::string &a : axes)
+        os << "," << a;
+    for (const std::string &m : metricColumns())
+        os << "," << m;
+    os << "\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        os << csvField(points[i].label);
+        for (const std::string &a : axes) {
+            os << ",";
+            for (const auto &[key, value] : points[i].coords) {
+                if (key == a) {
+                    os << csvField(value);
+                    break;
+                }
+            }
+        }
+        for (const Cell &c : metricCells(results[i]))
+            os << "," << c.value;
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+emitJson(const std::string &scenario,
+         const std::vector<EmitPoint> &points,
+         const std::vector<RunResult> &results)
+{
+    std::ostringstream os;
+    os << "{\n  \"scenario\": \"" << jsonEscape(scenario)
+       << "\",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        os << "    {\"label\": \"" << jsonEscape(points[i].label)
+           << "\", \"axes\": {";
+        for (std::size_t a = 0; a < points[i].coords.size(); ++a) {
+            os << (a ? ", " : "") << "\""
+               << jsonEscape(points[i].coords[a].first) << "\": \""
+               << jsonEscape(points[i].coords[a].second) << "\"";
+        }
+        os << "}, \"metrics\": {";
+        const auto cells = metricCells(results[i]);
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c ? ", " : "") << "\"" << cells[c].name << "\": ";
+            if (cells[c].quoted)
+                os << "\"" << jsonEscape(cells[c].value) << "\"";
+            else
+                os << cells[c].value;
+        }
+        os << "}}" << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+std::string
+renderTable(const std::vector<EmitPoint> &points,
+            const std::vector<RunResult> &results)
+{
+    std::ostringstream os;
+    os << "| point | IPC | cycles | instructions | LLC miss | final "
+          "mode |\n|---|---|---|---|---|---|\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const RunResult &r = results[i];
+        os << "| " << points[i].label << " | "
+           << strfmt("%.2f", r.ipc) << " | " << r.cycles << " | "
+           << r.instructions << " | "
+           << strfmt("%.3f", r.llcReadMissRate) << " | "
+           << llcModeName(r.finalMode) << " |\n";
+    }
+    return os.str();
+}
+
+void
+writeOut(const std::string &content, const std::string &path)
+{
+    if (path.empty() || path == "-") {
+        std::fputs(content.c_str(), stdout);
+        return;
+    }
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        fatal("cannot write '%s'", path.c_str());
+    f << content;
+}
+
+void
+maybeEmit(const KvArgs &args, const std::vector<SweepPoint> &points,
+          const std::vector<RunResult> &results)
+{
+    const std::string json = args.getString("json", "");
+    const std::string csv = args.getString("csv", "");
+    if (!json.empty())
+        writeOut(emitJson("bench", emitPoints(points), results), json);
+    if (!csv.empty())
+        writeOut(emitCsv(emitPoints(points), results), csv);
+}
+
+} // namespace amsc::scenario

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Result emitters for scenario and bench sweeps.
+ *
+ * One metric schema, three renderings: CSV (stable column order,
+ * %.17g doubles so values round-trip bit-exactly), JSON (one object
+ * per point, axis coordinates included), and a human markdown table
+ * for `amsc run`. The NoC power/area and system-energy models are
+ * evaluated per point, so figure benches that derive energy numbers
+ * (fig 7/14) are reproducible from the emitted raw columns alone.
+ */
+
+#ifndef AMSC_SCENARIO_EMIT_HH
+#define AMSC_SCENARIO_EMIT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/kvargs.hh"
+#include "scenario/scenario.hh"
+#include "sim/gpu_system.hh"
+#include "sim/sweep.hh"
+
+namespace amsc::scenario
+{
+
+/** Label plus axis coordinates of one emitted row. */
+struct EmitPoint
+{
+    std::string label;
+    std::vector<std::pair<std::string, std::string>> coords;
+};
+
+/** Emit metadata of expanded scenario points. */
+std::vector<EmitPoint>
+emitPoints(const std::vector<ExpandedPoint> &points);
+
+/** Emit metadata of a bench SweepPoint grid (labels only). */
+std::vector<EmitPoint>
+emitPoints(const std::vector<SweepPoint> &points);
+
+/** Ordered union of axis names across @p points. */
+std::vector<std::string>
+axisColumns(const std::vector<EmitPoint> &points);
+
+/** Metric column names, stable emission order. */
+const std::vector<std::string> &metricColumns();
+
+/** CSV: header plus one row per point. */
+std::string emitCsv(const std::vector<EmitPoint> &points,
+                    const std::vector<RunResult> &results);
+
+/** JSON: {"scenario": name, "points": [{label, axes, metrics}]}. */
+std::string emitJson(const std::string &scenario,
+                     const std::vector<EmitPoint> &points,
+                     const std::vector<RunResult> &results);
+
+/** Markdown summary table (amsc run's default output). */
+std::string renderTable(const std::vector<EmitPoint> &points,
+                        const std::vector<RunResult> &results);
+
+/** Write @p content to @p path ("-" or "" = stdout). */
+void writeOut(const std::string &content, const std::string &path);
+
+/**
+ * Bench hook: honour `json=FILE` / `csv=FILE` command-line keys by
+ * dumping the grid's raw results next to the bench's table output.
+ */
+void maybeEmit(const KvArgs &args,
+               const std::vector<SweepPoint> &points,
+               const std::vector<RunResult> &results);
+
+} // namespace amsc::scenario
+
+#endif // AMSC_SCENARIO_EMIT_HH

@@ -1,7 +1,13 @@
 #include "sim/sim_config.hh"
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
 #include "common/bitutils.hh"
 #include "common/log.hh"
+#include "common/strutil.hh"
 #include "noc/network_factory.hh"
 
 namespace amsc
@@ -116,61 +122,343 @@ SimConfig::buildLlcParams() const
     return lp;
 }
 
+// ---- key registry ----------------------------------------------------
+
+namespace
+{
+
+MappingScheme
+parseMapping(const std::string &m)
+{
+    if (m == "pae")
+        return MappingScheme::Pae;
+    if (m == "hynix")
+        return MappingScheme::Hynix;
+    fatal("unknown mapping '%s' (pae|hynix)", m.c_str());
+}
+
+std::string
+u64s(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+f64s(double v)
+{
+    return strfmt("%g", v);
+}
+
+std::string
+bs(bool v)
+{
+    return v ? "true" : "false";
+}
+
+/** Parseable cta_policy spelling (ctaPolicyName() is display-only). */
+std::string
+ctaPolicyKey(CtaPolicy p)
+{
+    switch (p) {
+      case CtaPolicy::TwoLevelRR:
+        return "rr";
+      case CtaPolicy::Bcs:
+        return "bcs";
+      case CtaPolicy::Dcs:
+        return "dcs";
+    }
+    return "?";
+}
+
+std::string
+mappingKey(MappingScheme m)
+{
+    return m == MappingScheme::Pae ? "pae" : "hynix";
+}
+
+/** All app policies ('+'-joined): llcPolicy plus the extras. */
+std::string
+appPoliciesValue(const SimConfig &c)
+{
+    std::string out = llcPolicyName(c.llcPolicy);
+    for (const LlcPolicy p : c.extraAppPolicies)
+        out += "+" + llcPolicyName(p);
+    return out;
+}
+
+void
+setAppPolicies(SimConfig &c, const std::string &value)
+{
+    const std::vector<std::string> names = splitList(value, '+');
+    if (names.empty())
+        fatal("empty value for key 'app_policies'");
+    c.llcPolicy = parseLlcPolicy(names[0]);
+    c.extraAppPolicies.clear();
+    for (std::size_t i = 1; i < names.size(); ++i)
+        c.extraAppPolicies.push_back(parseLlcPolicy(names[i]));
+}
+
+#define AMSC_U32_KEY(key, field, doc)                                  \
+    {                                                                  \
+        key, "uint", "", doc,                                          \
+            [](const SimConfig &c) { return u64s(c.field); },          \
+            [](SimConfig &c, const std::string &v) {                   \
+                c.field = static_cast<std::uint32_t>(parseUintValue(key, v)); \
+            }                                                          \
+    }
+
+#define AMSC_U64_KEY(key, field, doc)                                  \
+    {                                                                  \
+        key, "uint", "", doc,                                          \
+            [](const SimConfig &c) { return u64s(c.field); },          \
+            [](SimConfig &c, const std::string &v) {                   \
+                c.field = parseUintValue(key, v);                            \
+            }                                                          \
+    }
+
+#define AMSC_F64_KEY(key, field, doc)                                  \
+    {                                                                  \
+        key, "double", "", doc,                                        \
+            [](const SimConfig &c) { return f64s(c.field); },          \
+            [](SimConfig &c, const std::string &v) {                   \
+                c.field = parseDoubleValue(key, v);                            \
+            }                                                          \
+    }
+
+#define AMSC_BOOL_KEY(key, field, doc)                                 \
+    {                                                                  \
+        key, "bool", "", doc,                                          \
+            [](const SimConfig &c) { return bs(c.field); },            \
+            [](SimConfig &c, const std::string &v) {                   \
+                c.field = parseBoolValue(key, v);                              \
+            }                                                          \
+    }
+
+std::vector<ConfigKeyInfo>
+buildRegistry()
+{
+    return {
+        // ---- GPU cores ------------------------------------------------
+        AMSC_U32_KEY("num_sms", numSms,
+                     "Number of streaming multiprocessors (Table 1: 80)."),
+        AMSC_U32_KEY("num_clusters", numClusters,
+                     "SM clusters; the H-Xbar co-design requires "
+                     "slices_per_mc == num_clusters."),
+        AMSC_U32_KEY("num_schedulers", numSchedulers,
+                     "GTO warp schedulers per SM."),
+        AMSC_U32_KEY("max_ctas", maxResidentCtas,
+                     "Maximum resident CTAs per SM."),
+        AMSC_U32_KEY("max_warps", maxResidentWarps,
+                     "Maximum resident warps per SM."),
+        // ---- L1 -------------------------------------------------------
+        {"l1_kb", "uint", "",
+         "L1 data cache size per SM, in KB (Table 1: 48).",
+         [](const SimConfig &c) { return u64s(c.l1SizeBytes / 1024); },
+         [](SimConfig &c, const std::string &v) {
+             c.l1SizeBytes = parseUintValue("l1_kb", v) * 1024;
+         }},
+        AMSC_U32_KEY("l1_assoc", l1Assoc, "L1 associativity."),
+        AMSC_U32_KEY("line_bytes", lineBytes,
+                     "Cache-line size in bytes, all levels (Table 1: "
+                     "128)."),
+        AMSC_U32_KEY("l1_latency", l1Latency, "L1 hit latency, cycles."),
+        AMSC_U32_KEY("l1_mshrs", l1Mshrs, "L1 MSHR entries."),
+        AMSC_U32_KEY("l1_mshr_targets", l1MshrTargets,
+                     "Secondary misses merged per L1 MSHR."),
+        // ---- LLC ------------------------------------------------------
+        AMSC_U32_KEY("num_mcs", numMcs,
+                     "Memory controllers (Table 1: 8)."),
+        AMSC_U32_KEY("slices_per_mc", slicesPerMc,
+                     "LLC slices per memory controller (Table 1: 8)."),
+        {"llc_slice_kb", "uint", "",
+         "LLC slice size in KB (Table 1: 96).",
+         [](const SimConfig &c) {
+             return u64s(c.llcSliceBytes / 1024);
+         },
+         [](SimConfig &c, const std::string &v) {
+             c.llcSliceBytes = parseUintValue("llc_slice_kb", v) * 1024;
+         }},
+        AMSC_U32_KEY("llc_assoc", llcAssoc, "LLC associativity."),
+        AMSC_U32_KEY("llc_hit_latency", llcHitLatency,
+                     "LLC slice hit latency, cycles."),
+        AMSC_U32_KEY("llc_miss_latency", llcMissLatency,
+                     "LLC miss-detection latency, cycles."),
+        AMSC_U32_KEY("llc_mshrs", llcMshrs, "LLC MSHR entries."),
+        AMSC_U32_KEY("llc_mshr_targets", llcMshrTargets,
+                     "Secondary misses merged per LLC MSHR."),
+        // ---- adaptive controller --------------------------------------
+        {"llc_policy", "enum", "shared|private|adaptive",
+         "LLC management policy of application 0.",
+         [](const SimConfig &c) { return llcPolicyName(c.llcPolicy); },
+         [](SimConfig &c, const std::string &v) {
+             c.llcPolicy = parseLlcPolicy(v);
+         }},
+        {"app_policies", "list", "shared|private|adaptive, '+'-joined",
+         "Per-application policies for multi-program runs "
+         "(e.g. shared+private); overrides llc_policy for app 0.",
+         [](const SimConfig &c) { return appPoliciesValue(c); },
+         [](SimConfig &c, const std::string &v) {
+             setAppPolicies(c, v);
+         }},
+        AMSC_U64_KEY("profile_len", profileLen,
+                     "Profiling window length, cycles (paper: 50K)."),
+        AMSC_U64_KEY("epoch_len", epochLen,
+                     "Adaptive-controller epoch length, cycles "
+                     "(paper: 1M)."),
+        AMSC_F64_KEY("miss_tolerance", missTolerance,
+                     "Rule #1 miss-rate tolerance."),
+        AMSC_F64_KEY("bw_margin", bwMargin,
+                     "Rule #2 bandwidth hysteresis factor (1.0 = the "
+                     "paper's bare rule)."),
+        AMSC_U64_KEY("gate_delay", gateDelay,
+                     "Router power-gate/wake delay, cycles."),
+        AMSC_BOOL_KEY("track_sharing", trackSharing,
+                      "Track inter-cluster line sharing (Fig 3 "
+                      "buckets; adds overhead)."),
+        // ---- NoC ------------------------------------------------------
+        {"noc", "enum", "ideal|full|cxbar|hxbar",
+         "NoC topology.",
+         [](const SimConfig &c) { return topologyName(c.topology); },
+         [](SimConfig &c, const std::string &v) {
+             c.topology = parseTopology(v);
+         }},
+        AMSC_U32_KEY("channel_width", channelWidthBytes,
+                     "NoC channel width in bytes (Table 1: 32)."),
+        AMSC_U32_KEY("concentration", concentration,
+                     "Concentration factor of the C-Xbar topology."),
+        AMSC_U32_KEY("vc_depth", vcDepthFlits,
+                     "Virtual-channel buffer depth, flits."),
+        AMSC_U32_KEY("router_latency", routerPipelineLatency,
+                     "Router pipeline latency, cycles."),
+        AMSC_U64_KEY("short_link_latency", shortLinkLatency,
+                     "Short (intra-group) link latency, cycles."),
+        AMSC_U64_KEY("long_link_latency", longLinkLatency,
+                     "Long (cross-chip) link latency, cycles."),
+        AMSC_U64_KEY("inject_queue_cap", injectQueueCap,
+                     "NoC injection queue capacity, packets."),
+        AMSC_U64_KEY("eject_queue_cap", ejectQueueCap,
+                     "NoC ejection queue capacity, packets."),
+        AMSC_U64_KEY("ideal_noc_latency", idealNocLatency,
+                     "Fixed latency of the ideal NoC model, cycles."),
+        // ---- DRAM -----------------------------------------------------
+        AMSC_U32_KEY("dram_tcl", dramTimings.tCL,
+                     "GDDR5 CAS latency, core cycles."),
+        AMSC_U32_KEY("dram_trp", dramTimings.tRP,
+                     "GDDR5 row precharge time, core cycles."),
+        AMSC_U32_KEY("dram_trc", dramTimings.tRC,
+                     "GDDR5 row cycle time, core cycles."),
+        AMSC_U32_KEY("dram_tras", dramTimings.tRAS,
+                     "GDDR5 activate-to-precharge minimum, core "
+                     "cycles."),
+        AMSC_U32_KEY("dram_trcd", dramTimings.tRCD,
+                     "GDDR5 row-to-column delay, core cycles."),
+        AMSC_U32_KEY("dram_trrd", dramTimings.tRRD,
+                     "GDDR5 activate-to-activate (different banks), "
+                     "core cycles."),
+        AMSC_U32_KEY("dram_tccd", dramTimings.tCCD,
+                     "GDDR5 column-to-column spacing, core cycles."),
+        AMSC_U32_KEY("dram_twr", dramTimings.tWR,
+                     "GDDR5 write recovery time, core cycles."),
+        AMSC_U32_KEY("banks_per_mc", banksPerMc,
+                     "DRAM banks per memory controller (Table 1: 16)."),
+        AMSC_U32_KEY("dram_bus_bytes", dramBusBytesPerCycle,
+                     "DRAM data-bus bytes per core cycle per MC."),
+        AMSC_U32_KEY("dram_row_bytes", dramRowBytes,
+                     "DRAM row-buffer size, bytes."),
+        AMSC_U32_KEY("dram_queue_cap", dramQueueCap,
+                     "Memory-controller request queue capacity."),
+        {"mapping", "enum", "pae|hynix",
+         "Physical address to channel/bank mapping scheme.",
+         [](const SimConfig &c) { return mappingKey(c.mappingScheme); },
+         [](SimConfig &c, const std::string &v) {
+             c.mappingScheme = parseMapping(v);
+         }},
+        // ---- scheduling -----------------------------------------------
+        {"cta_policy", "enum", "rr|bcs|dcs",
+         "CTA scheduling policy (two-level round-robin, BCS, DCS).",
+         [](const SimConfig &c) { return ctaPolicyKey(c.ctaPolicy); },
+         [](SimConfig &c, const std::string &v) {
+             c.ctaPolicy = parseCtaPolicy(v);
+         }},
+        // ---- run control ----------------------------------------------
+        AMSC_U64_KEY("max_cycles", maxCycles,
+                     "Simulated-cycle horizon per run."),
+        AMSC_U64_KEY("max_instructions", maxInstructions,
+                     "Instruction budget per run (0 = unlimited)."),
+        AMSC_U64_KEY("seed", seed, "Master RNG seed."),
+        AMSC_BOOL_KEY("fast_forward", fastForward,
+                      "Skip fully-quiescent reconfiguration stalls "
+                      "(bit-exact; see docs/performance.md)."),
+        {"trace_record", "string", "",
+         "Record the run's warp streams to this trace file "
+         "(docs/trace_format.md).",
+         [](const SimConfig &c) { return c.traceRecordPath; },
+         [](SimConfig &c, const std::string &v) {
+             c.traceRecordPath = v;
+         }},
+        {"trace_replay", "string", "",
+         "Replay the workload from this trace file instead of "
+         "generating it.",
+         [](const SimConfig &c) { return c.traceReplayPath; },
+         [](SimConfig &c, const std::string &v) {
+             c.traceReplayPath = v;
+         }},
+    };
+}
+
+#undef AMSC_U32_KEY
+#undef AMSC_U64_KEY
+#undef AMSC_F64_KEY
+#undef AMSC_BOOL_KEY
+
+} // namespace
+
+const std::vector<ConfigKeyInfo> &
+ConfigRegistry::keys()
+{
+    static const std::vector<ConfigKeyInfo> registry = buildRegistry();
+    return registry;
+}
+
+const ConfigKeyInfo *
+ConfigRegistry::find(const std::string &name)
+{
+    for (const ConfigKeyInfo &k : keys()) {
+        if (name == k.name)
+            return &k;
+    }
+    return nullptr;
+}
+
+std::string
+ConfigRegistry::suggest(const std::string &name)
+{
+    std::vector<std::string> names;
+    names.reserve(keys().size());
+    for (const ConfigKeyInfo &k : keys())
+        names.emplace_back(k.name);
+    return nearestOf(name, names);
+}
+
+void
+ConfigRegistry::apply(SimConfig &cfg, const std::string &name,
+                      const std::string &value)
+{
+    const ConfigKeyInfo *key = find(name);
+    if (!key)
+        fatal("unknown configuration key '%s'; nearest is '%s' "
+              "(see docs/configuration.md)",
+              name.c_str(), suggest(name).c_str());
+    key->set(cfg, value);
+}
+
 void
 SimConfig::applyKv(const KvArgs &args)
 {
-    numSms = static_cast<std::uint32_t>(
-        args.getUint("num_sms", numSms));
-    numClusters = static_cast<std::uint32_t>(
-        args.getUint("num_clusters", numClusters));
-    maxResidentCtas = static_cast<std::uint32_t>(
-        args.getUint("max_ctas", maxResidentCtas));
-    maxResidentWarps = static_cast<std::uint32_t>(
-        args.getUint("max_warps", maxResidentWarps));
-
-    l1SizeBytes = args.getUint("l1_kb", l1SizeBytes / 1024) * 1024;
-    l1Latency = static_cast<std::uint32_t>(
-        args.getUint("l1_latency", l1Latency));
-
-    numMcs = static_cast<std::uint32_t>(args.getUint("num_mcs", numMcs));
-    slicesPerMc = static_cast<std::uint32_t>(
-        args.getUint("slices_per_mc", slicesPerMc));
-    llcSliceBytes =
-        args.getUint("llc_slice_kb", llcSliceBytes / 1024) * 1024;
-
-    if (args.has("llc_policy"))
-        llcPolicy = parseLlcPolicy(args.getString("llc_policy"));
-    profileLen = args.getUint("profile_len", profileLen);
-    epochLen = args.getUint("epoch_len", epochLen);
-    missTolerance = args.getDouble("miss_tolerance", missTolerance);
-    bwMargin = args.getDouble("bw_margin", bwMargin);
-    trackSharing = args.getBool("track_sharing", trackSharing);
-
-    if (args.has("noc"))
-        topology = parseTopology(args.getString("noc"));
-    channelWidthBytes = static_cast<std::uint32_t>(
-        args.getUint("channel_width", channelWidthBytes));
-    concentration = static_cast<std::uint32_t>(
-        args.getUint("concentration", concentration));
-
-    if (args.has("mapping")) {
-        const std::string m = args.getString("mapping");
-        if (m == "pae")
-            mappingScheme = MappingScheme::Pae;
-        else if (m == "hynix")
-            mappingScheme = MappingScheme::Hynix;
-        else
-            fatal("unknown mapping '%s' (pae|hynix)", m.c_str());
+    for (const ConfigKeyInfo &k : ConfigRegistry::keys()) {
+        if (args.has(k.name))
+            k.set(*this, args.getString(k.name));
     }
-    if (args.has("cta_policy"))
-        ctaPolicy = parseCtaPolicy(args.getString("cta_policy"));
-
-    maxCycles = args.getUint("max_cycles", maxCycles);
-    maxInstructions = args.getUint("max_instructions", maxInstructions);
-    seed = args.getUint("seed", seed);
-    fastForward = args.getBool("fast_forward", fastForward);
-    traceRecordPath = args.getString("trace_record", traceRecordPath);
-    traceReplayPath = args.getString("trace_replay", traceReplayPath);
     validate();
 }
 

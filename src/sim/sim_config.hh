@@ -136,7 +136,12 @@ struct SimConfig
     SmParams buildSmParams(SmId id) const;
     LlcParams buildLlcParams() const;
 
-    /** Apply key=value overrides (see README for the key list). */
+    /**
+     * Apply key=value overrides. The accepted keys are the
+     * ConfigRegistry entries (docs/configuration.md is generated from
+     * them); keys the registry does not know stay unconsumed so
+     * callers can layer their own keys on top.
+     */
     void applyKv(const KvArgs &args);
 
     /** Render the configuration, Table-1 style. */
@@ -144,6 +149,51 @@ struct SimConfig
 
     /** Validate cross-parameter invariants; fatal() on violation. */
     void validate() const;
+};
+
+/**
+ * One introspectable SimConfig key: name, documentation, and typed
+ * accessors. get() renders the current value in the same spelling
+ * set() parses, so get(defaults) doubles as the documented default.
+ */
+struct ConfigKeyInfo
+{
+    const char *name; ///< key=value spelling (e.g. "num_sms")
+    const char *type; ///< uint | double | bool | enum | list | string
+    /** Allowed values for enums ("shared|private|adaptive"), else "". */
+    const char *values;
+    const char *doc; ///< one-line description (docs/configuration.md)
+    std::string (*get)(const SimConfig &);
+    /** Parse @p value into the config; fatal() on malformed input. */
+    void (*set)(SimConfig &, const std::string &value);
+};
+
+/**
+ * The complete SimConfig key set. Every SimConfig field is reachable
+ * through exactly one registry key; tests/test_docs.cc holds the
+ * completeness canary and fails when a field is added without a
+ * registry entry, and docs/configuration.md is generated from this
+ * table (`amsc describe --markdown`).
+ */
+class ConfigRegistry
+{
+  public:
+    /** All keys, declaration (= documentation) order. */
+    static const std::vector<ConfigKeyInfo> &keys();
+
+    /** Look up a key; nullptr if unknown. */
+    static const ConfigKeyInfo *find(const std::string &name);
+
+    /** Nearest known key to @p name (for error messages). */
+    static std::string suggest(const std::string &name);
+
+    /**
+     * Apply one key=value override; fatal() naming the nearest valid
+     * key when @p name is unknown. Does not run validate() -- callers
+     * applying several keys validate once at the end.
+     */
+    static void apply(SimConfig &cfg, const std::string &name,
+                      const std::string &value);
 };
 
 } // namespace amsc

@@ -96,11 +96,22 @@ SweepRunner::runPoint(const SweepPoint &point)
 }
 
 std::vector<RunResult>
-SweepRunner::run(const std::vector<SweepPoint> &points) const
+SweepRunner::run(
+    const std::vector<SweepPoint> &points,
+    const std::function<void(std::size_t, std::size_t)> &progress)
+    const
 {
     std::vector<RunResult> results(points.size());
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
     parallelFor(points.size(), [&](std::size_t i) {
         results[i] = runPoint(points[i]);
+        if (progress) {
+            const std::size_t n =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            progress(n, points.size());
+        }
     });
     return results;
 }

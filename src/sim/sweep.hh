@@ -83,9 +83,16 @@ class SweepRunner
     /**
      * Run all points concurrently; result i corresponds to points[i].
      * Bit-identical to calling runPoint() in a sequential loop.
+     *
+     * @param progress optional completion hook, called as
+     *        progress(done, total) after each point finishes.
+     *        Serialized (never concurrent with itself), but invoked
+     *        from worker threads in completion -- not index -- order.
      */
     std::vector<RunResult>
-    run(const std::vector<SweepPoint> &points) const;
+    run(const std::vector<SweepPoint> &points,
+        const std::function<void(std::size_t, std::size_t)> &progress =
+            {}) const;
 
     /** Build, run and collect one point (the sequential reference). */
     static RunResult runPoint(const SweepPoint &point);

@@ -6,7 +6,7 @@
  * reported properties: shared-data footprint (Table 2), kernel count
  * (Table 2, capped at 4 for simulation scale -- streams are divided
  * across kernels so total work is unchanged), workload class and
- * inter-cluster sharing profile (Fig 3). See DESIGN.md for the
+ * inter-cluster sharing profile (Fig 3). See docs/DESIGN.md for the
  * substitution rationale.
  */
 

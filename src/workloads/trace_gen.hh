@@ -5,8 +5,8 @@
  * The paper's 17 CUDA benchmarks are unavailable as binaries here, so
  * each is replaced by a parameterized synthetic generator reproducing
  * the memory behaviour that drives the paper's mechanism (see
- * DESIGN.md, substitution table). Four access patterns cover the three
- * workload classes:
+ * docs/DESIGN.md, substitution table). Four access patterns cover the
+ * three workload classes:
  *
  *  - Broadcast: all warps walk the same shared region in loose
  *    lockstep (a wall-clock phase plus a small random window), the way

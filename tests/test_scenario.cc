@@ -1,0 +1,562 @@
+/**
+ * @file
+ * Scenario-engine tests: the nested KvArgs dialect, parsing and
+ * round-tripping of every shipped `.scn` file, sweep-grid expansion
+ * (counts, axis ordering, variants, multi-grid, multi-program
+ * policies), bit-exact equivalence of the fig11 scenario with the
+ * hand-written bench grid, emitter golden files, and unknown-key
+ * error messages naming the nearest valid key.
+ *
+ * Set AMSC_UPDATE_GOLDEN=1 to rewrite tests/golden/ from the current
+ * emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/kvargs.hh"
+#include "scenario/emit.hh"
+#include "scenario/scenario.hh"
+#include "scenario/schema.hh"
+#include "sim/sweep.hh"
+#include "workloads/suite.hh"
+
+using namespace amsc;
+using scenario::EmitPoint;
+using scenario::ExpandedPoint;
+using scenario::Scenario;
+
+namespace
+{
+
+const std::string kSourceDir = AMSC_SOURCE_DIR;
+
+/** SimConfig equality through the complete key registry. */
+void
+expectSameConfig(const SimConfig &a, const SimConfig &b,
+                 const std::string &context)
+{
+    for (const ConfigKeyInfo &k : ConfigRegistry::keys()) {
+        EXPECT_EQ(k.get(a), k.get(b))
+            << context << ": key '" << k.name << "' differs";
+    }
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    EXPECT_TRUE(f.is_open()) << "missing file: " << path;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+std::vector<std::string>
+shippedScenarios()
+{
+    std::vector<std::string> files;
+    for (const auto &e : std::filesystem::directory_iterator(
+             kSourceDir + "/scenarios")) {
+        if (e.path().extension() == ".scn")
+            files.push_back(e.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+} // namespace
+
+// ------------------------------------------- nested KvArgs dialect
+
+TEST(ScenarioKv, NestedBlocksFlattenToDottedKeys)
+{
+    const KvArgs kv = KvArgs::parseText("# comment\n"
+                                        "name = demo // trailing\n"
+                                        "config {\n"
+                                        "  max_cycles = 100\n"
+                                        "  noc = hxbar\n"
+                                        "}\n"
+                                        "quoted = \"a # b\"\n");
+    EXPECT_EQ(kv.getString("name", ""), "demo");
+    EXPECT_EQ(kv.getString("config.max_cycles", ""), "100");
+    EXPECT_EQ(kv.getString("config.noc", ""), "hxbar");
+    EXPECT_EQ(kv.getString("quoted", ""), "a # b");
+}
+
+TEST(ScenarioKv, RepeatedIndexedBlocksAutoIndex)
+{
+    const KvArgs kv = KvArgs::parseText("app {\n  workload = AN\n}\n"
+                                        "app {\n  workload = LUD\n}\n"
+                                        "app {\n  workload = VA\n}\n",
+                                        "<text>", {"app"});
+    EXPECT_EQ(kv.getString("app.0.workload", ""), "AN");
+    EXPECT_EQ(kv.getString("app.1.workload", ""), "LUD");
+    EXPECT_EQ(kv.getString("app.2.workload", ""), "VA");
+    EXPECT_FALSE(kv.has("app.workload"));
+}
+
+TEST(ScenarioKv, SingleBlockKeepsPlainPrefix)
+{
+    const KvArgs kv = KvArgs::parseText("app {\n  workload = AN\n}\n",
+                                        "<text>", {"app"});
+    EXPECT_EQ(kv.getString("app.workload", ""), "AN");
+}
+
+TEST(ScenarioKv, RepeatedNonIndexedBlocksMerge)
+{
+    // A second config { } block is a grouping choice, not a new
+    // scope: keys merge, later values win.
+    const KvArgs kv =
+        KvArgs::parseText("config {\n  max_cycles = 100\n}\n"
+                          "config {\n  seed = 7\n  max_cycles = 200\n"
+                          "}\n");
+    EXPECT_EQ(kv.getString("config.max_cycles", ""), "200");
+    EXPECT_EQ(kv.getString("config.seed", ""), "7");
+    EXPECT_FALSE(kv.has("config.0.max_cycles"));
+}
+
+TEST(ScenarioKv, ListsAndInsertionOrder)
+{
+    const KvArgs kv = KvArgs::parseText(
+        "sweep {\n"
+        "  workload = LUD, SP , 3DC\n"
+        "  llc_policy = shared, private\n"
+        "}\n");
+    const auto wl = kv.getList("sweep.workload");
+    ASSERT_EQ(wl.size(), 3u);
+    EXPECT_EQ(wl[1], "SP");
+    const auto keys = kv.keysWithPrefix("sweep.");
+    ASSERT_EQ(keys.size(), 2u);
+    // File order, not alphabetical: workload is the outer axis.
+    EXPECT_EQ(keys[0], "sweep.workload");
+    EXPECT_EQ(keys[1], "sweep.llc_policy");
+}
+
+TEST(ScenarioKvDeathTest, SyntaxErrorsNameTheLine)
+{
+    EXPECT_DEATH(KvArgs::parseText("config {\n", "f.scn"),
+                 "unterminated");
+    EXPECT_DEATH(KvArgs::parseText("}\n", "f.scn"), "f.scn:1");
+    EXPECT_DEATH(KvArgs::parseText("not an assignment\n", "f.scn"),
+                 "key = value");
+}
+
+// ------------------------------------------- shipped .scn files
+
+TEST(Scenario, ShippedFilesParseExpandAndRoundTrip)
+{
+    const auto files = shippedScenarios();
+    ASSERT_GE(files.size(), 11u);
+    for (const std::string &path : files) {
+        SCOPED_TRACE(path);
+        const Scenario s = Scenario::load(path);
+        const auto points = s.expand();
+        EXPECT_GT(points.size(), 0u);
+
+        // Canonical-dump round trip: dump -> parse -> dump is a
+        // fixed point, and the reparsed scenario expands to the same
+        // grid (labels and full configurations).
+        const std::string dumped = s.dumpText();
+        const Scenario reparsed = Scenario::fromKv(
+            Scenario::parseScnText(dumped, path + "<dump>"),
+            path + "<dump>");
+        EXPECT_EQ(dumped, reparsed.dumpText());
+        const auto repoints = reparsed.expand();
+        ASSERT_EQ(points.size(), repoints.size());
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            EXPECT_EQ(points[i].point.label, repoints[i].point.label);
+            expectSameConfig(points[i].point.cfg,
+                             repoints[i].point.cfg,
+                             points[i].point.label);
+        }
+    }
+}
+
+TEST(Scenario, EveryFigureBenchHasAScenario)
+{
+    std::vector<std::string> figs;
+    for (const auto &e : std::filesystem::directory_iterator(
+             kSourceDir + "/bench")) {
+        const std::string stem = e.path().stem().string();
+        if (stem.rfind("fig", 0) == 0)
+            figs.push_back(stem);
+    }
+    ASSERT_GE(figs.size(), 9u);
+    for (const std::string &fig : figs) {
+        EXPECT_TRUE(std::filesystem::exists(
+            kSourceDir + "/scenarios/" + fig + ".scn"))
+            << "missing scenarios/" << fig << ".scn";
+    }
+}
+
+// ------------------------------------------- fig11 == bench grid
+
+namespace
+{
+
+/** bench_util.hh benchConfig() with no overrides. */
+SimConfig
+fig11BenchConfig()
+{
+    SimConfig cfg;
+    cfg.maxCycles = 60000;
+    cfg.profileLen = 5000;
+    cfg.epochLen = 50000;
+    cfg.validate();
+    return cfg;
+}
+
+/** The bench/fig11_performance.cc grid, verbatim. */
+std::vector<SweepPoint>
+fig11BenchPoints(const SimConfig &cfg)
+{
+    std::vector<SweepPoint> points;
+    for (const WorkloadClass klass :
+         {WorkloadClass::SharedFriendly, WorkloadClass::PrivateFriendly,
+          WorkloadClass::Neutral}) {
+        for (const WorkloadSpec &spec :
+             WorkloadSuite::byClass(klass)) {
+            for (const LlcPolicy policy :
+                 {LlcPolicy::ForceShared, LlcPolicy::ForcePrivate,
+                  LlcPolicy::Adaptive}) {
+                SweepPoint p;
+                p.cfg = cfg;
+                p.cfg.llcPolicy = policy;
+                p.apps = {spec};
+                p.label = spec.abbr + "/" + llcPolicyName(policy);
+                points.push_back(std::move(p));
+            }
+        }
+    }
+    return points;
+}
+
+} // namespace
+
+TEST(Scenario, Fig11GridMatchesBenchPointForPoint)
+{
+    const Scenario s = Scenario::load(
+        kSourceDir + "/scenarios/fig11_performance.scn");
+    const auto expanded = s.expand();
+    const auto bench = fig11BenchPoints(fig11BenchConfig());
+    ASSERT_EQ(expanded.size(), bench.size());
+    ASSERT_EQ(expanded.size(), 51u);
+    for (std::size_t i = 0; i < bench.size(); ++i) {
+        EXPECT_EQ(expanded[i].point.label, bench[i].label);
+        expectSameConfig(expanded[i].point.cfg, bench[i].cfg,
+                         bench[i].label);
+        ASSERT_EQ(expanded[i].point.apps.size(), 1u);
+        EXPECT_EQ(expanded[i].point.apps[0].abbr,
+                  bench[i].apps[0].abbr);
+    }
+}
+
+TEST(Scenario, Fig11RunsBitIdenticalToBench)
+{
+    // Short-horizon spot check that the scenario points don't just
+    // look like the bench's -- they *run* identically (the full
+    // identicalResults contract, every counter bit-exact).
+    KvArgs file_kv = Scenario::parseScnFile(
+        kSourceDir + "/scenarios/fig11_performance.scn");
+    Scenario::applyOverride(file_kv, "max_cycles", "2500");
+    Scenario::applyOverride(file_kv, "profile_len", "600");
+    Scenario::applyOverride(file_kv, "epoch_len", "2000");
+    const Scenario s =
+        Scenario::fromKv(std::move(file_kv), "fig11<short>");
+    const auto expanded = s.expand();
+
+    SimConfig cfg = fig11BenchConfig();
+    cfg.maxCycles = 2500;
+    cfg.profileLen = 600;
+    cfg.epochLen = 2000;
+    const auto bench = fig11BenchPoints(cfg);
+    ASSERT_EQ(expanded.size(), bench.size());
+    // One workload per class, all three policies each.
+    for (const std::size_t i : {0u, 1u, 2u, 24u, 25u, 26u, 48u, 49u,
+                                50u}) {
+        SCOPED_TRACE(bench[i].label);
+        const RunResult a = SweepRunner::runPoint(expanded[i].point);
+        const RunResult b = SweepRunner::runPoint(bench[i]);
+        EXPECT_TRUE(identicalResults(a, b));
+    }
+}
+
+// ------------------------------------------- grid expansion
+
+TEST(Scenario, CartesianExpansionFirstAxisSlowest)
+{
+    const Scenario s = Scenario::fromKv(
+        Scenario::parseScnText("workload = VA\n"
+                          "sweep {\n"
+                          "  num_sms = 16, 32\n"
+                          "  llc_policy = shared, private, adaptive\n"
+                          "}\n"),
+        "inline");
+    const auto points = s.expand();
+    ASSERT_EQ(points.size(), 6u);
+    EXPECT_EQ(points[0].point.label, "16/shared");
+    EXPECT_EQ(points[1].point.label, "16/private");
+    EXPECT_EQ(points[3].point.label, "32/shared");
+    EXPECT_EQ(points[3].point.cfg.numSms, 32u);
+    EXPECT_EQ(points[3].point.cfg.llcPolicy, LlcPolicy::ForceShared);
+    ASSERT_EQ(points[5].coords.size(), 2u);
+    EXPECT_EQ(points[5].coords[0].first, "num_sms");
+    EXPECT_EQ(points[5].coords[1].second, "adaptive");
+}
+
+TEST(Scenario, VariantsApplyCompositeOverrides)
+{
+    const Scenario s = Scenario::fromKv(
+        Scenario::parseScnText("workload = VA\n"
+                          "variant.small {\n"
+                          "  num_sms = 40\n"
+                          "  num_clusters = 4\n"
+                          "  slices_per_mc = 4\n"
+                          "}\n"
+                          "variant.base {\n"
+                          "  mapping = pae\n"
+                          "}\n"
+                          "sweep {\n"
+                          "  variant = base, small\n"
+                          "}\n"),
+        "inline");
+    const auto points = s.expand();
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].point.cfg.numSms, 80u);
+    EXPECT_EQ(points[1].point.cfg.numSms, 40u);
+    EXPECT_EQ(points[1].point.cfg.numClusters, 4u);
+}
+
+TEST(Scenario, MultipleGridsConcatenate)
+{
+    const Scenario s = Scenario::fromKv(
+        Scenario::parseScnText("grid {\n"
+                          "  llc_policy = shared\n"
+                          "  sweep {\n"
+                          "    workload = AN, VA\n"
+                          "  }\n"
+                          "}\n"
+                          "grid {\n"
+                          "  sweep {\n"
+                          "    workload = LUD+AN\n"
+                          "    app_policies = shared+shared, "
+                          "shared+private\n"
+                          "  }\n"
+                          "}\n"),
+        "inline");
+    const auto points = s.expand();
+    ASSERT_EQ(points.size(), 4u);
+    EXPECT_EQ(points[0].point.apps.size(), 1u);
+    EXPECT_EQ(points[0].point.cfg.llcPolicy, LlcPolicy::ForceShared);
+    // Grid 2: two programs, per-app policies.
+    ASSERT_EQ(points[2].point.apps.size(), 2u);
+    EXPECT_EQ(points[2].point.apps[0].abbr, "LUD");
+    EXPECT_EQ(points[2].point.apps[1].abbr, "AN");
+    EXPECT_EQ(points[2].point.cfg.numApps(), 2u);
+    EXPECT_EQ(points[3].point.cfg.llcPolicy, LlcPolicy::ForceShared);
+    ASSERT_EQ(points[3].point.cfg.extraAppPolicies.size(), 1u);
+    EXPECT_EQ(points[3].point.cfg.extraAppPolicies[0],
+              LlcPolicy::ForcePrivate);
+}
+
+TEST(Scenario, AppBlocksDescribeSyntheticWorkloads)
+{
+    const Scenario s = Scenario::fromKv(
+        Scenario::parseScnText("app {\n"
+                          "  pattern = zipf\n"
+                          "  name = Z2\n"
+                          "  shared_mb = 2\n"
+                          "  zipf_alpha = 0.9\n"
+                          "  ctas = 64\n"
+                          "  warps = 4\n"
+                          "}\n"),
+        "inline");
+    const auto points = s.expand();
+    ASSERT_EQ(points.size(), 1u);
+    ASSERT_EQ(points[0].point.apps.size(), 1u);
+    const WorkloadSpec &w = points[0].point.apps[0];
+    EXPECT_EQ(w.abbr, "Z2");
+    EXPECT_EQ(w.trace.pattern, AccessPattern::ZipfShared);
+    EXPECT_EQ(w.trace.sharedLines, 2u * 8192u);
+    EXPECT_DOUBLE_EQ(w.trace.zipfAlpha, 0.9);
+    EXPECT_EQ(w.numCtas, 64u);
+    EXPECT_EQ(w.warpsPerCta, 4u);
+    // Single unswept point: labelled by the scenario name.
+    EXPECT_EQ(points[0].point.label, "inline");
+}
+
+TEST(Scenario, ReplayAppsInstallASetupHook)
+{
+    const Scenario s = Scenario::fromKv(
+        Scenario::parseScnText("app {\n  replay = does-not-exist.trc\n}\n"),
+        "inline");
+    const auto points = s.expand();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_TRUE(static_cast<bool>(points[0].point.setup));
+    EXPECT_TRUE(points[0].point.apps.empty());
+}
+
+TEST(Scenario, SmokeQuartersTheHorizon)
+{
+    Scenario s = Scenario::fromKv(
+        Scenario::parseScnText("workload = VA\n"
+                          "config {\n"
+                          "  max_cycles = 60000\n"
+                          "  profile_len = 5000\n"
+                          "}\n"),
+        "inline");
+    s.setSmoke(true);
+    const auto points = s.expand();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].point.cfg.maxCycles, 15000u);
+    EXPECT_EQ(points[0].point.cfg.profileLen, 1250u);
+}
+
+TEST(Scenario, SharingScenariosCollectBucketsViaPostHook)
+{
+    const Scenario s = Scenario::load(
+        kSourceDir + "/scenarios/fig03_intercluster_locality.scn");
+    const auto points = s.expand();
+    ASSERT_EQ(points.size(), 17u);
+    for (const ExpandedPoint &p : points) {
+        EXPECT_TRUE(p.point.cfg.trackSharing);
+        EXPECT_TRUE(static_cast<bool>(p.point.post));
+    }
+}
+
+// ------------------------------------------- unknown-key messages
+
+TEST(ScenarioDeathTest, UnknownKeysNameTheNearestValidKey)
+{
+    SimConfig cfg;
+    EXPECT_DEATH(ConfigRegistry::apply(cfg, "nmu_sms", "80"),
+                 "num_sms");
+    EXPECT_DEATH(
+        Scenario::fromKv(Scenario::parseScnText("config {\n"
+                                           "  lin_bytes = 64\n"
+                                           "}\n"),
+                         "f.scn"),
+        "config.line_bytes");
+    EXPECT_DEATH(
+        Scenario::fromKv(Scenario::parseScnText("workload = VA\n"
+                                           "sweep {\n"
+                                           "  llc_polcy = shared\n"
+                                           "}\n"),
+                         "f.scn"),
+        "llc_policy");
+    EXPECT_DEATH(
+        Scenario::fromKv(Scenario::parseScnText("worklod = AN\n"),
+                         "f.scn"),
+        "workload");
+    EXPECT_DEATH(
+        Scenario::fromKv(Scenario::parseScnText("workload = ANX\n"),
+                         "f.scn"),
+        "nearest is 'AN'");
+    EXPECT_DEATH(
+        Scenario::fromKv(Scenario::parseScnText("app {\n"
+                                           "  pattern = zipf\n"
+                                           "  zipf_alpa = 0.7\n"
+                                           "}\n"),
+                         "f.scn"),
+        "zipf_alpha");
+    // A block name used as a scalar key must produce a suggestion,
+    // not a crash.
+    EXPECT_DEATH(
+        Scenario::fromKv(Scenario::parseScnText("app = AN\n"),
+                         "f.scn"),
+        "app.workload");
+    EXPECT_DEATH(
+        Scenario::fromKv(Scenario::parseScnText("grid = x\n"),
+                         "f.scn"),
+        "grid.sweep");
+}
+
+// ------------------------------------------- emitter golden files
+
+namespace
+{
+
+RunResult
+fabricatedResult(unsigned salt)
+{
+    RunResult r;
+    r.cycles = 60000 + salt;
+    r.instructions = 1234567 + salt;
+    r.ipc = static_cast<double>(r.instructions) /
+        static_cast<double>(r.cycles);
+    r.appIpc = {r.ipc / 2.0, r.ipc / 2.0};
+    r.appInstructions = {r.instructions / 2, r.instructions / 2};
+    r.finishedWork = salt % 2 == 0;
+    r.llcReadMissRate = 0.125 + 0.01 * salt;
+    r.llcResponseRate = 3.5;
+    r.llcAccesses = 100000 + salt;
+    r.dramAccesses = 40000 + salt;
+    r.avgRequestLatency = 100.5;
+    r.avgReplyLatency = 30.25;
+    r.finalMode = salt % 2 == 0 ? LlcMode::Shared : LlcMode::Private;
+    r.llcCtrl.transitionsToPrivate = salt;
+    r.llcCtrl.transitionsToShared = salt / 2;
+    r.llcCtrl.reconfigStallCycles = 30 * salt;
+    r.sharingBuckets = {0.5, 0.25, 0.125, 0.125};
+    return r;
+}
+
+void
+checkGolden(const std::string &name, const std::string &content)
+{
+    const std::string path = kSourceDir + "/tests/golden/" + name;
+    if (std::getenv("AMSC_UPDATE_GOLDEN")) {
+        std::ofstream f(path, std::ios::binary);
+        f << content;
+        return;
+    }
+    EXPECT_EQ(readFile(path), content)
+        << "golden file " << name
+        << " drifted; run with AMSC_UPDATE_GOLDEN=1 to regenerate";
+}
+
+} // namespace
+
+TEST(Emit, CsvAndJsonMatchGoldenFiles)
+{
+    const std::vector<EmitPoint> points = {
+        {"LUD/shared", {{"workload", "LUD"}, {"llc_policy", "shared"}}},
+        {"AN/private",
+         {{"workload", "AN"}, {"llc_policy", "private"}}},
+    };
+    const std::vector<RunResult> results = {fabricatedResult(0),
+                                            fabricatedResult(1)};
+    checkGolden("emit.csv", scenario::emitCsv(points, results));
+    checkGolden("emit.json",
+                scenario::emitJson("golden", points, results));
+}
+
+TEST(Emit, StableColumnOrder)
+{
+    const auto &cols = scenario::metricColumns();
+    ASSERT_GE(cols.size(), 20u);
+    EXPECT_EQ(cols.front(), "cycles");
+    EXPECT_EQ(cols[2], "ipc");
+    EXPECT_EQ(cols.back(), "sys_energy_uj");
+    // The CSV header is the label, the axes, then the metrics.
+    const std::vector<EmitPoint> points = {{"p", {{"ax", "1"}}}};
+    const std::vector<RunResult> results = {fabricatedResult(0)};
+    const std::string csv = scenario::emitCsv(points, results);
+    EXPECT_EQ(csv.substr(0, csv.find(',')), "label");
+    EXPECT_NE(csv.find("label,ax,cycles"), std::string::npos);
+}
+
+TEST(Emit, CsvQuotesFieldsContainingCommas)
+{
+    const std::vector<EmitPoint> points = {{"a,b", {{"ax", "x\"y"}}}};
+    const std::vector<RunResult> results = {fabricatedResult(0)};
+    const std::string csv = scenario::emitCsv(points, results);
+    // RFC-4180: embedded commas quoted, embedded quotes doubled --
+    // the row keeps exactly one cell per header column.
+    EXPECT_NE(csv.find("\n\"a,b\",\"x\"\"y\","), std::string::npos);
+}

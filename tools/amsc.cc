@@ -1,0 +1,238 @@
+/**
+ * @file
+ * The unified amsc command-line interface.
+ *
+ *   amsc run <scenario.scn> [key=value ...] [--smoke]
+ *       Execute a scenario (its whole sweep grid) and print a
+ *       summary table, or CSV/JSON with format=csv|json [out=FILE].
+ *
+ *   amsc sweep <scenario.scn> [sweep.key=v1,v2 ...] [key=value ...]
+ *       Like run, but defaults to CSV output and reports the grid
+ *       expansion; extra sweep axes can be added on the command line.
+ *
+ *   amsc list [workloads|scenarios [dir=DIR]]
+ *       The Table-2 workload suite, or the .scn files of a directory.
+ *
+ *   amsc describe [<key>] [--markdown]
+ *       The complete SimConfig key registry; --markdown emits
+ *       docs/configuration.md.
+ *
+ * Command-line key=value pairs override scenario settings: bare
+ * SimConfig keys (max_cycles=2000) apply as config overrides,
+ * sweep.<key>=a,b adds or replaces a sweep axis, and threads=N pins
+ * the worker count (default: all cores, or AMSC_SWEEP_THREADS).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/kvargs.hh"
+#include "common/log.hh"
+#include "common/strutil.hh"
+#include "scenario/emit.hh"
+#include "scenario/scenario.hh"
+#include "scenario/schema.hh"
+#include "sim/sweep.hh"
+#include "workloads/suite.hh"
+
+using namespace amsc;
+using scenario::ExpandedPoint;
+using scenario::Scenario;
+
+namespace
+{
+
+/** Keys consumed by the CLI itself, not by the scenario. */
+const std::vector<std::string> kCliKeys = {"threads", "format", "out",
+                                           "smoke"};
+
+int
+usage()
+{
+    std::fputs(
+        "usage: amsc <command> [args]\n"
+        "\n"
+        "  run <file.scn> [key=value ...] [--smoke]   execute a "
+        "scenario\n"
+        "  sweep <file.scn> [sweep.key=v1,v2 ...]     execute and "
+        "emit CSV\n"
+        "  list [workloads|scenarios [dir=DIR]]       what is "
+        "available\n"
+        "  describe [<key>] [--markdown]              configuration "
+        "reference\n"
+        "\n"
+        "common keys: threads=N format=table|csv|json out=FILE\n"
+        "full reference: docs/configuration.md\n",
+        stderr);
+    return 2;
+}
+
+bool
+hasFlag(const KvArgs &args, const std::string &flag)
+{
+    for (const std::string &p : args.positionals()) {
+        if (p == flag)
+            return true;
+    }
+    return false;
+}
+
+/** Load scenario + CLI overrides; scenario keys win load order. */
+Scenario
+loadWithOverrides(const std::string &path, const KvArgs &args)
+{
+    KvArgs kv = Scenario::parseScnFile(path);
+    for (const std::string &key : args.orderedKeys()) {
+        if (std::find(kCliKeys.begin(), kCliKeys.end(), key) !=
+            kCliKeys.end()) {
+            continue;
+        }
+        Scenario::applyOverride(kv, key, args.getString(key));
+    }
+    return Scenario::fromKv(std::move(kv), path);
+}
+
+int
+cmdRunSweep(const KvArgs &args, bool is_sweep)
+{
+    if (args.positionals().size() < 2)
+        return usage();
+    const std::string path = args.positionals()[1];
+    Scenario scn = loadWithOverrides(path, args);
+    const bool smoke =
+        hasFlag(args, "--smoke") || args.getBool("smoke", false);
+    scn.setSmoke(smoke);
+
+    const std::vector<ExpandedPoint> expanded = scn.expand();
+    std::vector<SweepPoint> points;
+    points.reserve(expanded.size());
+    for (const ExpandedPoint &ep : expanded)
+        points.push_back(ep.point);
+
+    const SweepRunner runner(
+        static_cast<unsigned>(args.getUint("threads", 0)));
+    std::fprintf(stderr,
+                 "amsc: %s%s: %zu point%s on %u thread%s%s\n",
+                 scn.name().c_str(),
+                 scn.description().empty()
+                     ? ""
+                     : (" (" + scn.description() + ")").c_str(),
+                 points.size(), points.size() == 1 ? "" : "s",
+                 runner.numThreads(),
+                 runner.numThreads() == 1 ? "" : "s",
+                 smoke ? ", smoke (quarter-length runs)" : "");
+    // Progress to stderr roughly every tenth of the grid.
+    const std::size_t stride =
+        std::max<std::size_t>(1, points.size() / 10);
+    const std::vector<RunResult> results = runner.run(
+        points, [stride](std::size_t done, std::size_t total) {
+            if (total > 1 && (done % stride == 0 || done == total))
+                std::fprintf(stderr, "amsc: %zu/%zu points done\n",
+                             done, total);
+        });
+
+    const std::string format =
+        args.getString("format", is_sweep ? "csv" : "table");
+    const std::string out = args.getString("out", "");
+    const auto epts = scenario::emitPoints(expanded);
+    if (format == "table")
+        scenario::writeOut(scenario::renderTable(epts, results), out);
+    else if (format == "csv")
+        scenario::writeOut(scenario::emitCsv(epts, results), out);
+    else if (format == "json")
+        scenario::writeOut(
+            scenario::emitJson(scn.name(), epts, results), out);
+    else
+        fatal("unknown format '%s' (table|csv|json)", format.c_str());
+    return 0;
+}
+
+int
+cmdList(const KvArgs &args)
+{
+    const std::string what = args.positionals().size() > 1
+        ? args.positionals()[1]
+        : "workloads";
+    if (what == "workloads") {
+        std::printf("| abbr | benchmark | class | shared MB | "
+                    "kernels | CTAs x warps |\n"
+                    "|---|---|---|---|---|---|\n");
+        for (const WorkloadSpec &s : WorkloadSuite::all()) {
+            std::printf("| %s | %s | %s | %.3f | %u | %u x %u |\n",
+                        s.abbr.c_str(), s.fullName.c_str(),
+                        workloadClassName(s.klass).c_str(), s.sharedMb,
+                        s.simKernels, s.numCtas, s.warpsPerCta);
+        }
+        return 0;
+    }
+    if (what == "scenarios") {
+        std::string dir = args.getString("dir", "");
+        if (dir.empty()) {
+            for (const char *cand : {"scenarios", "../scenarios"}) {
+                if (std::filesystem::is_directory(cand)) {
+                    dir = cand;
+                    break;
+                }
+            }
+        }
+        if (dir.empty() || !std::filesystem::is_directory(dir))
+            fatal("no scenario directory found (pass dir=PATH)");
+        std::vector<std::filesystem::path> files;
+        for (const auto &e :
+             std::filesystem::directory_iterator(dir)) {
+            if (e.path().extension() == ".scn")
+                files.push_back(e.path());
+        }
+        std::sort(files.begin(), files.end());
+        std::printf("| scenario | points | description |\n"
+                    "|---|---|---|\n");
+        for (const auto &f : files) {
+            const Scenario s = Scenario::load(f.string());
+            std::printf("| %s | %zu | %s |\n", f.string().c_str(),
+                        s.expand().size(), s.description().c_str());
+        }
+        return 0;
+    }
+    return usage();
+}
+
+int
+cmdDescribe(const KvArgs &args)
+{
+    if (hasFlag(args, "--markdown")) {
+        std::fputs(scenario::renderConfigMarkdown().c_str(), stdout);
+        return 0;
+    }
+    if (args.positionals().size() > 1) {
+        std::fputs(
+            scenario::renderKeyDetail(args.positionals()[1]).c_str(),
+            stdout);
+        return 0;
+    }
+    std::fputs(scenario::renderKeyTable().c_str(), stdout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const KvArgs args = KvArgs::parse(argc, argv);
+    if (args.positionals().empty())
+        return usage();
+    const std::string &cmd = args.positionals()[0];
+    if (cmd == "run")
+        return cmdRunSweep(args, false);
+    if (cmd == "sweep")
+        return cmdRunSweep(args, true);
+    if (cmd == "list")
+        return cmdList(args);
+    if (cmd == "describe")
+        return cmdDescribe(args);
+    std::fprintf(stderr, "amsc: unknown command '%s'\n", cmd.c_str());
+    return usage();
+}
