@@ -6,7 +6,10 @@
 namespace amsc
 {
 
-Atd::Atd(const AtdParams &params) : params_(params)
+Atd::Atd(const AtdParams &params)
+    : params_(params),
+      repl_(ReplacementPolicy::create(params.repl, params.seed,
+                                      params.duelSets))
 {
     if (params_.sampledSets == 0 || params_.assoc == 0)
         fatal("ATD requires non-zero sampled sets and associativity");
@@ -18,6 +21,8 @@ Atd::Atd(const AtdParams &params) : params_(params)
         stride_ = 1;
     entries_.resize(static_cast<std::size_t>(params_.sampledSets) *
                     params_.assoc);
+    victimScratch_.reserve(params_.assoc);
+    repl_->bind(params_.sampledSets, params_.assoc);
 }
 
 std::uint32_t
@@ -26,7 +31,7 @@ Atd::sliceSetOf(Addr line_addr) const
     return static_cast<std::uint32_t>(line_addr % params_.sliceSets);
 }
 
-Atd::Entry &
+CacheLine &
 Atd::entryAt(std::uint32_t atd_set, std::uint32_t way)
 {
     return entries_[static_cast<std::size_t>(atd_set) * params_.assoc +
@@ -44,7 +49,6 @@ Atd::sampled(Addr line_addr) const
 void
 Atd::observe(Addr line_addr, std::uint32_t router, Cycle now)
 {
-    (void)now;
     const std::uint32_t set = sliceSetOf(line_addr);
     if (set % stride_ != 0)
         return;
@@ -53,12 +57,13 @@ Atd::observe(Addr line_addr, std::uint32_t router, Cycle now)
         return;
 
     ++samples_;
+    const AccessInfo ai{line_addr, atd_set, router, now};
 
     // Probe all ways of the sampled set.
-    Entry *hit = nullptr;
+    CacheLine *hit = nullptr;
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        Entry &e = entryAt(atd_set, w);
-        if (e.valid && e.tag == line_addr) {
+        CacheLine &e = entryAt(atd_set, w);
+        if (e.valid && e.lineAddr == line_addr) {
             hit = &e;
             break;
         }
@@ -66,29 +71,39 @@ Atd::observe(Addr line_addr, std::uint32_t router, Cycle now)
 
     if (hit != nullptr) {
         ++sharedHits_;
-        if (router < 32 && (hit->routerMask >> router) & 1u)
+        if (router < 32 && (hit->accessorMask >> router) & 1u)
             ++privateHits_;
         if (router < 32)
-            hit->routerMask |= 1u << router;
-        hit->lruStamp = ++lruClock_;
+            hit->accessorMask |= 1u << router;
+        hit->reused = true;
+        repl_->onHit(*hit, ai);
         return;
     }
 
-    // Miss: install with LRU replacement (prefer invalid ways).
-    Entry *victim = nullptr;
+    // Miss: install with the slice's replacement policy (prefer
+    // invalid ways, as the main tags do).
+    repl_->onMiss(ai);
+    CacheLine *victim = nullptr;
     for (std::uint32_t w = 0; w < params_.assoc; ++w) {
-        Entry &e = entryAt(atd_set, w);
+        CacheLine &e = entryAt(atd_set, w);
         if (!e.valid) {
             victim = &e;
             break;
         }
-        if (victim == nullptr || e.lruStamp < victim->lruStamp)
-            victim = &e;
     }
-    victim->tag = line_addr;
+    if (victim == nullptr) {
+        victimScratch_.clear();
+        for (std::uint32_t w = 0; w < params_.assoc; ++w)
+            victimScratch_.push_back(&entryAt(atd_set, w));
+        victim = victimScratch_[repl_->victim(atd_set, victimScratch_)];
+        repl_->onEvict(*victim, ai);
+    }
+    victim->lineAddr = line_addr;
     victim->valid = true;
-    victim->routerMask = router < 32 ? (1u << router) : 0;
-    victim->lruStamp = ++lruClock_;
+    victim->accessorMask = router < 32 ? (1u << router) : 0;
+    victim->fillSrc = router;
+    victim->reused = false;
+    repl_->onFill(*victim, ai);
 }
 
 double

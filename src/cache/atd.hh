@@ -18,14 +18,23 @@
  * The same sampled lookups also measure the shared-organization miss
  * rate on identical sets, so Rule #1's comparison uses consistent
  * samples. Hardware cost in the paper: 432 bytes.
+ *
+ * The ATD replaces with the *same* policy as the main LLC tags
+ * (AtdParams::repl, wired from `llc_repl` by buildLlcParams): an ATD
+ * that modelled LRU while the tags ran RRIP would bias the Rule #1
+ * comparison, so the policy match is part of the adaptive decision's
+ * honesty contract (tests/test_perf_invariance.cc pins it).
  */
 
 #ifndef AMSC_CACHE_ATD_HH
 #define AMSC_CACHE_ATD_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "cache/cache_types.hh"
+#include "cache/replacement.hh"
 #include "common/types.hh"
 
 namespace amsc
@@ -42,6 +51,12 @@ struct AtdParams
     std::uint32_t sampledSets = 8;
     /** Number of SM-routers (clusters) distinguished. */
     std::uint32_t numRouters = 8;
+    /** Replacement policy -- must match the main LLC tags. */
+    ReplPolicy repl = ReplPolicy::Lru;
+    /** DRRIP leader sets per constituency (mirrors the slice knob). */
+    std::uint32_t duelSets = 4;
+    /** Seed for stochastic policies. */
+    std::uint64_t seed = 1;
 };
 
 /** Auxiliary tag directory with last-accessor tracking. */
@@ -83,25 +98,24 @@ class Atd
     std::uint64_t hardwareCostBytes(std::uint32_t tag_bits = 19) const;
 
     const AtdParams &params() const { return params_; }
+    /** The bound replacement policy (tests, introspection). */
+    const ReplacementPolicy &replacement() const { return *repl_; }
 
   private:
-    /** One ATD tag entry. */
-    struct Entry
-    {
-        Addr tag = kNoAddr;
-        bool valid = false;
-        /** One bit per SM-router: routers that touched the line. */
-        std::uint32_t routerMask = 0;
-        std::uint64_t lruStamp = 0;
-    };
-
+    /**
+     * ATD entries reuse the CacheLine layout: lineAddr is the tag,
+     * accessorMask the per-router accessed-by bits, replState the
+     * replacement metadata -- so one ReplacementPolicy implementation
+     * serves both the main tags and the ATD.
+     */
     std::uint32_t sliceSetOf(Addr line_addr) const;
-    Entry &entryAt(std::uint32_t atd_set, std::uint32_t way);
+    CacheLine &entryAt(std::uint32_t atd_set, std::uint32_t way);
 
     AtdParams params_;
     std::uint32_t stride_;
-    std::vector<Entry> entries_;
-    std::uint64_t lruClock_ = 0;
+    std::vector<CacheLine> entries_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+    std::vector<CacheLine *> victimScratch_;
     std::uint64_t samples_ = 0;
     std::uint64_t sharedHits_ = 0;
     std::uint64_t privateHits_ = 0;

@@ -32,7 +32,7 @@ CacheModel::lookup(Addr line_addr, bool is_write,
                    std::uint32_t accessor, Cycle now)
 {
     LookupResult res;
-    CacheLine *line = tags_.access(line_addr, now);
+    CacheLine *line = tags_.access(line_addr, now, accessor);
     if (line != nullptr) {
         res.hit = true;
         line->accessorMask |= accessor < 32
@@ -79,7 +79,7 @@ CacheModel::fill(Addr line_addr, bool was_write,
         return out;
 
     Eviction ev;
-    CacheLine *line = tags_.insert(line_addr, now, ev);
+    CacheLine *line = tags_.insert(line_addr, now, ev, accessor);
     ++stats_.fills;
     if (ev.valid) {
         ++stats_.evictions;

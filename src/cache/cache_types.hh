@@ -27,12 +27,29 @@ enum class WriteAllocPolicy
     NoAllocate, ///< forward write without installing the line
 };
 
-/** Replacement policy selector. */
+/**
+ * Replacement policy selector.
+ *
+ * Lru/Fifo/Random are the seed policies (Table 1 uses LRU
+ * everywhere); the RRIP family and set-dueling DRRIP exist to probe
+ * how sensitive the paper's conclusions are to the replacement
+ * choice (docs/DESIGN.md, "Replacement & bypass policies").
+ */
 enum class ReplPolicy
 {
     Lru,
     Fifo,
     Random,
+    Srrip, ///< static re-reference interval prediction (2-bit RRPV)
+    Brrip, ///< bimodal RRIP: distant insert, 1/32 long inserts
+    Drrip, ///< set-dueling between SRRIP and BRRIP (PSEL)
+};
+
+/** LLC fill-bypass policy selector. */
+enum class BypassPolicy
+{
+    None,   ///< every fill installs (baseline)
+    Stream, ///< no-allocate fills from sources with no observed reuse
 };
 
 /** State of one cache line (tag entry). */
@@ -56,6 +73,10 @@ struct CacheLine
     std::uint32_t accessorMask = 0;
     /** Last accessing cluster / SM-router (for the ATD estimator). */
     std::uint32_t lastAccessor = kInvalidId;
+    /** Source (SM) whose miss installed the line (bypass predictor). */
+    std::uint32_t fillSrc = kInvalidId;
+    /** True once the line was hit after its install (reuse signal). */
+    bool reused = false;
 };
 
 } // namespace amsc

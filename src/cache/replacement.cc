@@ -1,12 +1,76 @@
 #include "cache/replacement.hh"
 
+#include "common/bitutils.hh"
 #include "common/log.hh"
 
 namespace amsc
 {
 
+ReplPolicy
+parseReplPolicy(const std::string &name)
+{
+    if (name == "lru")
+        return ReplPolicy::Lru;
+    if (name == "fifo")
+        return ReplPolicy::Fifo;
+    if (name == "random")
+        return ReplPolicy::Random;
+    if (name == "srrip")
+        return ReplPolicy::Srrip;
+    if (name == "brrip")
+        return ReplPolicy::Brrip;
+    if (name == "drrip")
+        return ReplPolicy::Drrip;
+    fatal("unknown replacement policy '%s' "
+          "(lru|fifo|random|srrip|brrip|drrip)",
+          name.c_str());
+}
+
+std::string
+replPolicyName(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::Lru:
+        return "lru";
+      case ReplPolicy::Fifo:
+        return "fifo";
+      case ReplPolicy::Random:
+        return "random";
+      case ReplPolicy::Srrip:
+        return "srrip";
+      case ReplPolicy::Brrip:
+        return "brrip";
+      case ReplPolicy::Drrip:
+        return "drrip";
+    }
+    return "?";
+}
+
+BypassPolicy
+parseBypassPolicy(const std::string &name)
+{
+    if (name == "none")
+        return BypassPolicy::None;
+    if (name == "stream")
+        return BypassPolicy::Stream;
+    fatal("unknown bypass policy '%s' (none|stream)", name.c_str());
+}
+
+std::string
+bypassPolicyName(BypassPolicy p)
+{
+    switch (p) {
+      case BypassPolicy::None:
+        return "none";
+      case BypassPolicy::Stream:
+        return "stream";
+    }
+    return "?";
+}
+
 std::unique_ptr<ReplacementPolicy>
-ReplacementPolicy::create(ReplPolicy kind, std::uint64_t seed)
+ReplacementPolicy::create(ReplPolicy kind, std::uint64_t seed,
+                          std::uint32_t duel_sets)
 {
     switch (kind) {
       case ReplPolicy::Lru:
@@ -15,13 +79,35 @@ ReplacementPolicy::create(ReplPolicy kind, std::uint64_t seed)
         return std::make_unique<FifoPolicy>();
       case ReplPolicy::Random:
         return std::make_unique<RandomPolicy>(seed);
+      case ReplPolicy::Srrip:
+        return std::make_unique<SrripPolicy>();
+      case ReplPolicy::Brrip:
+        return std::make_unique<BrripPolicy>();
+      case ReplPolicy::Drrip:
+        return std::make_unique<DrripPolicy>(duel_sets);
     }
     panic("unknown replacement policy");
 }
 
-std::uint32_t
-LruPolicy::victim(const std::vector<CacheLine *> &ways)
+std::unique_ptr<BypassPredictor>
+BypassPredictor::create(BypassPolicy kind)
 {
+    switch (kind) {
+      case BypassPolicy::None:
+        return nullptr;
+      case BypassPolicy::Stream:
+        return std::make_unique<StreamBypassPredictor>();
+    }
+    panic("unknown bypass policy");
+}
+
+// ---- timestamp policies ----------------------------------------------
+
+std::uint32_t
+LruPolicy::victim(std::uint32_t set,
+                  const std::vector<CacheLine *> &ways)
+{
+    (void)set;
     std::uint32_t best = 0;
     for (std::uint32_t i = 1; i < ways.size(); ++i) {
         if (ways[i]->replState < ways[best]->replState)
@@ -31,8 +117,10 @@ LruPolicy::victim(const std::vector<CacheLine *> &ways)
 }
 
 std::uint32_t
-FifoPolicy::victim(const std::vector<CacheLine *> &ways)
+FifoPolicy::victim(std::uint32_t set,
+                   const std::vector<CacheLine *> &ways)
 {
+    (void)set;
     std::uint32_t best = 0;
     for (std::uint32_t i = 1; i < ways.size(); ++i) {
         if (ways[i]->replState < ways[best]->replState)
@@ -42,9 +130,148 @@ FifoPolicy::victim(const std::vector<CacheLine *> &ways)
 }
 
 std::uint32_t
-RandomPolicy::victim(const std::vector<CacheLine *> &ways)
+RandomPolicy::victim(std::uint32_t set,
+                     const std::vector<CacheLine *> &ways)
 {
+    (void)set;
     return static_cast<std::uint32_t>(rng_.below(ways.size()));
+}
+
+// ---- RRIP family -----------------------------------------------------
+
+std::uint32_t
+RripPolicyBase::victim(std::uint32_t set,
+                       const std::vector<CacheLine *> &ways)
+{
+    (void)set;
+    for (;;) {
+        for (std::uint32_t i = 0; i < ways.size(); ++i) {
+            if (ways[i]->replState >= kMaxRrpv)
+                return i;
+        }
+        // No distant line: age the whole set and retry. Terminates
+        // because every counter strictly approaches kMaxRrpv.
+        for (CacheLine *line : ways) {
+            if (line->replState < kMaxRrpv)
+                ++line->replState;
+        }
+    }
+}
+
+void
+DrripPolicy::bind(std::uint32_t num_sets, std::uint32_t assoc)
+{
+    RripPolicyBase::bind(num_sets, assoc);
+    roles_.assign(num_sets, SetRole::Follower);
+    // Stride-spread constituencies: SRRIP leaders on stride
+    // boundaries, BRRIP leaders right after them. Leaders per
+    // constituency are capped at a quarter of the array so at least
+    // half the sets stay followers -- without the cap a small array
+    // (e.g. the 8-set ATD) would be all leaders and the duel's
+    // outcome would steer nothing.
+    const std::uint32_t leaders = std::max<std::uint32_t>(
+        1, std::min(duelSets_, num_sets / 4));
+    const std::uint32_t stride =
+        std::max<std::uint32_t>(2, num_sets / leaders);
+    for (std::uint32_t set = 0; set < num_sets; ++set) {
+        if (set / stride >= leaders)
+            continue;
+        if (set % stride == 0)
+            roles_[set] = SetRole::SrripLeader;
+        else if (set % stride == 1)
+            roles_[set] = SetRole::BrripLeader;
+    }
+}
+
+void
+DrripPolicy::onMiss(const AccessInfo &ai)
+{
+    switch (roles_[ai.set]) {
+      case SetRole::SrripLeader:
+        if (psel_ < kPselMax)
+            ++psel_;
+        break;
+      case SetRole::BrripLeader:
+        if (psel_ > 0)
+            --psel_;
+        break;
+      case SetRole::Follower:
+        break;
+    }
+}
+
+bool
+DrripPolicy::usesBrripInsert(std::uint32_t set) const
+{
+    switch (roles_[set]) {
+      case SetRole::SrripLeader:
+        return false;
+      case SetRole::BrripLeader:
+        return true;
+      case SetRole::Follower:
+        // High PSEL = SRRIP leaders missed more: follow BRRIP.
+        return psel_ >= kPselMid;
+    }
+    return false;
+}
+
+void
+DrripPolicy::onFill(CacheLine &line, const AccessInfo &ai)
+{
+    if (usesBrripInsert(ai.set)) {
+        line.replState = brripFills_++ % BrripPolicy::kLongInsertPeriod
+                == 0
+            ? kMaxRrpv - 1
+            : kMaxRrpv;
+    } else {
+        line.replState = kMaxRrpv - 1;
+    }
+}
+
+// ---- streaming bypass ------------------------------------------------
+
+void
+StreamBypassPredictor::bumpDown(std::uint32_t src)
+{
+    if (src == kInvalidId)
+        return;
+    std::uint8_t &c = confidence_[src % kSources];
+    c = c >= 2 ? c - 2 : 0;
+}
+
+bool
+StreamBypassPredictor::shouldBypass(const AccessInfo &ai)
+{
+    if (ai.src == kInvalidId || sampleSet(ai.set))
+        return false;
+    return confidence_[ai.src % kSources] >= kThreshold;
+}
+
+void
+StreamBypassPredictor::onHit(const CacheLine &line, const AccessInfo &ai)
+{
+    (void)ai;
+    // Reuse on a resident line vouches for whoever installed it.
+    bumpDown(line.fillSrc);
+}
+
+void
+StreamBypassPredictor::onEvict(const CacheLine &line,
+                               const AccessInfo &ai)
+{
+    (void)ai;
+    if (line.fillSrc == kInvalidId)
+        return;
+    // Dead on arrival *and* effectively un-shared (the accessor mask
+    // is the same per-line sharing signal the Fig-3 tracker reads):
+    // streaming evidence. Anything else decays the verdict quickly.
+    if (!line.reused && popCount(line.accessorMask) <= 1) {
+        std::uint8_t &c = confidence_[line.fillSrc % kSources];
+        if (c < kMaxConfidence)
+            ++c;
+    } else {
+        bumpDown(line.fillSrc);
+    }
 }
 
 } // namespace amsc

@@ -1,9 +1,32 @@
 /**
  * @file
- * Replacement policies for set-associative tag arrays.
+ * Pluggable replacement & bypass policy framework for set-associative
+ * tag arrays.
  *
- * The baseline GPU of Table 1 uses LRU everywhere; FIFO and Random are
- * provided for ablation studies of the LLC organization.
+ * The baseline GPU of Table 1 uses LRU everywhere; the wider family
+ * here (FIFO, Random, SRRIP, BRRIP, set-dueling DRRIP, and a
+ * streaming-bypass predictor) turns the replacement choice into a
+ * first-class sweep axis so the sensitivity of the paper's adaptive
+ * mechanism to *how* the LLC replaces can be measured, not assumed
+ * (docs/DESIGN.md, "Replacement & bypass policies").
+ *
+ * A policy is stateful: it owns whatever per-set metadata it needs
+ * (bound once via bind()), sees every hit, miss, fill and eviction,
+ * and decides both the victim way and the insertion position (the
+ * RRIP family encodes the position in the line's re-reference
+ * prediction value, stored in CacheLine::replState). The owning
+ * TagArray/Atd drives the hooks in a fixed order:
+ *
+ *   lookup hit  -> onHit(line, ai)
+ *   lookup miss -> onMiss(ai)                (set-dueling PSEL update)
+ *   install     -> [victim(set, ways) -> onEvict(victim, ai)]
+ *                  -> onFill(line, ai)       (insertion position)
+ *
+ * The legacy policies (LRU/FIFO/Random) behave bit-identically to
+ * their pre-framework implementations: same clock increments, same
+ * RNG draw sequence, same tie-breaking. This is load-bearing -- the
+ * default configuration must reproduce pre-framework results exactly
+ * (tests/test_replacement.cc, tests/test_perf_invariance.cc).
  */
 
 #ifndef AMSC_CACHE_REPLACEMENT_HH
@@ -11,52 +34,127 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/cache_types.hh"
 #include "common/rng.hh"
+#include "common/types.hh"
 
 namespace amsc
 {
 
+/** Parse a replacement policy name (lru|fifo|random|srrip|brrip|drrip). */
+ReplPolicy parseReplPolicy(const std::string &name);
+
+/** Replacement policy key=value spelling. */
+std::string replPolicyName(ReplPolicy p);
+
+/** Parse a bypass policy name (none|stream). */
+BypassPolicy parseBypassPolicy(const std::string &name);
+
+/** Bypass policy key=value spelling. */
+std::string bypassPolicyName(BypassPolicy p);
+
+/** Context of one policy decision: what is accessed, by whom, when. */
+struct AccessInfo
+{
+    Addr lineAddr = kNoAddr;
+    /** Set index within the owning array. */
+    std::uint32_t set = 0;
+    /** Requesting SM / router id (kInvalidId when unknown). */
+    std::uint32_t src = kInvalidId;
+    Cycle now = 0;
+};
+
 /**
  * Replacement policy interface.
  *
- * Policies receive touch/insert notifications and pick a victim way
- * within a set. Invalid ways are always preferred by the caller before
- * the policy is consulted.
+ * Per-line policy state lives in CacheLine::replState (LRU/FIFO
+ * timestamps, RRIP RRPVs); per-set state (set-dueling roles, PSEL)
+ * lives in the policy object itself, allocated by bind(). Invalid
+ * ways are always preferred by the caller before victim() is
+ * consulted, so victim() only ever sees full sets.
  */
 class ReplacementPolicy
 {
   public:
     virtual ~ReplacementPolicy() = default;
 
-    /** Called when @p line is installed. */
-    virtual void onInsert(CacheLine &line) = 0;
+    /**
+     * Bind the policy to its array geometry (allocates per-set
+     * metadata). Called exactly once, before any other hook.
+     */
+    virtual void
+    bind(std::uint32_t num_sets, std::uint32_t assoc)
+    {
+        numSets_ = num_sets;
+        assoc_ = assoc;
+    }
 
-    /** Called on every hit to @p line. */
-    virtual void onHit(CacheLine &line) = 0;
+    /** Called on every lookup hit to @p line. */
+    virtual void onHit(CacheLine &line, const AccessInfo &ai) = 0;
 
     /**
-     * Choose a victim among @p ways (all valid).
+     * Called on every lookup miss (before any fill decision). This is
+     * where set-dueling policies update their selector counters.
+     */
+    virtual void onMiss(const AccessInfo &ai) { (void)ai; }
+
+    /**
+     * Called when @p line is installed: the insertion-position
+     * decision (for RRIP policies, the initial RRPV).
+     */
+    virtual void onFill(CacheLine &line, const AccessInfo &ai) = 0;
+
+    /** Called when the chosen victim @p line is about to be replaced. */
+    virtual void
+    onEvict(CacheLine &line, const AccessInfo &ai)
+    {
+        (void)line;
+        (void)ai;
+    }
+
+    /**
+     * Choose a victim among @p ways (all valid) of set @p set. RRIP
+     * policies age the set's counters in place while searching.
      *
      * @return index into @p ways of the victim.
      */
     virtual std::uint32_t
-    victim(const std::vector<CacheLine *> &ways) = 0;
+    victim(std::uint32_t set, const std::vector<CacheLine *> &ways) = 0;
 
-    /** Factory for the policy selected by @p kind. */
+    /**
+     * Factory for the policy selected by @p kind, unbound.
+     *
+     * @param seed      seed for stochastic policies.
+     * @param duel_sets DRRIP leader sets per constituency.
+     */
     static std::unique_ptr<ReplacementPolicy>
-    create(ReplPolicy kind, std::uint64_t seed = 1);
+    create(ReplPolicy kind, std::uint64_t seed = 1,
+           std::uint32_t duel_sets = 4);
+
+  protected:
+    std::uint32_t numSets_ = 0;
+    std::uint32_t assoc_ = 0;
 };
 
-/** Least-recently-used replacement. */
+/** Least-recently-used replacement (global recency clock). */
 class LruPolicy : public ReplacementPolicy
 {
   public:
-    void onInsert(CacheLine &line) override { line.replState = ++clock_; }
-    void onHit(CacheLine &line) override { line.replState = ++clock_; }
-    std::uint32_t victim(const std::vector<CacheLine *> &ways) override;
+    void
+    onHit(CacheLine &line, const AccessInfo &) override
+    {
+        line.replState = ++clock_;
+    }
+    void
+    onFill(CacheLine &line, const AccessInfo &) override
+    {
+        line.replState = ++clock_;
+    }
+    std::uint32_t victim(std::uint32_t set,
+                         const std::vector<CacheLine *> &ways) override;
 
   private:
     std::uint64_t clock_ = 0;
@@ -66,9 +164,14 @@ class LruPolicy : public ReplacementPolicy
 class FifoPolicy : public ReplacementPolicy
 {
   public:
-    void onInsert(CacheLine &line) override { line.replState = ++clock_; }
-    void onHit(CacheLine &) override {}
-    std::uint32_t victim(const std::vector<CacheLine *> &ways) override;
+    void onHit(CacheLine &, const AccessInfo &) override {}
+    void
+    onFill(CacheLine &line, const AccessInfo &) override
+    {
+        line.replState = ++clock_;
+    }
+    std::uint32_t victim(std::uint32_t set,
+                         const std::vector<CacheLine *> &ways) override;
 
   private:
     std::uint64_t clock_ = 0;
@@ -80,12 +183,228 @@ class RandomPolicy : public ReplacementPolicy
   public:
     explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
 
-    void onInsert(CacheLine &) override {}
-    void onHit(CacheLine &) override {}
-    std::uint32_t victim(const std::vector<CacheLine *> &ways) override;
+    void onHit(CacheLine &, const AccessInfo &) override {}
+    void onFill(CacheLine &, const AccessInfo &) override {}
+    std::uint32_t victim(std::uint32_t set,
+                         const std::vector<CacheLine *> &ways) override;
 
   private:
     Rng rng_;
+};
+
+/**
+ * RRIP-family base: 2-bit re-reference prediction values in
+ * CacheLine::replState. Hits promote to RRPV 0 (hit promotion);
+ * victim() evicts the first way predicted "distant" (RRPV == max),
+ * aging the whole set when none is.
+ */
+class RripPolicyBase : public ReplacementPolicy
+{
+  public:
+    /** 2-bit counters: 0 (imminent) .. 3 (distant). */
+    static constexpr std::uint64_t kMaxRrpv = 3;
+
+    void
+    onHit(CacheLine &line, const AccessInfo &) override
+    {
+        line.replState = 0;
+    }
+    std::uint32_t victim(std::uint32_t set,
+                         const std::vector<CacheLine *> &ways) override;
+};
+
+/** Static RRIP: every fill inserted at "long" (kMaxRrpv - 1). */
+class SrripPolicy : public RripPolicyBase
+{
+  public:
+    void
+    onFill(CacheLine &line, const AccessInfo &) override
+    {
+        line.replState = kMaxRrpv - 1;
+    }
+};
+
+/**
+ * Bimodal RRIP: fills normally inserted at "distant" (kMaxRrpv),
+ * with every 32nd fill at "long" -- thrash-resistant while still
+ * able to learn a re-used working set. The 1/32 throttle is a
+ * deterministic counter so runs stay bit-reproducible under
+ * record/replay.
+ */
+class BrripPolicy : public RripPolicyBase
+{
+  public:
+    /** One long insert per this many fills. */
+    static constexpr std::uint64_t kLongInsertPeriod = 32;
+
+    void
+    onFill(CacheLine &line, const AccessInfo &) override
+    {
+        line.replState =
+            fills_++ % kLongInsertPeriod == 0 ? kMaxRrpv - 1 : kMaxRrpv;
+    }
+
+  private:
+    std::uint64_t fills_ = 0;
+};
+
+/**
+ * Dynamic RRIP: set-dueling between SRRIP and BRRIP insertion.
+ *
+ * bind() dedicates `duelSets` leader sets to each constituency
+ * (stride-spread across the array; see docs/DESIGN.md for the
+ * layout diagram); misses in SRRIP leaders increment the 10-bit
+ * saturating PSEL, misses in BRRIP leaders decrement it, and
+ * follower sets insert with the currently-winning constituency
+ * (PSEL >= midpoint means SRRIP is missing more, so followers use
+ * BRRIP).
+ */
+class DrripPolicy : public RripPolicyBase
+{
+  public:
+    /** PSEL saturation bound (10-bit counter). */
+    static constexpr std::uint32_t kPselMax = 1023;
+    /** Follower decision threshold. */
+    static constexpr std::uint32_t kPselMid = 512;
+
+    /** Role of one set in the duel. */
+    enum class SetRole : std::uint8_t
+    {
+        Follower,
+        SrripLeader,
+        BrripLeader,
+    };
+
+    explicit DrripPolicy(std::uint32_t duel_sets)
+        : duelSets_(duel_sets == 0 ? 1 : duel_sets)
+    {}
+
+    void bind(std::uint32_t num_sets, std::uint32_t assoc) override;
+    void onMiss(const AccessInfo &ai) override;
+    void onFill(CacheLine &line, const AccessInfo &ai) override;
+
+    SetRole
+    role(std::uint32_t set) const
+    {
+        return roles_[set];
+    }
+    std::uint32_t psel() const { return psel_; }
+    std::uint32_t duelSets() const { return duelSets_; }
+
+  private:
+    /** True if @p set (by role/PSEL) inserts with BRRIP. */
+    bool usesBrripInsert(std::uint32_t set) const;
+
+    std::uint32_t duelSets_;
+    std::vector<SetRole> roles_;
+    std::uint32_t psel_ = kPselMid;
+    std::uint64_t brripFills_ = 0;
+};
+
+/**
+ * Fill-bypass predictor interface.
+ *
+ * Consulted by the LLC slice before installing a DRAM fill; learns
+ * from the tag array's hit/eviction stream. A predictor never makes
+ * a line *wrong* -- a bypassed fill simply stays uncached, and the
+ * next access misses to DRAM again.
+ */
+class BypassPredictor
+{
+  public:
+    virtual ~BypassPredictor() = default;
+
+    /** Geometry binding (sampling-set layout). */
+    virtual void
+    bind(std::uint32_t num_sets, std::uint32_t assoc)
+    {
+        numSets_ = num_sets;
+        assoc_ = assoc;
+    }
+
+    /** Should the fill described by @p ai skip installation? */
+    virtual bool shouldBypass(const AccessInfo &ai) = 0;
+
+    /** Observe a lookup hit (reuse evidence for the fill source). */
+    virtual void
+    onHit(const CacheLine &line, const AccessInfo &ai)
+    {
+        (void)line;
+        (void)ai;
+    }
+
+    /** Observe an eviction (dead-on-arrival evidence). */
+    virtual void
+    onEvict(const CacheLine &line, const AccessInfo &ai)
+    {
+        (void)line;
+        (void)ai;
+    }
+
+    /** Factory; returns nullptr for BypassPolicy::None. */
+    static std::unique_ptr<BypassPredictor> create(BypassPolicy kind);
+
+  protected:
+    std::uint32_t numSets_ = 0;
+    std::uint32_t assoc_ = 0;
+};
+
+/**
+ * Streaming-bypass predictor: no-allocate for fills requested by
+ * sources whose previous lines died without reuse.
+ *
+ * Per-source (SM id, folded into a small table) 2-bit saturating
+ * confidence counters:
+ *
+ *   - a line evicted with no hit after its install and at most one
+ *     accessor in its sharing mask (the Fig-3 sharing signal the
+ *     tracker also reads from CacheLine::accessorMask) counts as
+ *     streaming evidence: counter += 1;
+ *   - an evicted line that *was* reused, or was touched by several
+ *     clusters, resets the counter fast: counter -= 2;
+ *   - a lookup hit on a still-resident line likewise decays the fill
+ *     source's counter.
+ *
+ * Fills from sources at counter >= 2 bypass -- except into sampling
+ * sets (every kSampleStride-th set), which always install so the
+ * predictor keeps observing the source and can unlearn a stale
+ * streaming verdict.
+ */
+class StreamBypassPredictor : public BypassPredictor
+{
+  public:
+    /** Folded per-source table size. */
+    static constexpr std::uint32_t kSources = 64;
+    /** Saturating confidence bound (2-bit). */
+    static constexpr std::uint8_t kMaxConfidence = 3;
+    /** Bypass threshold. */
+    static constexpr std::uint8_t kThreshold = 2;
+    /** Every kSampleStride-th set always installs (learning sets). */
+    static constexpr std::uint32_t kSampleStride = 8;
+
+    StreamBypassPredictor() { confidence_.assign(kSources, 0); }
+
+    bool shouldBypass(const AccessInfo &ai) override;
+    void onHit(const CacheLine &line, const AccessInfo &ai) override;
+    void onEvict(const CacheLine &line, const AccessInfo &ai) override;
+
+    /** True if @p set is a sampling (always-install) set. */
+    static bool
+    sampleSet(std::uint32_t set)
+    {
+        return set % kSampleStride == 0;
+    }
+
+    std::uint8_t
+    confidence(std::uint32_t src) const
+    {
+        return confidence_[src % kSources];
+    }
+
+  private:
+    void bumpDown(std::uint32_t src);
+
+    std::vector<std::uint8_t> confidence_;
 };
 
 } // namespace amsc

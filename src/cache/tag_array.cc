@@ -6,15 +6,21 @@ namespace amsc
 {
 
 TagArray::TagArray(std::uint32_t num_sets, std::uint32_t assoc,
-                   ReplPolicy repl, std::uint64_t seed)
-    : numSets_(num_sets), assoc_(assoc),
-      repl_(ReplacementPolicy::create(repl, seed))
+                   ReplPolicy repl, std::uint64_t seed,
+                   BypassPolicy bypass, std::uint32_t duel_sets)
+    : numSets_(num_sets), assoc_(assoc), replKind_(repl),
+      bypassKind_(bypass),
+      repl_(ReplacementPolicy::create(repl, seed, duel_sets)),
+      bypass_(BypassPredictor::create(bypass))
 {
     if (num_sets == 0 || assoc == 0)
         fatal("TagArray requires non-zero sets (%u) and assoc (%u)",
               num_sets, assoc);
     lines_.resize(static_cast<std::size_t>(num_sets) * assoc);
     victimScratch_.reserve(assoc);
+    repl_->bind(num_sets, assoc);
+    if (bypass_)
+        bypass_->bind(num_sets, assoc);
 }
 
 CacheLine *
@@ -36,20 +42,28 @@ TagArray::probe(Addr line_addr) const
 }
 
 CacheLine *
-TagArray::access(Addr line_addr, Cycle now)
+TagArray::access(Addr line_addr, Cycle now, std::uint32_t src)
 {
-    (void)now;
+    const AccessInfo ai{line_addr, setIndex(line_addr), src, now};
     CacheLine *line = probe(line_addr);
-    if (line != nullptr)
-        repl_->onHit(*line);
+    if (line != nullptr) {
+        line->reused = true;
+        repl_->onHit(*line, ai);
+        if (bypass_)
+            bypass_->onHit(*line, ai);
+    } else {
+        repl_->onMiss(ai);
+    }
     return line;
 }
 
 CacheLine *
-TagArray::insert(Addr line_addr, Cycle now, Eviction &evicted)
+TagArray::insert(Addr line_addr, Cycle now, Eviction &evicted,
+                 std::uint32_t src)
 {
     evicted = Eviction{};
     const std::uint32_t set = setIndex(line_addr);
+    const AccessInfo ai{line_addr, set, src, now};
 
     // Prefer an invalid way.
     CacheLine *target = nullptr;
@@ -65,11 +79,14 @@ TagArray::insert(Addr line_addr, Cycle now, Eviction &evicted)
         victimScratch_.clear();
         for (std::uint32_t w = 0; w < assoc_; ++w)
             victimScratch_.push_back(&lineAt(set, w));
-        const std::uint32_t vic = repl_->victim(victimScratch_);
+        const std::uint32_t vic = repl_->victim(set, victimScratch_);
         target = victimScratch_[vic];
         evicted.valid = true;
         evicted.dirty = target->dirty;
         evicted.lineAddr = target->lineAddr;
+        repl_->onEvict(*target, ai);
+        if (bypass_)
+            bypass_->onEvict(*target, ai);
     }
 
     target->lineAddr = line_addr;
@@ -78,8 +95,31 @@ TagArray::insert(Addr line_addr, Cycle now, Eviction &evicted)
     target->insertCycle = now;
     target->accessorMask = 0;
     target->lastAccessor = kInvalidId;
-    repl_->onInsert(*target);
+    target->fillSrc = src;
+    target->reused = false;
+    repl_->onFill(*target, ai);
     return target;
+}
+
+void
+TagArray::touchForRetry(Addr line_addr, Cycle now, std::uint32_t src)
+{
+    CacheLine *line = probe(line_addr);
+    if (line == nullptr)
+        return;
+    const AccessInfo ai{line_addr, setIndex(line_addr), src, now};
+    line->reused = true;
+    repl_->onHit(*line, ai);
+}
+
+bool
+TagArray::shouldBypassFill(Addr line_addr, std::uint32_t src,
+                           Cycle now) const
+{
+    if (!bypass_)
+        return false;
+    const AccessInfo ai{line_addr, setIndex(line_addr), src, now};
+    return bypass_->shouldBypass(ai);
 }
 
 Eviction

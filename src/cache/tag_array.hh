@@ -42,13 +42,17 @@ class TagArray
 {
   public:
     /**
-     * @param num_sets number of sets (>0, any value).
-     * @param assoc    associativity (>0).
-     * @param repl     replacement policy selector.
-     * @param seed     seed for stochastic policies.
+     * @param num_sets  number of sets (>0, any value).
+     * @param assoc     associativity (>0).
+     * @param repl      replacement policy selector.
+     * @param seed      seed for stochastic policies.
+     * @param bypass    fill-bypass policy (LLC slices only).
+     * @param duel_sets DRRIP leader sets per constituency.
      */
     TagArray(std::uint32_t num_sets, std::uint32_t assoc,
-             ReplPolicy repl = ReplPolicy::Lru, std::uint64_t seed = 1);
+             ReplPolicy repl = ReplPolicy::Lru, std::uint64_t seed = 1,
+             BypassPolicy bypass = BypassPolicy::None,
+             std::uint32_t duel_sets = 4);
 
     /** @return the set index for @p line_addr. */
     std::uint32_t
@@ -66,11 +70,14 @@ class TagArray
     const CacheLine *probe(Addr line_addr) const;
 
     /**
-     * Look up @p line_addr and update replacement state on hit.
+     * Look up @p line_addr and update replacement state: the policy
+     * sees onHit on a hit and onMiss otherwise (set-dueling input).
      *
+     * @param src requesting SM / router id (policy context).
      * @return the matching line or nullptr on miss.
      */
-    CacheLine *access(Addr line_addr, Cycle now);
+    CacheLine *access(Addr line_addr, Cycle now,
+                      std::uint32_t src = kInvalidId);
 
     /**
      * Install @p line_addr, evicting a victim if the set is full.
@@ -78,9 +85,29 @@ class TagArray
      * @param line_addr line to install.
      * @param now       current cycle (recorded as insertCycle).
      * @param evicted   out-parameter describing the victim, if any.
+     * @param src       requesting SM / router id (policy context).
      * @return the installed line.
      */
-    CacheLine *insert(Addr line_addr, Cycle now, Eviction &evicted);
+    CacheLine *insert(Addr line_addr, Cycle now, Eviction &evicted,
+                      std::uint32_t src = kInvalidId);
+
+    /**
+     * Recency-only touch for a request attempt that will be retried
+     * (resource stall): fires the replacement policy's onHit on a
+     * hit -- bit-exact with the historical access-per-attempt
+     * behavior -- but never onMiss or the bypass hooks, so one
+     * logical miss trains the set-dueling/bypass state exactly once,
+     * on the attempt that completes.
+     */
+    void touchForRetry(Addr line_addr, Cycle now, std::uint32_t src);
+
+    /**
+     * Should a fill of @p line_addr requested by @p src skip
+     * installation? Always false without a bypass policy. Pure
+     * prediction -- no state changes.
+     */
+    bool shouldBypassFill(Addr line_addr, std::uint32_t src,
+                          Cycle now) const;
 
     /**
      * Invalidate the line caching @p line_addr if present.
@@ -106,6 +133,12 @@ class TagArray
 
     std::uint32_t numSets() const { return numSets_; }
     std::uint32_t assoc() const { return assoc_; }
+    ReplPolicy replKind() const { return replKind_; }
+    BypassPolicy bypassKind() const { return bypassKind_; }
+    /** The bound replacement policy (tests, introspection). */
+    const ReplacementPolicy &replacement() const { return *repl_; }
+    /** The bound bypass predictor; nullptr without one. */
+    const BypassPredictor *bypass() const { return bypass_.get(); }
     std::uint64_t numLines() const
     {
         return static_cast<std::uint64_t>(numSets_) * assoc_;
@@ -126,8 +159,11 @@ class TagArray
 
     std::uint32_t numSets_;
     std::uint32_t assoc_;
+    ReplPolicy replKind_;
+    BypassPolicy bypassKind_;
     std::vector<CacheLine> lines_;
     std::unique_ptr<ReplacementPolicy> repl_;
+    std::unique_ptr<BypassPredictor> bypass_;
     // Scratch vector reused by insert() to avoid per-call allocation.
     std::vector<CacheLine *> victimScratch_;
 };

@@ -4,9 +4,21 @@
  *
  * A DelayQueue models a pipeline or wire with a fixed (per-push) delay
  * and optional bounded capacity. Items pushed at cycle c with latency L
- * become visible to pop() at cycle c+L. Because every producer pushes
- * with a monotonically non-decreasing ready cycle, the queue stays
- * sorted and all operations are O(1).
+ * become visible to pop() at cycle c+L.
+ *
+ * Ready cycles are clamped to be monotone: an item pushed with an
+ * earlier raw ready cycle than its predecessor becomes ready together
+ * with that predecessor instead. This keeps the queue sorted with all
+ * operations O(1), accepts producers whose latencies vary (the LLC
+ * slice pushes hit replies at hitLatency but fill replies at 1..n
+ * cycles, so raw ready cycles are *not* monotone), and is observably
+ * identical to the unclamped FIFO: ready()/pop() only ever expose the
+ * front, so an item can never pop before its predecessor anyway --
+ * when the predecessor pops at cycle p >= its own ready cycle r_prev,
+ * the clamped successor (ready max(r_raw, r_prev) <= p) is exactly as
+ * poppable as the raw one (r_raw <= p). frontReadyCycle() likewise
+ * only tightens toward the cycle the item could actually pop, which
+ * makes the quiescence fast-forward exact rather than conservative.
  */
 
 #ifndef AMSC_COMMON_DELAY_QUEUE_HH
@@ -54,17 +66,19 @@ class DelayQueue
     std::size_t capacity() const { return capacity_; }
 
     /**
-     * Push an item that becomes visible at cycle @p now + @p latency.
+     * Push an item that becomes visible at cycle @p now + @p latency,
+     * but never before the item in front of it (monotone clamp; see
+     * the file comment for why this is exact).
      *
      * @pre !full()
-     * @pre ready cycles are pushed in non-decreasing order.
      */
     void
     push(T item, Cycle now, Cycle latency)
     {
         assert(!full());
-        const Cycle ready = now + latency;
-        assert(q_.empty() || q_.back().first <= ready);
+        Cycle ready = now + latency;
+        if (!q_.empty() && q_.back().first > ready)
+            ready = q_.back().first;
         q_.emplace_back(ready, std::move(item));
     }
 

@@ -11,7 +11,8 @@ LlcSlice::LlcSlice(const LlcSliceParams &params, Network *net,
     : params_(params), net_(net), mem_(mem),
       appOf_(std::move(app_of)),
       writeThrough_(std::move(write_through)),
-      tags_(params.numSets, params.assoc, params.repl, params.seed),
+      tags_(params.numSets, params.assoc, params.repl, params.seed,
+            params.bypass, params.duelSets),
       mshrs_(params.mshrs, params.mshrTargets)
 {
 }
@@ -53,7 +54,7 @@ LlcSlice::process(const NocMessage &msg, Cycle now)
         if (is_atomic)
             ++stats_.atomics;
         ++stats_.reads;
-        CacheLine *hit = tags_.access(line, now);
+        CacheLine *hit = tags_.access(line, now, msg.src);
         // MSHR merges count as hits: like a tag hit, they are served
         // by data already on its way and generate no DRAM traffic
         // (hit-under-miss). Miss rate thus predicts DRAM fetches,
@@ -68,7 +69,10 @@ LlcSlice::process(const NocMessage &msg, Cycle now)
             if (is_atomic) {
                 // Read-modify-write at the ROP: the line is updated
                 // in place (dirty under write-back, forwarded under
-                // write-through).
+                // write-through). Known modeling gap, kept for
+                // bit-exactness with the seed: a write-through RMW
+                // whose forward finds the miss queue full is dropped
+                // from the DRAM traffic rather than retried.
                 if (writeThrough_(appOf_(msg.src))) {
                     if (!missQueue_.full())
                         missQueue_.push({line, true}, now,
@@ -102,11 +106,19 @@ LlcSlice::process(const NocMessage &msg, Cycle now)
 
     if (msg.kind == MsgKind::WriteReq) {
         // No-write-allocate; policy depends on the owning app's mode.
+        // Backpressure is checked before the policy-training access
+        // so one logical write trains the set-dueling/bypass state
+        // exactly once, on the attempt that completes; stalled
+        // attempts keep the historical recency-refresh-per-attempt
+        // (touchForRetry), which preserves bit-exactness for the
+        // timestamp policies.
         const bool wt = writeThrough_(appOf_(msg.src));
-        CacheLine *line_p = tags_.access(line, now);
-        const bool forward = wt || line_p == nullptr;
-        if (forward && missQueue_.full())
+        const bool forward = wt || tags_.probe(line) == nullptr;
+        if (forward && missQueue_.full()) {
+            tags_.touchForRetry(line, now, msg.src);
             return false;
+        }
+        CacheLine *line_p = tags_.access(line, now, msg.src);
 
         ++stats_.writes;
         if (observer_)
@@ -180,14 +192,24 @@ LlcSlice::onDramReply(Addr line_addr, Cycle now)
         // reads always do.
         return;
     }
-    fillLine(line_addr, now);
     const auto targets = mshrs_.complete(line_addr);
+    fillLine(line_addr, now,
+             targets.empty() ? kInvalidId : targets.front().sm);
     Cycle lat = 1;
+    bool rmw_forwarded = false;
     for (const ReadTarget &t : targets) {
         if (t.atomic) {
             CacheLine *line = tags_.probe(line_addr);
             if (line != nullptr && !writeThrough_(appOf_(t.sm)))
                 line->dirty = true;
+            else if (line == nullptr && !rmw_forwarded) {
+                // Fill was bypassed: the RMW result still has to
+                // reach DRAM (same path as a flush write-back). One
+                // write-back covers all merged atomics, exactly as
+                // one dirty line would have.
+                writebackQueue_.push_back(line_addr);
+                rmw_forwarded = true;
+            }
         }
         // Fills stream one reply per cycle through the data array.
         queueReply(line_addr, t.sm, now, lat, t.atomic);
@@ -195,13 +217,32 @@ LlcSlice::onDramReply(Addr line_addr, Cycle now)
     }
 }
 
+bool
+LlcSlice::bypassEligible(SmId src) const
+{
+    if (params_.bypass == BypassPolicy::None || src == kInvalidId)
+        return false;
+    if (params_.bypassApp.empty())
+        return true;
+    const AppId app = appOf_(src);
+    return app < params_.bypassApp.size() &&
+        params_.bypassApp[app] != 0;
+}
+
 void
-LlcSlice::fillLine(Addr line_addr, Cycle now)
+LlcSlice::fillLine(Addr line_addr, Cycle now, SmId src)
 {
     if (tags_.probe(line_addr) != nullptr)
         return;
+    if (bypassEligible(src) &&
+        tags_.shouldBypassFill(line_addr, src, now)) {
+        // No-allocate: the merged readers are still served from the
+        // in-flight data; the line just stays uncached.
+        ++stats_.bypasses;
+        return;
+    }
     Eviction ev;
-    tags_.insert(line_addr, now, ev);
+    tags_.insert(line_addr, now, ev, src);
     if (ev.valid && ev.dirty)
         writebackQueue_.push_back(ev.lineAddr);
 }
@@ -239,6 +280,8 @@ LlcSlice::registerStats(StatSet &set) const
     set.addCounter(p + ".writes", "write requests", stats_.writes);
     set.addCounter(p + ".responses", "replies injected",
                    stats_.responses);
+    set.addCounter(p + ".bypasses", "fills dropped by bypass",
+                   stats_.bypasses);
     const LlcSliceStats *s = &stats_;
     set.add(p + ".read_miss_rate", "read miss rate",
             [s]() { return s->readMissRate(); });

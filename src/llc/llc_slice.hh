@@ -43,6 +43,16 @@ struct LlcSliceParams
     std::uint32_t numSets = 48;
     std::uint32_t assoc = 16;
     ReplPolicy repl = ReplPolicy::Lru;
+    /** Fill-bypass policy (docs/DESIGN.md). */
+    BypassPolicy bypass = BypassPolicy::None;
+    /** DRRIP leader sets per constituency. */
+    std::uint32_t duelSets = 4;
+    /**
+     * Per-application bypass eligibility (1 = may bypass); empty =
+     * every app follows the bypass policy. Lets multi-program runs
+     * enable the streaming bypass for one co-runner only.
+     */
+    std::vector<std::uint8_t> bypassApp{};
     /** Tag + data access latency for hits (slice-local part). */
     std::uint32_t hitLatency = 30;
     /** Latency from tag miss to the DRAM queue. */
@@ -70,6 +80,8 @@ struct LlcSliceStats
     std::uint64_t dramWrites = 0;
     std::uint64_t writebacks = 0;
     std::uint64_t stallCycles = 0;
+    /** Fills dropped by the bypass policy (no-allocate). */
+    std::uint64_t bypasses = 0;
 
     std::uint64_t accesses() const { return reads + writes; }
     double
@@ -147,8 +159,15 @@ class LlcSlice
     void queueReply(Addr line_addr, SmId sm, Cycle now, Cycle latency,
                     bool atomic = false);
 
-    /** Install a fill, possibly generating a write-back. */
-    void fillLine(Addr line_addr, Cycle now);
+    /**
+     * Install a fill, possibly generating a write-back. @p src is the
+     * SM whose primary miss fetched the line (bypass-policy context);
+     * fills from bypass-eligible sources may be dropped instead.
+     */
+    void fillLine(Addr line_addr, Cycle now, SmId src);
+
+    /** True if @p src's application may bypass fills at all. */
+    bool bypassEligible(SmId src) const;
 
     LlcSliceParams params_;
     Network *net_;

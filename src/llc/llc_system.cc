@@ -360,6 +360,15 @@ LlcSystem::totalAtomics() const
 }
 
 std::uint64_t
+LlcSystem::totalBypasses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : slices_)
+        n += s->stats().bypasses;
+    return n;
+}
+
+std::uint64_t
 LlcSystem::totalReads() const
 {
     std::uint64_t n = 0;

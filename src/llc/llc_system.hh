@@ -177,6 +177,7 @@ class LlcSystem
 
     // ---- aggregate metrics ---------------------------------------
     std::uint64_t totalAtomics() const;
+    std::uint64_t totalBypasses() const;
     std::uint64_t totalReads() const;
     std::uint64_t totalAccesses() const;
     std::uint64_t totalResponses() const;

@@ -56,6 +56,7 @@ metricCells(const RunResult &r)
         {"llc_read_miss_rate", d17(r.llcReadMissRate), false},
         {"llc_response_rate", d17(r.llcResponseRate), false},
         {"llc_accesses", std::to_string(r.llcAccesses), false},
+        {"llc_bypasses", std::to_string(r.llcBypasses), false},
         {"dram_accesses", std::to_string(r.dramAccesses), false},
         {"avg_request_latency", d17(r.avgRequestLatency), false},
         {"avg_reply_latency", d17(r.avgReplyLatency), false},

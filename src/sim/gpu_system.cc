@@ -71,6 +71,7 @@ identicalResults(const RunResult &a, const RunResult &b)
         a.llcReadMissRate != b.llcReadMissRate ||
         a.llcResponseRate != b.llcResponseRate ||
         a.llcAccesses != b.llcAccesses ||
+        a.llcBypasses != b.llcBypasses ||
         a.dramAccesses != b.dramAccesses ||
         a.avgRequestLatency != b.avgRequestLatency ||
         a.avgReplyLatency != b.avgReplyLatency ||
@@ -374,6 +375,7 @@ GpuSystem::collect() const
 
     r.llcReadMissRate = llc_->aggregateReadMissRate();
     r.llcAccesses = llc_->totalAccesses();
+    r.llcBypasses = llc_->totalBypasses();
     r.llcResponseRate = now_ == 0
         ? 0.0
         : static_cast<double>(llc_->totalResponses()) /

@@ -50,6 +50,8 @@ struct RunResult
     /** LLC response rate: replies injected per cycle (Fig 12). */
     double llcResponseRate = 0.0;
     std::uint64_t llcAccesses = 0;
+    /** LLC fills dropped by the bypass policy (llc_bypass). */
+    std::uint64_t llcBypasses = 0;
     std::uint64_t dramAccesses = 0;
     double avgRequestLatency = 0.0;
     double avgReplyLatency = 0.0;

@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "cache/replacement.hh"
 #include "common/bitutils.hh"
 #include "common/log.hh"
 #include "common/strutil.hh"
@@ -99,6 +100,21 @@ SimConfig::buildLlcParams() const
     lp.slice.missLatency = llcMissLatency;
     lp.slice.mshrs = llcMshrs;
     lp.slice.mshrTargets = llcMshrTargets;
+    lp.slice.repl = llcRepl;
+    lp.slice.bypass = llcBypass;
+    lp.slice.duelSets = llcDuelSets;
+    lp.slice.bypassApp = buildBypassAppMask();
+    // llc_bypass_apps=on force-enables the stream predictor for the
+    // marked apps even when llc_bypass=none -- otherwise "on" would
+    // be silently inert.
+    if (lp.slice.bypass == BypassPolicy::None) {
+        for (const std::uint8_t on : lp.slice.bypassApp) {
+            if (on != 0) {
+                lp.slice.bypass = BypassPolicy::Stream;
+                break;
+            }
+        }
+    }
     lp.slice.packet.lineBytes = lineBytes;
     lp.slice.seed = seed + 1000;
 
@@ -119,7 +135,38 @@ SimConfig::buildLlcParams() const
     lp.profiler.atd.assoc = llcAssoc;
     lp.profiler.atd.sampledSets = 8;
     lp.profiler.atd.numRouters = numClusters;
+    // The ATD must model the same replacement policy as the main
+    // tags, or the Rule #1 private-vs-shared comparison is biased
+    // (tests/test_perf_invariance.cc pins this).
+    lp.profiler.atd.repl = llcRepl;
+    lp.profiler.atd.duelSets = llcDuelSets;
+    lp.profiler.atd.seed = seed + 2000;
     return lp;
+}
+
+std::vector<std::uint8_t>
+SimConfig::buildBypassAppMask() const
+{
+    std::vector<std::uint8_t> mask;
+    if (llcBypassApps.empty())
+        return mask;
+    const std::vector<std::string> names =
+        splitList(llcBypassApps, '+');
+    if (names.size() > numApps())
+        fatal("llc_bypass_apps lists %zu apps but the run has %u",
+              names.size(), numApps());
+    mask.assign(numApps(), llcBypass != BypassPolicy::None ? 1 : 0);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == "on")
+            mask[i] = 1;
+        else if (names[i] == "off")
+            mask[i] = 0;
+        else if (names[i] != "inherit")
+            fatal("llc_bypass_apps: unknown value '%s' "
+                  "(on|off|inherit)",
+                  names[i].c_str());
+    }
+    return mask;
 }
 
 // ---- key registry ----------------------------------------------------
@@ -286,6 +333,31 @@ buildRegistry()
         AMSC_U32_KEY("llc_mshrs", llcMshrs, "LLC MSHR entries."),
         AMSC_U32_KEY("llc_mshr_targets", llcMshrTargets,
                      "Secondary misses merged per LLC MSHR."),
+        {"llc_repl", "enum", "lru|fifo|random|srrip|brrip|drrip",
+         "LLC replacement policy, main tags and ATD (Table 1: lru).",
+         [](const SimConfig &c) { return replPolicyName(c.llcRepl); },
+         [](SimConfig &c, const std::string &v) {
+             c.llcRepl = parseReplPolicy(v);
+         }},
+        {"llc_bypass", "enum", "none|stream",
+         "LLC fill-bypass policy: no-allocate for sources with no "
+         "observed reuse (docs/DESIGN.md).",
+         [](const SimConfig &c) { return bypassPolicyName(c.llcBypass); },
+         [](SimConfig &c, const std::string &v) {
+             c.llcBypass = parseBypassPolicy(v);
+         }},
+        AMSC_U32_KEY("llc_duel_sets", llcDuelSets,
+                     "DRRIP set-dueling leader sets per constituency "
+                     "per slice."),
+        {"llc_bypass_apps", "list", "on|off|inherit, '+'-joined",
+         "Per-application bypass overrides for multi-program runs "
+         "(e.g. on+off); empty = all apps follow llc_bypass, 'on' "
+         "force-enables the stream bypass for that app even when "
+         "llc_bypass=none.",
+         [](const SimConfig &c) { return c.llcBypassApps; },
+         [](SimConfig &c, const std::string &v) {
+             c.llcBypassApps = v;
+         }},
         // ---- adaptive controller --------------------------------------
         {"llc_policy", "enum", "shared|private|adaptive",
          "LLC management policy of application 0.",
@@ -483,6 +555,9 @@ SimConfig::validate() const
         fatal("config: DRAM row not a multiple of the line size");
     if (!traceRecordPath.empty() && !traceReplayPath.empty())
         fatal("config: trace_record and trace_replay are exclusive");
+    if (llcDuelSets == 0)
+        fatal("config: llc_duel_sets must be non-zero");
+    buildBypassAppMask(); // fatal() on malformed llc_bypass_apps
 }
 
 void
@@ -498,7 +573,11 @@ SimConfig::print(std::ostream &os) const
        << l1Latency << "-cycle\n";
     os << "Memory controllers     " << numMcs << "\n";
     os << "LLC slices/MC          " << slicesPerMc << " x "
-       << llcSliceBytes / 1024 << " KB, " << llcAssoc << "-way, LRU\n";
+       << llcSliceBytes / 1024 << " KB, " << llcAssoc << "-way, "
+       << replPolicyName(llcRepl);
+    if (llcBypass != BypassPolicy::None)
+        os << " + " << bypassPolicyName(llcBypass) << " bypass";
+    os << "\n";
     os << "LLC total              "
        << numSlices() * llcSliceBytes / 1024 / 1024 << " MB, "
        << llcHitLatency << "-cycle slice latency\n";

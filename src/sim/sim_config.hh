@@ -56,6 +56,18 @@ struct SimConfig
     std::uint32_t llcMissLatency = 10;
     std::uint32_t llcMshrs = 64;
     std::uint32_t llcMshrTargets = 16;
+    /** LLC replacement policy (main tags *and* the ATD). */
+    ReplPolicy llcRepl = ReplPolicy::Lru;
+    /** LLC fill-bypass policy. */
+    BypassPolicy llcBypass = BypassPolicy::None;
+    /** DRRIP set-dueling leader sets per constituency, per slice. */
+    std::uint32_t llcDuelSets = 4;
+    /**
+     * Per-application bypass overrides, '+'-joined (on|off|inherit);
+     * empty = every app follows llc_bypass. E.g. "on+off" enables the
+     * bypass for app 0 only in a two-program mix.
+     */
+    std::string llcBypassApps;
 
     // ---- adaptive controller (paper section 4.3) ------------------
     /** Policy of app 0 (single-program runs). */
@@ -130,6 +142,8 @@ struct SimConfig
     }
 
     // ---- derived parameter blocks ---------------------------------
+    /** Per-app bypass eligibility from llc_bypass_apps/llc_bypass. */
+    std::vector<std::uint8_t> buildBypassAppMask() const;
     MappingParams buildMappingParams() const;
     DramParams buildDramParams() const;
     NocParams buildNocParams() const;

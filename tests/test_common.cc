@@ -185,6 +185,31 @@ TEST(DelayQueue, ZeroLatencyVisibleSameCycle)
     EXPECT_TRUE(q.ready(4));
 }
 
+TEST(DelayQueue, OutOfOrderReadyCyclesClampToFifoOrder)
+{
+    // The LLC slice pushes hit replies at hitLatency (e.g. 30) and
+    // fill replies at 1..n cycles: the later push can have the
+    // *earlier* raw ready cycle. The queue must stay FIFO and clamp
+    // the successor to its predecessor's ready cycle -- this used to
+    // trip an ordering assert in Debug builds (llc_slice.cc
+    // replyQueue_) while being benign in Release, because pop() only
+    // exposes the front anyway.
+    DelayQueue<int> q;
+    q.push(1, 0, 30); // ready at 30
+    q.push(2, 5, 1);  // raw ready 6 < 30: clamped to 30
+    q.push(3, 6, 100); // ready at 106
+    EXPECT_FALSE(q.ready(29));
+    EXPECT_EQ(q.frontReadyCycle(), 30u);
+    EXPECT_EQ(q.pop(30), 1);
+    // The clamped item is ready the same cycle its predecessor was,
+    // exactly as the unclamped FIFO would have exposed it.
+    EXPECT_TRUE(q.ready(30));
+    EXPECT_EQ(q.frontReadyCycle(), 30u);
+    EXPECT_EQ(q.pop(30), 2);
+    EXPECT_FALSE(q.ready(105));
+    EXPECT_EQ(q.pop(106), 3);
+}
+
 TEST(DelayQueue, ClearEmpties)
 {
     DelayQueue<int> q;

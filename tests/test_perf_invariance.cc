@@ -206,6 +206,78 @@ TEST(PerfInvariance, MultiProgramRunIsStable)
     EXPECT_TRUE(identicalResults(a, b));
 }
 
+// --------------------------------------------- replacement-policy axis
+
+TEST(PerfInvariance, AtdModelsTheMainTagPolicyForEveryReplValue)
+{
+    // The adaptive decision compares the measured shared miss rate
+    // against the ATD's private estimate; an ATD replacing with a
+    // different policy than the main tags would bias that comparison.
+    // buildLlcParams must therefore mirror llc_repl (and the DRRIP
+    // dueling knob) into the ATD for every policy value.
+    for (const ReplPolicy p :
+         {ReplPolicy::Lru, ReplPolicy::Fifo, ReplPolicy::Random,
+          ReplPolicy::Srrip, ReplPolicy::Brrip, ReplPolicy::Drrip}) {
+        SimConfig cfg = smallConfig();
+        cfg.llcRepl = p;
+        cfg.llcDuelSets = 2;
+        const LlcParams lp = cfg.buildLlcParams();
+        EXPECT_EQ(lp.profiler.atd.repl, lp.slice.repl);
+        EXPECT_EQ(lp.slice.repl, p);
+        EXPECT_EQ(lp.profiler.atd.duelSets, lp.slice.duelSets);
+        // And the constructed system agrees end to end.
+        GpuSystem gpu(cfg);
+        EXPECT_EQ(gpu.llc().slice(0).tags().replKind(), p);
+        EXPECT_EQ(gpu.llc().params().profiler.atd.repl, p);
+    }
+}
+
+TEST(PerfInvariance, ReplayMatchesRripRunPerWorkloadClass)
+{
+    // Record/replay bit-exactness must survive the RRIP-family
+    // policies and the streaming bypass: one run per workload class
+    // (single-kernel zipf, multi-kernel mixed, broadcast with
+    // adaptive transitions).
+    struct Case
+    {
+        const char *name;
+        ReplPolicy repl;
+        BypassPolicy bypass;
+        bool adaptive;
+    };
+    const Case cases[] = {
+        {"single_srrip", ReplPolicy::Srrip, BypassPolicy::None, false},
+        {"multik_drrip", ReplPolicy::Drrip, BypassPolicy::Stream,
+         false},
+        {"adaptive_brrip", ReplPolicy::Brrip, BypassPolicy::Stream,
+         true},
+    };
+    for (const Case &c : cases) {
+        SCOPED_TRACE(c.name);
+        SimConfig cfg = smallConfig();
+        cfg.llcRepl = c.repl;
+        cfg.llcBypass = c.bypass;
+        if (c.adaptive) {
+            cfg.llcPolicy = LlcPolicy::Adaptive;
+            cfg.missTolerance = 0.3;
+        }
+        std::vector<KernelInfo> kernels;
+        if (c.adaptive)
+            kernels = broadcastWorkload(5);
+        else if (std::string(c.name).rfind("multik", 0) == 0)
+            kernels = multiKernelWorkload();
+        else
+            kernels = singleKernelWorkload();
+        const std::string path =
+            tmpPath(std::string(c.name) + ".trc");
+        const RunResult rec =
+            recordRun(cfg, std::move(kernels), path);
+        ASSERT_TRUE(rec.finishedWork);
+        EXPECT_TRUE(identicalResults(rec, replayRun(cfg, path)));
+        std::remove(path.c_str());
+    }
+}
+
 // ------------------------------------------------- fast-forward invariance
 
 TEST(PerfInvariance, FastForwardIsBitExact)

@@ -89,7 +89,11 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple(48, 16, ReplPolicy::Lru),  // LLC slice
         std::make_tuple(48, 16, ReplPolicy::Fifo),
         std::make_tuple(48, 16, ReplPolicy::Random),
-        std::make_tuple(7, 3, ReplPolicy::Lru)));  // odd geometry
+        std::make_tuple(48, 16, ReplPolicy::Srrip),
+        std::make_tuple(48, 16, ReplPolicy::Brrip),
+        std::make_tuple(48, 16, ReplPolicy::Drrip),
+        std::make_tuple(7, 3, ReplPolicy::Lru),    // odd geometry
+        std::make_tuple(7, 3, ReplPolicy::Drrip))); // duel > sets/2
 
 // ---------------------------------------------------- MSHR conservation
 

@@ -1,0 +1,748 @@
+/**
+ * @file
+ * Property and differential tests for the replacement & bypass policy
+ * framework (src/cache/replacement.hh).
+ *
+ * Three layers of evidence:
+ *
+ *  - properties that must hold for *every* policy under random churn
+ *    (victims valid and set-local, RRPV counters bounded, PSEL
+ *    saturating, bypass never installing outside sampling sets);
+ *  - a differential oracle: TagArray against an independent
+ *    std::map-based reference simulator for 10 K randomized accesses
+ *    per (policy, seed), with exact victim prediction for the
+ *    policies whose spec determines the victim (LRU, FIFO, SRRIP);
+ *  - system-level equivalence: the ablation scenario's lru/none
+ *    point runs bit-identical (identicalResults) to the default
+ *    configuration path, pinning that the framework did not perturb
+ *    the pre-framework baseline; plus the scenario expansion golden.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "cache/tag_array.hh"
+#include "common/rng.hh"
+#include "scenario/emit.hh"
+#include "scenario/scenario.hh"
+#include "sim/sweep.hh"
+#include "workloads/suite.hh"
+
+namespace amsc
+{
+
+namespace
+{
+
+const std::string kSourceDir = AMSC_SOURCE_DIR;
+
+const ReplPolicy kAllPolicies[] = {ReplPolicy::Lru,    ReplPolicy::Fifo,
+                                   ReplPolicy::Random, ReplPolicy::Srrip,
+                                   ReplPolicy::Brrip,  ReplPolicy::Drrip};
+
+bool
+isRrip(ReplPolicy p)
+{
+    return p == ReplPolicy::Srrip || p == ReplPolicy::Brrip ||
+        p == ReplPolicy::Drrip;
+}
+
+} // namespace
+
+// ----------------------------------------------------- name round trip
+
+TEST(ReplacementPolicyNames, ParseAndNameRoundTrip)
+{
+    for (const ReplPolicy p : kAllPolicies)
+        EXPECT_EQ(parseReplPolicy(replPolicyName(p)), p);
+    for (const BypassPolicy b : {BypassPolicy::None, BypassPolicy::Stream})
+        EXPECT_EQ(parseBypassPolicy(bypassPolicyName(b)), b);
+}
+
+TEST(ReplacementPolicyNamesDeathTest, UnknownNamesAreFatal)
+{
+    EXPECT_DEATH(parseReplPolicy("plru"), "srrip");
+    EXPECT_DEATH(parseBypassPolicy("always"), "stream");
+}
+
+// ------------------------------------------------- generic properties
+
+TEST(ReplacementProperty, VictimAlwaysValidAndSetLocalUnderChurn)
+{
+    for (const ReplPolicy p : kAllPolicies) {
+        SCOPED_TRACE(replPolicyName(p));
+        const std::uint32_t sets = 48;
+        const std::uint32_t assoc = 16;
+        TagArray tags(sets, assoc, p, 7);
+        Rng rng(123);
+        std::set<Addr> resident;
+        Eviction ev;
+        for (int i = 0; i < 20000; ++i) {
+            const Addr a = rng.below(sets * assoc * 4);
+            const Cycle now = static_cast<Cycle>(i);
+            if (tags.probe(a) != nullptr) {
+                ASSERT_NE(tags.access(a, now), nullptr);
+                continue;
+            }
+            tags.insert(a, now, ev);
+            if (ev.valid) {
+                // The victim existed, lived in the same set, and is
+                // gone now.
+                ASSERT_EQ(resident.count(ev.lineAddr), 1u);
+                ASSERT_EQ(tags.setIndex(ev.lineAddr),
+                          tags.setIndex(a));
+                ASSERT_EQ(tags.probe(ev.lineAddr), nullptr);
+                resident.erase(ev.lineAddr);
+            }
+            resident.insert(a);
+            ASSERT_LE(tags.numValidLines(),
+                      static_cast<std::uint64_t>(sets) * assoc);
+        }
+        EXPECT_EQ(tags.numValidLines(), resident.size());
+    }
+}
+
+TEST(ReplacementProperty, RripCountersStayBounded)
+{
+    for (const ReplPolicy p : kAllPolicies) {
+        if (!isRrip(p))
+            continue;
+        SCOPED_TRACE(replPolicyName(p));
+        TagArray tags(16, 4, p, 3);
+        Rng rng(9);
+        Eviction ev;
+        for (int i = 0; i < 20000; ++i) {
+            const Addr a = rng.below(16 * 4 * 6);
+            if (tags.probe(a) != nullptr)
+                tags.access(a, static_cast<Cycle>(i));
+            else
+                tags.insert(a, static_cast<Cycle>(i), ev);
+            if (i % 500 == 0) {
+                tags.forEachLine([](const CacheLine &l) {
+                    ASSERT_LE(l.replState, RripPolicyBase::kMaxRrpv);
+                });
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------- set dueling
+
+TEST(Drrip, LeaderRolesAreDisjointAndSized)
+{
+    DrripPolicy drrip(4);
+    drrip.bind(48, 16);
+    int srrip_leaders = 0;
+    int brrip_leaders = 0;
+    for (std::uint32_t s = 0; s < 48; ++s) {
+        switch (drrip.role(s)) {
+          case DrripPolicy::SetRole::SrripLeader:
+            ++srrip_leaders;
+            break;
+          case DrripPolicy::SetRole::BrripLeader:
+            ++brrip_leaders;
+            break;
+          case DrripPolicy::SetRole::Follower:
+            break;
+        }
+    }
+    EXPECT_EQ(srrip_leaders, 4);
+    EXPECT_EQ(brrip_leaders, 4);
+}
+
+TEST(Drrip, SmallArraysAlwaysKeepFollowerSets)
+{
+    // The duel only steers anything if follower sets exist; leaders
+    // are capped at a quarter of the array per constituency so even
+    // the 8-set ATD keeps a follower majority.
+    for (const std::uint32_t sets : {8u, 7u, 16u, 48u}) {
+        SCOPED_TRACE(sets);
+        DrripPolicy drrip(4);
+        drrip.bind(sets, 16);
+        std::uint32_t srrip = 0;
+        std::uint32_t brrip = 0;
+        std::uint32_t followers = 0;
+        for (std::uint32_t s = 0; s < sets; ++s) {
+            switch (drrip.role(s)) {
+              case DrripPolicy::SetRole::SrripLeader:
+                ++srrip;
+                break;
+              case DrripPolicy::SetRole::BrripLeader:
+                ++brrip;
+                break;
+              case DrripPolicy::SetRole::Follower:
+                ++followers;
+                break;
+            }
+        }
+        EXPECT_GE(srrip, 1u);
+        EXPECT_GE(brrip, 1u);
+        EXPECT_GE(followers, sets / 2);
+    }
+}
+
+TEST(Drrip, PselSaturatesAtBothBounds)
+{
+    DrripPolicy drrip(4);
+    drrip.bind(48, 16);
+    std::uint32_t srrip_leader = kInvalidId;
+    std::uint32_t brrip_leader = kInvalidId;
+    for (std::uint32_t s = 0; s < 48; ++s) {
+        if (drrip.role(s) == DrripPolicy::SetRole::SrripLeader &&
+            srrip_leader == kInvalidId)
+            srrip_leader = s;
+        if (drrip.role(s) == DrripPolicy::SetRole::BrripLeader &&
+            brrip_leader == kInvalidId)
+            brrip_leader = s;
+    }
+    ASSERT_NE(srrip_leader, kInvalidId);
+    ASSERT_NE(brrip_leader, kInvalidId);
+
+    // Twice the counter range of misses in SRRIP leaders: PSEL rails
+    // high and stays there (no wraparound).
+    for (int i = 0; i < 3000; ++i) {
+        drrip.onMiss(AccessInfo{0, srrip_leader, 0, 0});
+        ASSERT_LE(drrip.psel(), DrripPolicy::kPselMax);
+    }
+    EXPECT_EQ(drrip.psel(), DrripPolicy::kPselMax);
+
+    for (int i = 0; i < 3000; ++i) {
+        drrip.onMiss(AccessInfo{0, brrip_leader, 0, 0});
+        ASSERT_LE(drrip.psel(), DrripPolicy::kPselMax);
+    }
+    EXPECT_EQ(drrip.psel(), 0u);
+
+    // Follower misses never move PSEL.
+    std::uint32_t follower = kInvalidId;
+    for (std::uint32_t s = 0; s < 48; ++s) {
+        if (drrip.role(s) == DrripPolicy::SetRole::Follower) {
+            follower = s;
+            break;
+        }
+    }
+    ASSERT_NE(follower, kInvalidId);
+    drrip.onMiss(AccessInfo{0, follower, 0, 0});
+    EXPECT_EQ(drrip.psel(), 0u);
+}
+
+TEST(Drrip, FollowerInsertionTracksTheDuel)
+{
+    DrripPolicy drrip(4);
+    drrip.bind(48, 16);
+    std::uint32_t brrip_leader = kInvalidId;
+    std::uint32_t follower = kInvalidId;
+    std::uint32_t srrip_leader = kInvalidId;
+    for (std::uint32_t s = 0; s < 48; ++s) {
+        if (drrip.role(s) == DrripPolicy::SetRole::BrripLeader &&
+            brrip_leader == kInvalidId)
+            brrip_leader = s;
+        if (drrip.role(s) == DrripPolicy::SetRole::SrripLeader &&
+            srrip_leader == kInvalidId)
+            srrip_leader = s;
+        if (drrip.role(s) == DrripPolicy::SetRole::Follower &&
+            follower == kInvalidId)
+            follower = s;
+    }
+
+    // PSEL railed low (BRRIP leaders miss a lot): followers insert
+    // SRRIP-style, at "long".
+    for (int i = 0; i < 2000; ++i)
+        drrip.onMiss(AccessInfo{0, brrip_leader, 0, 0});
+    CacheLine line;
+    drrip.onFill(line, AccessInfo{0, follower, 0, 0});
+    EXPECT_EQ(line.replState, RripPolicyBase::kMaxRrpv - 1);
+
+    // PSEL railed high: followers insert BRRIP-style -- almost all
+    // fills at "distant", the 1/32 trickle at "long".
+    for (int i = 0; i < 3000; ++i)
+        drrip.onMiss(AccessInfo{0, srrip_leader, 0, 0});
+    int distant = 0;
+    for (int i = 0; i < 64; ++i) {
+        drrip.onFill(line, AccessInfo{0, follower, 0, 0});
+        distant += line.replState == RripPolicyBase::kMaxRrpv;
+    }
+    EXPECT_EQ(distant, 62); // 2 of 64 are the periodic long inserts
+
+    // Leader sets always keep their own constituency's insertion.
+    drrip.onFill(line, AccessInfo{0, srrip_leader, 0, 0});
+    EXPECT_EQ(line.replState, RripPolicyBase::kMaxRrpv - 1);
+}
+
+// ------------------------------------------------------ stream bypass
+
+TEST(StreamBypass, LearnsStreamsAndUnlearnsOnReuse)
+{
+    StreamBypassPredictor pred;
+    pred.bind(48, 16);
+    const std::uint32_t src = 7;
+    CacheLine dead;
+    dead.fillSrc = src;
+    dead.reused = false;
+    dead.accessorMask = 1u << 3; // one accessor
+
+    const std::uint32_t sampled = 0;  // set 0: sampling set
+    const std::uint32_t normal = 3;
+    EXPECT_FALSE(pred.shouldBypass(AccessInfo{0, normal, src, 0}));
+
+    pred.onEvict(dead, AccessInfo{0, normal, src, 0});
+    pred.onEvict(dead, AccessInfo{0, normal, src, 0});
+    EXPECT_GE(pred.confidence(src), StreamBypassPredictor::kThreshold);
+    EXPECT_TRUE(pred.shouldBypass(AccessInfo{0, normal, src, 0}));
+    // Sampling sets always install so the predictor keeps learning.
+    EXPECT_FALSE(pred.shouldBypass(AccessInfo{0, sampled, src, 0}));
+    // Unknown sources never bypass.
+    EXPECT_FALSE(
+        pred.shouldBypass(AccessInfo{0, normal, kInvalidId, 0}));
+
+    // Reuse evidence (a hit on a line this source filled) decays the
+    // verdict below the threshold immediately.
+    CacheLine resident;
+    resident.fillSrc = src;
+    pred.onHit(resident, AccessInfo{0, sampled, 9, 1});
+    EXPECT_LT(pred.confidence(src), StreamBypassPredictor::kThreshold);
+    EXPECT_FALSE(pred.shouldBypass(AccessInfo{0, normal, src, 0}));
+
+    // A reused or multi-accessor eviction is *not* streaming evidence.
+    CacheLine shared = dead;
+    shared.accessorMask = (1u << 1) | (1u << 4);
+    pred.onEvict(shared, AccessInfo{0, normal, src, 0});
+    EXPECT_EQ(pred.confidence(src), 0u);
+}
+
+TEST(StreamBypass, NeverInstallsWhenHonoredByTheFillPath)
+{
+    // Emulate the LLC slice's fill contract against a TagArray with
+    // the stream bypass bound: once a source is classified streaming,
+    // fills outside sampling sets are dropped and the array contents
+    // stop changing.
+    const std::uint32_t sets = 48;
+    const std::uint32_t assoc = 4;
+    TagArray tags(sets, assoc, ReplPolicy::Lru, 1,
+                  BypassPolicy::Stream);
+    const std::uint32_t src = 11;
+    Eviction ev;
+    Cycle now = 0;
+    Addr next = 1; // avoid set 0 at first so training sees evictions
+
+    // Streaming source: fill far past capacity, never touching a
+    // line twice. Evictions of never-reused lines train the
+    // predictor.
+    for (int i = 0; i < static_cast<int>(sets * assoc * 3); ++i) {
+        const Addr a = next++;
+        if (!tags.shouldBypassFill(a, src, ++now))
+            tags.insert(a, now, ev, src);
+    }
+    const BypassPredictor *pred = tags.bypass();
+    ASSERT_NE(pred, nullptr);
+    const auto *stream =
+        dynamic_cast<const StreamBypassPredictor *>(pred);
+    ASSERT_NE(stream, nullptr);
+    EXPECT_GE(stream->confidence(src),
+              StreamBypassPredictor::kThreshold);
+
+    // Classified: every further fill outside sampling sets bypasses,
+    // and honoring the prediction leaves the array untouched.
+    const std::uint64_t lines_before = tags.numValidLines();
+    int bypassed = 0;
+    int installed = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const Addr a = next++;
+        if (tags.shouldBypassFill(a, src, ++now)) {
+            ++bypassed;
+            continue;
+        }
+        ++installed;
+        ASSERT_TRUE(StreamBypassPredictor::sampleSet(
+            tags.setIndex(a)))
+            << "non-sampling fill installed for a streaming source";
+        tags.insert(a, now, ev, src);
+    }
+    EXPECT_GT(bypassed, 0);
+    EXPECT_GT(installed, 0); // sampling sets keep learning
+    EXPECT_EQ(tags.numValidLines(), lines_before);
+
+    // A different source is unaffected.
+    EXPECT_FALSE(tags.shouldBypassFill(next, src + 1, ++now));
+}
+
+// ------------------------------------------------- differential oracle
+
+namespace
+{
+
+/**
+ * Independent reference simulator: per-set recency/insertion order in
+ * plain std::map/std::vector, fed the same access stream as the
+ * TagArray under test. Predicts hit/miss for every policy (residency
+ * follows the *observed* evictions) and the exact victim for the
+ * policies whose spec pins it (LRU, FIFO).
+ */
+class RefCache
+{
+  public:
+    RefCache(std::uint32_t sets, std::uint32_t assoc)
+        : sets_(sets), assoc_(assoc), order_(sets)
+    {}
+
+    bool contains(Addr a) const { return resident_.count(a) != 0; }
+
+    void
+    touch(Addr a, std::uint64_t stamp)
+    {
+        auto &ord = order_[setOf(a)];
+        const auto it =
+            std::find_if(ord.begin(), ord.end(),
+                         [a](const auto &e) { return e.addr == a; });
+        ASSERT_NE(it, ord.end());
+        it->lastTouch = stamp;
+    }
+
+    /** Expected victim of a full set, or kNoAddr if not determined. */
+    Addr
+    expectedVictim(Addr incoming, ReplPolicy p) const
+    {
+        const auto &ord = order_[setOf(incoming)];
+        if (ord.size() < assoc_)
+            return kNoAddr;
+        auto best = ord.begin();
+        for (auto it = ord.begin(); it != ord.end(); ++it) {
+            const std::uint64_t key = p == ReplPolicy::Fifo
+                ? it->insertStamp
+                : it->lastTouch;
+            const std::uint64_t best_key = p == ReplPolicy::Fifo
+                ? best->insertStamp
+                : best->lastTouch;
+            if (key < best_key)
+                best = it;
+        }
+        return best->addr;
+    }
+
+    bool setFull(Addr a) const
+    {
+        return order_[setOf(a)].size() >= assoc_;
+    }
+
+    void
+    install(Addr a, Addr evicted, std::uint64_t stamp)
+    {
+        if (evicted != kNoAddr) {
+            resident_.erase(evicted);
+            auto &ord = order_[setOf(evicted)];
+            ord.erase(std::find_if(
+                ord.begin(), ord.end(),
+                [evicted](const auto &e) { return e.addr == evicted; }));
+        }
+        resident_[a] = true;
+        order_[setOf(a)].push_back({a, stamp, stamp});
+    }
+
+    std::size_t residentCount() const { return resident_.size(); }
+
+  private:
+    struct Entry
+    {
+        Addr addr;
+        std::uint64_t lastTouch;
+        std::uint64_t insertStamp;
+    };
+
+    std::uint32_t setOf(Addr a) const
+    {
+        return static_cast<std::uint32_t>(a % sets_);
+    }
+
+    std::uint32_t sets_;
+    std::uint32_t assoc_;
+    std::map<Addr, bool> resident_;
+    std::vector<std::vector<Entry>> order_;
+};
+
+void
+runOracle(ReplPolicy policy, std::uint64_t seed)
+{
+    const std::uint32_t sets = 16;
+    const std::uint32_t assoc = 8;
+    TagArray tags(sets, assoc, policy, seed);
+    RefCache ref(sets, assoc);
+    Rng rng(seed * 77 + 5);
+    std::uint64_t stamp = 0;
+
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const Addr a = rng.below(sets * assoc * 3);
+        ++stamp;
+        const bool ref_hit = ref.contains(a);
+        CacheLine *line = tags.access(a, stamp);
+        // Hit/miss must match the reference exactly, for every
+        // policy: residency is fully determined by the observed
+        // eviction stream.
+        ASSERT_EQ(line != nullptr, ref_hit) << "step " << i;
+        if (ref_hit) {
+            ++hits;
+            ref.touch(a, stamp);
+            continue;
+        }
+        ++misses;
+        const Addr expected = ref.expectedVictim(a, policy);
+        Eviction ev;
+        tags.insert(a, stamp, ev);
+        ASSERT_EQ(ev.valid, ref.setFull(a)) << "step " << i;
+        if (ev.valid) {
+            ASSERT_TRUE(ref.contains(ev.lineAddr)) << "step " << i;
+            if (policy == ReplPolicy::Lru ||
+                policy == ReplPolicy::Fifo) {
+                // Victim-exact policies must match the oracle's pick.
+                ASSERT_EQ(ev.lineAddr, expected) << "step " << i;
+            }
+        }
+        ref.install(a, ev.valid ? ev.lineAddr : kNoAddr, stamp);
+    }
+    EXPECT_EQ(tags.numValidLines(), ref.residentCount());
+    // The stream must actually exercise both paths.
+    EXPECT_GT(hits, 1000u);
+    EXPECT_GT(misses, 1000u);
+}
+
+} // namespace
+
+TEST(DifferentialOracle, TagArrayMatchesMapReferencePerPolicyAndSeed)
+{
+    for (const ReplPolicy p : kAllPolicies) {
+        for (const std::uint64_t seed : {1u, 2u, 3u}) {
+            SCOPED_TRACE(replPolicyName(p) + "/seed" +
+                         std::to_string(seed));
+            runOracle(p, seed);
+        }
+    }
+}
+
+TEST(DifferentialOracle, SrripMatchesIndependentRripReference)
+{
+    // Tiny from-spec SRRIP: 2-bit RRPVs, insert at 2, hit -> 0,
+    // victim = first RRPV 3 scanning way order, else age all.
+    const std::uint32_t sets = 8;
+    const std::uint32_t assoc = 4;
+    struct RefLine
+    {
+        Addr addr = kNoAddr;
+        bool valid = false;
+        std::uint32_t rrpv = 0;
+    };
+    std::vector<std::vector<RefLine>> ref(
+        sets, std::vector<RefLine>(assoc));
+
+    TagArray tags(sets, assoc, ReplPolicy::Srrip, 1);
+    Rng rng(31);
+    Eviction ev;
+    for (int i = 0; i < 10000; ++i) {
+        const Addr a = rng.below(sets * assoc * 3);
+        auto &set = ref[a % sets];
+        auto hit = std::find_if(set.begin(), set.end(),
+                                [a](const RefLine &l) {
+                                    return l.valid && l.addr == a;
+                                });
+        if (hit != set.end()) {
+            ASSERT_NE(tags.access(a, static_cast<Cycle>(i)), nullptr);
+            hit->rrpv = 0;
+            continue;
+        }
+        ASSERT_EQ(tags.probe(a), nullptr);
+        // Reference victim: invalid first, else RRIP scan.
+        auto target =
+            std::find_if(set.begin(), set.end(),
+                         [](const RefLine &l) { return !l.valid; });
+        if (target == set.end()) {
+            for (;;) {
+                target = std::find_if(set.begin(), set.end(),
+                                      [](const RefLine &l) {
+                                          return l.rrpv >= 3;
+                                      });
+                if (target != set.end())
+                    break;
+                for (RefLine &l : set)
+                    ++l.rrpv;
+            }
+        }
+        const bool expect_evict = target->valid;
+        const Addr expect_victim = target->addr;
+        tags.insert(a, static_cast<Cycle>(i), ev);
+        ASSERT_EQ(ev.valid, expect_evict) << "step " << i;
+        if (ev.valid)
+            ASSERT_EQ(ev.lineAddr, expect_victim) << "step " << i;
+        target->addr = a;
+        target->valid = true;
+        target->rrpv = 2;
+    }
+}
+
+// --------------------------------------- scenario golden + equivalence
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    EXPECT_TRUE(f.is_open()) << "missing file: " << path;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+void
+checkGolden(const std::string &name, const std::string &content)
+{
+    const std::string path = kSourceDir + "/tests/golden/" + name;
+    if (std::getenv("AMSC_UPDATE_GOLDEN")) {
+        std::ofstream f(path, std::ios::binary);
+        f << content;
+        return;
+    }
+    EXPECT_EQ(readFile(path), content)
+        << "golden file " << name
+        << " drifted; run with AMSC_UPDATE_GOLDEN=1 to regenerate";
+}
+
+/** Deterministic fabricated result for emitter goldens (no sim). */
+RunResult
+fabricatedResult(unsigned salt)
+{
+    RunResult r;
+    r.cycles = 60000 + salt;
+    r.instructions = 1000000 + 37 * salt;
+    r.ipc = static_cast<double>(r.instructions) /
+        static_cast<double>(r.cycles);
+    r.appIpc = {r.ipc};
+    r.appInstructions = {r.instructions};
+    r.finishedWork = true;
+    r.llcReadMissRate = 0.25 + 0.005 * salt;
+    r.llcAccesses = 90000 + salt;
+    r.llcBypasses = 13 * salt;
+    r.dramAccesses = 30000 + salt;
+    return r;
+}
+
+} // namespace
+
+TEST(AblationReplacement, ScenarioExpandsToTheDocumentedGrid)
+{
+    const scenario::Scenario s = scenario::Scenario::load(
+        kSourceDir + "/scenarios/ablation_replacement.scn");
+    const auto points = s.expand();
+    // 3 workloads x 6 replacement policies x 2 bypass modes, bypass
+    // fastest, workload slowest (file axis order).
+    ASSERT_EQ(points.size(), 36u);
+    EXPECT_EQ(points[0].point.label, "LUD/lru/none");
+    EXPECT_EQ(points[1].point.label, "LUD/lru/stream");
+    EXPECT_EQ(points[2].point.label, "LUD/fifo/none");
+    EXPECT_EQ(points[12].point.label, "AN/lru/none");
+    EXPECT_EQ(points[35].point.label, "VA/drrip/stream");
+    EXPECT_EQ(points[0].point.cfg.llcRepl, ReplPolicy::Lru);
+    EXPECT_EQ(points[0].point.cfg.llcBypass, BypassPolicy::None);
+    EXPECT_EQ(points[35].point.cfg.llcRepl, ReplPolicy::Drrip);
+    EXPECT_EQ(points[35].point.cfg.llcBypass, BypassPolicy::Stream);
+    // Every point's ATD models the main-tag policy.
+    for (const auto &ep : points) {
+        const LlcParams lp = ep.point.cfg.buildLlcParams();
+        EXPECT_EQ(lp.profiler.atd.repl, lp.slice.repl)
+            << ep.point.label;
+    }
+}
+
+TEST(AblationReplacement, ExpansionCsvMatchesGolden)
+{
+    const scenario::Scenario s = scenario::Scenario::load(
+        kSourceDir + "/scenarios/ablation_replacement.scn");
+    const auto expanded = s.expand();
+    std::vector<RunResult> results;
+    results.reserve(expanded.size());
+    for (std::size_t i = 0; i < expanded.size(); ++i)
+        results.push_back(
+            fabricatedResult(static_cast<unsigned>(i)));
+    checkGolden("ablation_replacement.csv",
+                scenario::emitCsv(scenario::emitPoints(expanded),
+                                  results));
+}
+
+TEST(AblationReplacement, BypassAppOverridesAreNeverSilentlyInert)
+{
+    // llc_bypass_apps=on must force the stream predictor even when
+    // llc_bypass=none, and off must gate an enabled one.
+    SimConfig cfg;
+    cfg.llcBypass = BypassPolicy::None;
+    cfg.llcBypassApps = "on";
+    LlcParams lp = cfg.buildLlcParams();
+    EXPECT_EQ(lp.slice.bypass, BypassPolicy::Stream);
+    ASSERT_EQ(lp.slice.bypassApp.size(), 1u);
+    EXPECT_EQ(lp.slice.bypassApp[0], 1);
+
+    cfg.llcBypass = BypassPolicy::Stream;
+    cfg.extraAppPolicies = {LlcPolicy::ForceShared};
+    cfg.llcBypassApps = "off+inherit";
+    lp = cfg.buildLlcParams();
+    EXPECT_EQ(lp.slice.bypass, BypassPolicy::Stream);
+    ASSERT_EQ(lp.slice.bypassApp.size(), 2u);
+    EXPECT_EQ(lp.slice.bypassApp[0], 0);
+    EXPECT_EQ(lp.slice.bypassApp[1], 1);
+
+    // Untouched defaults: no predictor, empty mask.
+    const SimConfig defaults;
+    lp = defaults.buildLlcParams();
+    EXPECT_EQ(lp.slice.bypass, BypassPolicy::None);
+    EXPECT_TRUE(lp.slice.bypassApp.empty());
+}
+
+TEST(AblationReplacementDeathTest, MalformedBypassAppsAreFatal)
+{
+    SimConfig cfg;
+    cfg.llcBypassApps = "on+off"; // 2 entries, 1 app
+    EXPECT_DEATH(cfg.validate(), "llc_bypass_apps");
+    SimConfig cfg2;
+    cfg2.llcBypassApps = "maybe";
+    EXPECT_DEATH(cfg2.validate(), "on|off|inherit");
+}
+
+TEST(AblationReplacement, LruPointRunsBitIdenticalToDefaultPath)
+{
+    // The lru/none point of the ablation grid must be *the* baseline:
+    // identicalResults against a run of the plain default
+    // configuration (no replacement/bypass keys touched), short
+    // horizon. This pins that introducing the policy framework did
+    // not perturb the pre-framework LRU behavior anywhere in the
+    // system.
+    KvArgs kv = scenario::Scenario::parseScnFile(
+        kSourceDir + "/scenarios/ablation_replacement.scn");
+    scenario::Scenario::applyOverride(kv, "max_cycles", "2500");
+    scenario::Scenario::applyOverride(kv, "profile_len", "600");
+    scenario::Scenario::applyOverride(kv, "epoch_len", "2000");
+    const scenario::Scenario s = scenario::Scenario::fromKv(
+        std::move(kv), "ablation<short>");
+    const auto expanded = s.expand();
+    ASSERT_EQ(expanded[0].point.label, "LUD/lru/none");
+
+    SimConfig cfg; // untouched defaults (Table 1, LRU, no bypass)
+    cfg.maxCycles = 2500;
+    cfg.profileLen = 600;
+    cfg.epochLen = 2000;
+    SweepPoint base;
+    base.cfg = cfg;
+    base.apps = {WorkloadSuite::byName("LUD")};
+
+    const RunResult a = SweepRunner::runPoint(expanded[0].point);
+    const RunResult b = SweepRunner::runPoint(base);
+    EXPECT_TRUE(identicalResults(a, b));
+    EXPECT_EQ(a.llcBypasses, 0u);
+}
+
+} // namespace amsc
