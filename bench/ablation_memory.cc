@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Ablation: memory backend x scheduler x activation-spacing
+ * sensitivity.
+ *
+ * The paper's evaluation fixes the memory side at GDDR5 + FR-FCFS
+ * (Table 1). FUSE (STT-MRAM LLC) and the SCM DRAM-cache line of work
+ * show GPU cache conclusions shift with the memory technology, so
+ * this bench sweeps a shared-friendly and a neutral workload over
+ * every `mem_backend` preset, every `mem_sched` policy and two tRRD
+ * activation spacings, reporting IPC relative to the gddr5/fr_fcfs
+ * baseline plus the DRAM-side fingerprints (row-hit rate, refreshes,
+ * queue backpressure, drain batches).
+ *
+ * Grid and order match scenarios/ablation_memory.scn exactly
+ * (tests/test_mem_policy.cc holds the expansion golden).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "mem/mem_backend.hh"
+#include "mem/mem_scheduler.hh"
+
+using namespace amsc;
+using namespace amsc::bench;
+
+namespace
+{
+
+const MemBackend kBackends[] = {MemBackend::Gddr5, MemBackend::Hbm2,
+                                MemBackend::Scm};
+const MemSched kScheds[] = {MemSched::FrFcfs, MemSched::Fcfs,
+                            MemSched::WriteDrain};
+const std::uint32_t kTrrds[] = {6, 24};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const KvArgs args = KvArgs::parse(argc, argv);
+    const SimConfig base = benchConfig(args);
+    const SweepRunner runner = benchRunner(args);
+
+    // Same axis nesting as the scenario: workload (slowest),
+    // mem_backend, mem_sched, dram_trrd (fastest).
+    const char *workloads[] = {"LUD", "VA"};
+    std::vector<SweepPoint> points;
+    for (const char *wl : workloads) {
+        const WorkloadSpec &spec = WorkloadSuite::byName(wl);
+        for (const MemBackend backend : kBackends) {
+            for (const MemSched sched : kScheds) {
+                for (const std::uint32_t trrd : kTrrds) {
+                    SweepPoint p;
+                    p.cfg = base;
+                    applyMemBackend(p.cfg, backend);
+                    p.cfg.memSched = sched;
+                    p.cfg.dramTimings.tRRD = trrd;
+                    p.apps = {spec};
+                    p.label = spec.abbr + "/" +
+                        memBackendName(backend) + "/" +
+                        memSchedName(sched) + "/" +
+                        std::to_string(trrd);
+                    points.push_back(std::move(p));
+                }
+            }
+        }
+    }
+    const std::vector<RunResult> results =
+        runAndEmit(args, runner, points);
+
+    std::printf("# Ablation: memory backend x scheduler x tRRD\n\n");
+    std::printf("IPC normalized to the gddr5/fr_fcfs/6 point of each "
+                "workload.\n\n");
+    std::size_t idx = 0;
+    for (const char *wl : workloads) {
+        const WorkloadSpec &spec = WorkloadSuite::byName(wl);
+        std::printf("## %s (%s)\n\n", spec.abbr.c_str(),
+                    className(spec.klass));
+        std::printf("| backend/sched/tRRD | IPC vs base | row-hit | "
+                    "DRAM acc | refreshes | q-rejects | drains |\n");
+        printRule(7);
+        const double base_ipc = results[idx].ipc;
+        for (const MemBackend backend : kBackends) {
+            for (const MemSched sched : kScheds) {
+                for (const std::uint32_t trrd : kTrrds) {
+                    const RunResult &r = results[idx];
+                    std::printf(
+                        "| %s/%s/%u | %.3f | %.3f | %llu | %llu | "
+                        "%llu | %llu |\n",
+                        memBackendName(backend).c_str(),
+                        memSchedName(sched).c_str(), trrd,
+                        r.ipc / base_ipc, r.dramRowHitRate,
+                        static_cast<unsigned long long>(
+                            r.dramAccesses),
+                        static_cast<unsigned long long>(
+                            r.dramRefreshes),
+                        static_cast<unsigned long long>(
+                            r.dramQueueRejects),
+                        static_cast<unsigned long long>(
+                            r.dramWriteDrains));
+                    ++idx;
+                }
+            }
+        }
+        std::printf("\n");
+    }
+    std::printf("The memory-technology axis composes with the "
+                "paper's shared/private axis: compare the spread "
+                "here with fig11 (\"where you cache\") and "
+                "ablation_replacement (\"how you replace\").\n");
+    args.warnUnused();
+    return 0;
+}

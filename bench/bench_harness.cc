@@ -7,6 +7,10 @@
  * Phases:
  *   1. core throughput -- representative single runs on one thread:
  *      simulated cycles/sec and instructions/sec of the cycle core.
+ *   1b. DRAM-bound microbenchmark -- a streaming workload through a
+ *      16 KB LLC, so nearly every access reaches the memory
+ *      controllers: tracks the memory model's cost (the complete
+ *      timing engine: activation windows, refresh, turnaround).
  *   2. fig11 sweep scaling -- the Figure-11 grid (workloads x
  *      {shared, private, adaptive}) executed at 1/2/4/8 threads;
  *      reports wall clock per sweep and speedup vs 1 thread.
@@ -90,6 +94,30 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(core_instrs),
                 core_wall, cycles_per_sec, instrs_per_sec);
 
+    // ---- phase 1b: DRAM-bound microbenchmark ----------------------
+    // A 16 KB LLC in front of a streaming workload pushes ~every
+    // access to DRAM; simulation throughput here is dominated by the
+    // memory controllers, so BENCH_core.json tracks the timing
+    // model's cost point by point.
+    SimConfig dram_cfg = cfg;
+    dram_cfg.llcSliceBytes = 16 * 1024;
+    std::uint64_t dram_cycles = 0;
+    std::uint64_t dram_accesses = 0;
+    const double dram_wall = wallSeconds([&]() {
+        const RunResult r = runWorkload(
+            dram_cfg, WorkloadSuite::byName("VA"),
+            LlcPolicy::ForceShared);
+        dram_cycles = r.cycles;
+        dram_accesses = r.dramAccesses;
+    });
+    const double dram_cycles_per_sec =
+        static_cast<double>(dram_cycles) / dram_wall;
+    std::printf("dram-bound: %llu cycles, %llu DRAM accesses in "
+                "%.2f s (%.0f cycles/s)\n",
+                static_cast<unsigned long long>(dram_cycles),
+                static_cast<unsigned long long>(dram_accesses),
+                dram_wall, dram_cycles_per_sec);
+
     // ---- phase 2: fig11 sweep at 1/2/4/8 threads ------------------
     std::vector<SweepPoint> points;
     if (smoke) {
@@ -150,6 +178,12 @@ main(int argc, char **argv)
     out << "    \"wall_seconds\": " << core_wall << ",\n";
     out << "    \"cycles_per_sec\": " << cycles_per_sec << ",\n";
     out << "    \"instrs_per_sec\": " << instrs_per_sec << "\n";
+    out << "  },\n";
+    out << "  \"dram_bound\": {\n";
+    out << "    \"simulated_cycles\": " << dram_cycles << ",\n";
+    out << "    \"dram_accesses\": " << dram_accesses << ",\n";
+    out << "    \"wall_seconds\": " << dram_wall << ",\n";
+    out << "    \"cycles_per_sec\": " << dram_cycles_per_sec << "\n";
     out << "  },\n";
     out << "  \"fig11_sweep\": {\n";
     out << "    \"points\": " << points.size() << ",\n";

@@ -17,6 +17,12 @@
  *
  * Addresses everywhere in this file are line addresses (byte address /
  * lineBytes).
+ *
+ * The bank selector produced here also decides the bank *group* when
+ * the backend models them (DramParams::groupOf interleaves groups
+ * over the low bank bits), so PAE's hashed bank bits naturally
+ * alternate groups -- the tCCD_S fast path -- while Hynix's linear
+ * extraction makes strided patterns stick to one group.
  */
 
 #ifndef AMSC_MEM_ADDRESS_MAPPING_HH

@@ -6,54 +6,64 @@ namespace amsc
 {
 
 Cycle
-DramBank::columnReadyAt(std::uint64_t row, Cycle now) const
+DramBank::columnReadyAt(std::uint64_t row, Cycle now,
+                        const BankIssueConstraints &c) const
 {
-    Cycle t = std::max(now, busyUntil_);
+    const Cycle t = std::max(now, busyUntil_);
     if (rowHit(row))
-        return t;
+        return std::max(t, c.colEarliest);
 
+    Cycle act_at;
     if (rowOpen_) {
-        // Row conflict: precharge (respecting tRAS), then activate.
-        const Cycle pre_at =
-            std::max(t, lastActivate_ + timings_.tRAS);
-        const Cycle act_at = pre_at + timings_.tRP;
-        return act_at + timings_.tRCD;
+        // Row conflict: precharge (respecting tRAS and write
+        // recovery), then activate.
+        const Cycle pre_at = prechargeReadyAt(t);
+        act_at = std::max({pre_at + timings_.tRP,
+                           lastActivate_ + timings_.tRC,
+                           c.actEarliest});
+    } else {
+        // Bank closed: activate only (tRC from previous activate).
+        act_at = std::max({t, lastActivate_ + timings_.tRC,
+                           c.actEarliest});
     }
-    // Bank closed: activate only (tRC from previous activate).
-    const Cycle act_at = std::max(t, lastActivate_ + timings_.tRC);
-    return act_at + timings_.tRCD;
+    return std::max(act_at + timings_.tRCD, c.colEarliest);
 }
 
 Cycle
 DramBank::service(std::uint64_t row, bool is_write, Cycle now,
-                  bool &rowhit)
+                  bool &rowhit, const BankIssueConstraints &c,
+                  Cycle &act_at)
 {
+    (void)is_write; // read/write column timing is the caller's job
     rowhit = rowHit(row);
+    act_at = kNoCycle;
     Cycle col_at;
 
     if (rowhit) {
-        col_at = std::max(now, busyUntil_);
+        col_at = std::max({now, busyUntil_, c.colEarliest});
     } else if (rowOpen_) {
-        const Cycle pre_at = std::max(std::max(now, busyUntil_),
-                                      lastActivate_ + timings_.tRAS);
-        const Cycle act_at = pre_at + timings_.tRP;
+        const Cycle pre_at =
+            prechargeReadyAt(std::max(now, busyUntil_));
+        act_at = std::max({pre_at + timings_.tRP,
+                           lastActivate_ + timings_.tRC,
+                           c.actEarliest});
         lastActivate_ = act_at;
-        col_at = act_at + timings_.tRCD;
+        col_at = std::max(act_at + timings_.tRCD, c.colEarliest);
     } else {
-        const Cycle act_at = std::max(std::max(now, busyUntil_),
-                                      lastActivate_ + timings_.tRC);
+        act_at = std::max({std::max(now, busyUntil_),
+                           lastActivate_ + timings_.tRC,
+                           c.actEarliest});
         lastActivate_ = act_at;
-        col_at = act_at + timings_.tRCD;
+        col_at = std::max(act_at + timings_.tRCD, c.colEarliest);
     }
 
     rowOpen_ = true;
     openRow_ = row;
 
-    // The bank can take its next column command tCCD later; a write
-    // additionally holds the bank for the write recovery time.
+    // The bank can take its next column command tCCD later. Write
+    // recovery does NOT hold the column path: it gates precharge
+    // only, via noteWriteRecovery().
     busyUntil_ = col_at + timings_.tCCD;
-    if (is_write)
-        busyUntil_ = std::max(busyUntil_, col_at + timings_.tWR);
     return col_at;
 }
 

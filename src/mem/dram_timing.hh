@@ -1,9 +1,22 @@
 /**
  * @file
- * GDDR5 timing parameters (Table 1 of the paper).
+ * DRAM timing and structural parameters.
  *
- * All values are expressed in core-clock cycles (1400 MHz baseline);
- * the paper reports its GDDR5 timings in the same clock domain.
+ * The baseline values are the GDDR5 timings of Table 1 of the paper;
+ * the `mem_backend` presets (mem/mem_backend.hh) re-parameterize the
+ * same constraint set for HBM2-style stacked DRAM and an STT-MRAM/SCM
+ * style storage-class memory. All values are expressed in core-clock
+ * cycles (1400 MHz baseline); the paper reports its GDDR5 timings in
+ * the same clock domain.
+ *
+ * Where each constraint is enforced (docs/DESIGN.md, "Memory
+ * backend", timing contract table):
+ *
+ *   per bank  : tRC, tRAS, tRP, tRCD, tCCD, tWR (gates precharge)
+ *   per MC    : tRRD, tFAW (activation window), tWTR (write-to-read
+ *               turnaround), tCCD_L/tCCD_S (bank-group column
+ *               spacing, active when bankGroups > 1), tREFI/tRFC
+ *               (all-bank refresh), data-bus serialization
  */
 
 #ifndef AMSC_MEM_DRAM_TIMING_HH
@@ -21,6 +34,8 @@ struct DramTimings
 {
     /** CAS latency: column read command to first data. */
     std::uint32_t tCL = 12;
+    /** CAS write latency: column write command to first write data. */
+    std::uint32_t tCWL = 10;
     /** Row precharge time. */
     std::uint32_t tRP = 12;
     /** Activate-to-activate, same bank (row cycle time). */
@@ -31,10 +46,22 @@ struct DramTimings
     std::uint32_t tRCD = 12;
     /** Activate-to-activate, different banks of the same device. */
     std::uint32_t tRRD = 6;
-    /** Column-command to column-command spacing. */
+    /** Four-activate window: any 5 ACTs to one MC span >= tFAW. 0 disables. */
+    std::uint32_t tFAW = 32;
+    /** Column-command to column-command spacing, same bank. */
     std::uint32_t tCCD = 2;
-    /** Write recovery time (last write data to precharge). */
+    /** Column spacing within one bank group (bankGroups > 1 only). */
+    std::uint32_t tCCD_L = 4;
+    /** Column spacing across bank groups (bankGroups > 1 only). */
+    std::uint32_t tCCD_S = 2;
+    /** Write recovery: last write data to *precharge* of that bank. */
     std::uint32_t tWR = 12;
+    /** Write-to-read turnaround: last write data to next read column. */
+    std::uint32_t tWTR = 7;
+    /** Average refresh interval per MC. 0 disables refresh. */
+    std::uint32_t tREFI = 5460;
+    /** All-bank refresh cycle time (banks blocked this long). */
+    std::uint32_t tRFC = 160;
 };
 
 /** Structural parameters of one memory controller / partition. */
@@ -43,6 +70,13 @@ struct DramParams
     DramTimings timings{};
     /** Banks per memory controller (Table 1: 16). */
     std::uint32_t banksPerMc = 16;
+    /**
+     * Bank groups per MC; 1 disables the bank-group column-spacing
+     * constraints (tCCD_L/tCCD_S). Groups are interleaved over the
+     * low bank bits (bank % bankGroups) so neighbouring banks land
+     * in different groups, as with real group interleaving.
+     */
+    std::uint32_t bankGroups = 1;
     /**
      * Data-bus bandwidth in bytes per core cycle per MC.
      *
@@ -66,6 +100,13 @@ struct DramParams
 
     /** Lines per DRAM row. */
     std::uint32_t linesPerRow() const { return rowBytes / lineBytes; }
+
+    /** Bank group of @p bank (low-bit interleaved). */
+    std::uint32_t
+    groupOf(std::uint32_t bank) const
+    {
+        return bankGroups <= 1 ? 0 : bank % bankGroups;
+    }
 };
 
 } // namespace amsc

@@ -1,0 +1,117 @@
+#include "mem/mem_backend.hh"
+
+#include "common/log.hh"
+
+namespace amsc
+{
+
+MemBackend
+parseMemBackend(const std::string &name)
+{
+    if (name == "gddr5")
+        return MemBackend::Gddr5;
+    if (name == "hbm2")
+        return MemBackend::Hbm2;
+    if (name == "scm")
+        return MemBackend::Scm;
+    fatal("unknown memory backend '%s' (gddr5|hbm2|scm)",
+          name.c_str());
+}
+
+std::string
+memBackendName(MemBackend b)
+{
+    switch (b) {
+      case MemBackend::Gddr5:
+        return "gddr5";
+      case MemBackend::Hbm2:
+        return "hbm2";
+      case MemBackend::Scm:
+        return "scm";
+    }
+    return "?";
+}
+
+namespace
+{
+
+MemBackendPreset
+gddr5Preset()
+{
+    // Exactly the SimConfig/DramTimings defaults (Table 1), so the
+    // default configuration and mem_backend=gddr5 are the same run.
+    return MemBackendPreset{};
+}
+
+MemBackendPreset
+hbm2Preset()
+{
+    MemBackendPreset p;
+    p.timings.tCL = 10;
+    p.timings.tCWL = 8;
+    p.timings.tRP = 10;
+    p.timings.tRC = 34;
+    p.timings.tRAS = 24;
+    p.timings.tRCD = 10;
+    p.timings.tRRD = 4;
+    p.timings.tFAW = 16;
+    p.timings.tCCD = 2;
+    p.timings.tCCD_L = 4;
+    p.timings.tCCD_S = 2;
+    p.timings.tWR = 11;
+    p.timings.tWTR = 5;
+    p.timings.tREFI = 5460;
+    p.timings.tRFC = 240; // taller stacks refresh longer
+    p.banksPerMc = 32;    // 2 pseudo-channels x 16 banks
+    p.bankGroups = 4;
+    p.busBytesPerCycle = 80;
+    p.rowBytes = 1024;
+    return p;
+}
+
+MemBackendPreset
+scmPreset()
+{
+    MemBackendPreset p;
+    p.timings.tCL = 14;
+    p.timings.tCWL = 10;
+    p.timings.tRP = 8;    // no destructive row read to restore
+    p.timings.tRC = 100;  // slow cell cycling
+    p.timings.tRAS = 36;
+    p.timings.tRCD = 18;  // slower sensing than DRAM
+    p.timings.tRRD = 4;
+    p.timings.tFAW = 0;   // no activation-power window
+    p.timings.tCCD = 2;
+    p.timings.tCCD_L = 4;
+    p.timings.tCCD_S = 2;
+    p.timings.tWR = 80;   // long write pulse: the R/W asymmetry
+    p.timings.tWTR = 12;
+    p.timings.tREFI = 0;  // non-volatile: no refresh
+    p.timings.tRFC = 0;
+    p.banksPerMc = 16;
+    p.bankGroups = 1;
+    p.busBytesPerCycle = 80;
+    p.rowBytes = 2048;
+    return p;
+}
+
+} // namespace
+
+const MemBackendPreset &
+memBackendPreset(MemBackend backend)
+{
+    static const MemBackendPreset gddr5 = gddr5Preset();
+    static const MemBackendPreset hbm2 = hbm2Preset();
+    static const MemBackendPreset scm = scmPreset();
+    switch (backend) {
+      case MemBackend::Gddr5:
+        return gddr5;
+      case MemBackend::Hbm2:
+        return hbm2;
+      case MemBackend::Scm:
+        return scm;
+    }
+    panic("unknown memory backend");
+}
+
+} // namespace amsc

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Memory-technology backend presets.
+ *
+ * `mem_backend` turns the memory technology into a sweep axis: one
+ * key re-parameterizes the whole DRAM timing/structure block
+ * (docs/DESIGN.md, "Memory backend", preset table). The presets are
+ * representative technology points expressed in 1400 MHz core
+ * cycles, not datasheet transcriptions:
+ *
+ *  - gddr5  the paper's Table-1 baseline. Identical to the SimConfig
+ *           defaults, so `mem_backend=gddr5` is a no-op (pinned by
+ *           tests/test_mem_policy.cc).
+ *  - hbm2   stacked DRAM: 4 bank groups with tCCD_L/tCCD_S column
+ *           spacing, twice the banks (pseudo-channel pairs), shorter
+ *           core timings, smaller rows.
+ *  - scm    storage-class memory in the STT-MRAM/SCM mold (FUSE;
+ *           bandwidth-effective DRAM cache for GPUs with SCM):
+ *           read latency close to DRAM, writes several times more
+ *           expensive (long write-recovery pulse), no refresh
+ *           (non-volatile), slow row cycling.
+ *
+ * Individual dram_* keys applied after the preset override single
+ * fields, so "hbm2 but with tRRD=8" is expressible.
+ */
+
+#ifndef AMSC_MEM_MEM_BACKEND_HH
+#define AMSC_MEM_MEM_BACKEND_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/dram_timing.hh"
+
+namespace amsc
+{
+
+/** Memory technology selector. */
+enum class MemBackend
+{
+    Gddr5,
+    Hbm2,
+    Scm,
+};
+
+/** Parse a backend name (gddr5|hbm2|scm). */
+MemBackend parseMemBackend(const std::string &name);
+
+/** Backend key=value spelling. */
+std::string memBackendName(MemBackend b);
+
+/**
+ * The memory-layer parameter block one backend preset controls:
+ * everything technology-specific, nothing that touches the LLC or
+ * NoC geometry (channel count stays a separate structural knob).
+ */
+struct MemBackendPreset
+{
+    DramTimings timings{};
+    std::uint32_t banksPerMc = 16;
+    std::uint32_t bankGroups = 1;
+    std::uint32_t busBytesPerCycle = 80;
+    std::uint32_t rowBytes = 2048;
+};
+
+/** Preset parameter block of @p backend. */
+const MemBackendPreset &memBackendPreset(MemBackend backend);
+
+} // namespace amsc
+
+#endif // AMSC_MEM_MEM_BACKEND_HH

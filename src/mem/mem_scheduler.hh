@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Pluggable memory-controller scheduling policies.
+ *
+ * Mirrors the LLC replacement-policy framework (cache/replacement.hh):
+ * the request-pick decision of MemoryController::tick is a stateful
+ * policy object selected by the `mem_sched` configuration key. Each
+ * cycle the controller hands the policy a read-only view of its
+ * request queue and bank states; the policy returns the index of the
+ * request to issue (or kNoPick). Issue *eligibility* is uniform
+ * across policies -- a request can only issue when its bank has no
+ * column command outstanding (DramBank::idleAt) -- so policies differ
+ * purely in prioritization, and the timing legality enforced by the
+ * controller (tRRD/tFAW/tWTR/refresh/bus) applies identically to all
+ * of them (docs/DESIGN.md, "Memory backend", scheduler hook table).
+ *
+ * Policies:
+ *  - fr_fcfs      first-ready FCFS (Table 1 baseline): oldest
+ *                 row-buffer hit on an idle bank first, then the
+ *                 oldest request on an idle bank. Bit-identical to
+ *                 the pre-framework hardwired loop.
+ *  - fcfs         strict in-order: only the oldest request may
+ *                 issue. The std-reference oracle of the
+ *                 differential tests (tests/test_mem_policy.cc).
+ *  - write_drain  read-priority with batched write draining: reads
+ *                 are served FR-FCFS; writes are issued
+ *                 opportunistically when no read can go, and drained
+ *                 in a batch once the queued-write count crosses a
+ *                 high watermark, until a low watermark is reached.
+ */
+
+#ifndef AMSC_MEM_MEM_SCHEDULER_HH
+#define AMSC_MEM_MEM_SCHEDULER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/dram_bank.hh"
+
+namespace amsc
+{
+
+/** Memory-controller scheduling policy selector. */
+enum class MemSched
+{
+    FrFcfs,
+    Fcfs,
+    WriteDrain,
+};
+
+/** Parse a scheduler name (fr_fcfs|fcfs|write_drain). */
+MemSched parseMemSched(const std::string &name);
+
+/** Scheduler key=value spelling. */
+std::string memSchedName(MemSched s);
+
+/** One request as seen by a memory controller. */
+struct DramRequest
+{
+    Addr lineAddr = kNoAddr;
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+    bool isWrite = false;
+    /** Opaque requester context (returned in the completion). */
+    std::uint64_t token = 0;
+    /** Enqueue cycle (FCFS age and latency stats). */
+    Cycle enqueueCycle = 0;
+};
+
+/** Read-only controller view handed to a policy's pick(). */
+struct McPickView
+{
+    /** Waiting requests, enqueue order (index 0 is the oldest). */
+    const std::vector<DramRequest> &queue;
+    /** Bank state (rowHit / idleAt queries). */
+    const std::vector<DramBank> &banks;
+    Cycle now;
+};
+
+/** Memory-controller scheduling policy. */
+class MemSchedulerPolicy
+{
+  public:
+    /** pick() result meaning "nothing can issue this cycle". */
+    static constexpr std::size_t kNoPick =
+        static_cast<std::size_t>(-1);
+
+    virtual ~MemSchedulerPolicy() = default;
+
+    /**
+     * Choose the queue index of the request to issue at view.now, or
+     * kNoPick. Must only pick requests whose bank is idle at now.
+     */
+    virtual std::size_t pick(const McPickView &view) = 0;
+
+    /** Times the policy entered write-drain mode (0 for stateless). */
+    virtual std::uint64_t drainEntries() const { return 0; }
+
+    /**
+     * Factory for the policy selected by @p kind.
+     *
+     * @param queue_capacity owning controller's queue capacity
+     *                       (write-drain watermarks scale with it).
+     */
+    static std::unique_ptr<MemSchedulerPolicy>
+    create(MemSched kind, std::uint32_t queue_capacity);
+};
+
+/** First-ready FCFS (row hits first, then oldest; Table 1). */
+class FrFcfsSched : public MemSchedulerPolicy
+{
+  public:
+    std::size_t pick(const McPickView &view) override;
+};
+
+/** Strict in-order: only the oldest request may issue. */
+class FcfsSched : public MemSchedulerPolicy
+{
+  public:
+    std::size_t pick(const McPickView &view) override;
+};
+
+/**
+ * Read-priority FR-FCFS with batched write draining.
+ *
+ * Writes accumulate until `highWatermark` of them are queued, then
+ * drain (FR-FCFS among writes only) down to `lowWatermark`. Outside
+ * drain mode reads are served FR-FCFS and a write may issue only
+ * when no read can, so writes never starve the reconfiguration
+ * quiesce (LlcSystem waits on MemorySystem::drained()).
+ */
+class WriteDrainSched : public MemSchedulerPolicy
+{
+  public:
+    explicit WriteDrainSched(std::uint32_t queue_capacity);
+
+    std::size_t pick(const McPickView &view) override;
+    std::uint64_t drainEntries() const override { return entries_; }
+
+    bool draining() const { return draining_; }
+    std::uint32_t highWatermark() const { return high_; }
+    std::uint32_t lowWatermark() const { return low_; }
+
+  private:
+    std::uint32_t high_;
+    std::uint32_t low_;
+    bool draining_ = false;
+    std::uint64_t entries_ = 0;
+};
+
+} // namespace amsc
+
+#endif // AMSC_MEM_MEM_SCHEDULER_HH

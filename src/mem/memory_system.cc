@@ -7,7 +7,8 @@ namespace amsc
 
 MemorySystem::MemorySystem(std::uint32_t num_mcs,
                            const DramParams &dram,
-                           const AddressMapping &mapping)
+                           const AddressMapping &mapping,
+                           MemSched sched)
     : mapping_(mapping)
 {
     if (num_mcs != mapping.params().numMcs)
@@ -15,7 +16,8 @@ MemorySystem::MemorySystem(std::uint32_t num_mcs,
               num_mcs, mapping.params().numMcs);
     mcs_.reserve(num_mcs);
     for (McId i = 0; i < num_mcs; ++i)
-        mcs_.push_back(std::make_unique<MemoryController>(i, dram));
+        mcs_.push_back(
+            std::make_unique<MemoryController>(i, dram, sched));
 }
 
 void
@@ -32,10 +34,13 @@ MemorySystem::setReadCallback(ReadCallback cb)
 }
 
 bool
-MemorySystem::canAccept(Addr line_addr) const
+MemorySystem::canAccept(Addr line_addr)
 {
     const DramCoord c = mapping_.decode(line_addr);
-    return mcs_[c.mc]->canAccept();
+    if (mcs_[c.mc]->canAccept())
+        return true;
+    mcs_[c.mc]->noteQueueFullReject();
+    return false;
 }
 
 void
@@ -76,6 +81,25 @@ MemorySystem::totalAccesses() const
     for (const auto &mc : mcs_)
         n += mc->stats().reads + mc->stats().writes;
     return n;
+}
+
+McStats
+MemorySystem::aggregateStats() const
+{
+    McStats agg;
+    for (const auto &mc : mcs_) {
+        const McStats &s = mc->stats();
+        agg.reads += s.reads;
+        agg.writes += s.writes;
+        agg.rowHits += s.rowHits;
+        agg.rowMisses += s.rowMisses;
+        agg.busBusyCycles += s.busBusyCycles;
+        agg.queueFullRejects += s.queueFullRejects;
+        agg.totalReadLatency += s.totalReadLatency;
+        agg.refreshes += s.refreshes;
+        agg.writeDrainEntries += s.writeDrainEntries;
+    }
+    return agg;
 }
 
 void

@@ -35,15 +35,24 @@ class MemorySystem
      * @param num_mcs  number of memory controllers.
      * @param dram     per-MC structural/timing parameters.
      * @param mapping  shared address mapping (owned by caller).
+     * @param sched    per-MC scheduling policy (default FR-FCFS).
      */
     MemorySystem(std::uint32_t num_mcs, const DramParams &dram,
-                 const AddressMapping &mapping);
+                 const AddressMapping &mapping,
+                 MemSched sched = MemSched::FrFcfs);
 
     /** Set the read completion callback. */
     void setReadCallback(ReadCallback cb);
 
-    /** @return true if the owning MC of @p line_addr can accept. */
-    bool canAccept(Addr line_addr) const;
+    /**
+     * @return true if the owning MC of @p line_addr can accept.
+     *
+     * A refusal is counted in the owning controller's
+     * queueFullRejects: the callers (LlcSlice miss/write-back issue)
+     * retry every cycle, so the stat measures DRAM backpressure as
+     * refused asks rather than a panic path that never survives.
+     */
+    bool canAccept(Addr line_addr);
 
     /**
      * Enqueue an access.
@@ -80,6 +89,9 @@ class MemorySystem
 
     /** Aggregate DRAM accesses (reads + writes) across all MCs. */
     std::uint64_t totalAccesses() const;
+
+    /** Field-wise sum of every controller's statistics. */
+    McStats aggregateStats() const;
 
     /** Register all controller statistics in @p set. */
     void registerStats(StatSet &set) const;

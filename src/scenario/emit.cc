@@ -58,6 +58,12 @@ metricCells(const RunResult &r)
         {"llc_accesses", std::to_string(r.llcAccesses), false},
         {"llc_bypasses", std::to_string(r.llcBypasses), false},
         {"dram_accesses", std::to_string(r.dramAccesses), false},
+        {"dram_row_hit_rate", d17(r.dramRowHitRate), false},
+        {"dram_refreshes", std::to_string(r.dramRefreshes), false},
+        {"dram_queue_rejects", std::to_string(r.dramQueueRejects),
+         false},
+        {"dram_write_drains", std::to_string(r.dramWriteDrains),
+         false},
         {"avg_request_latency", d17(r.avgRequestLatency), false},
         {"avg_reply_latency", d17(r.avgReplyLatency), false},
         {"final_llc_mode", llcModeName(r.finalMode), true},

@@ -73,6 +73,10 @@ identicalResults(const RunResult &a, const RunResult &b)
         a.llcAccesses != b.llcAccesses ||
         a.llcBypasses != b.llcBypasses ||
         a.dramAccesses != b.dramAccesses ||
+        a.dramRowHitRate != b.dramRowHitRate ||
+        a.dramRefreshes != b.dramRefreshes ||
+        a.dramQueueRejects != b.dramQueueRejects ||
+        a.dramWriteDrains != b.dramWriteDrains ||
         a.avgRequestLatency != b.avgRequestLatency ||
         a.avgReplyLatency != b.avgReplyLatency ||
         a.finalMode != b.finalMode ||
@@ -108,7 +112,8 @@ GpuSystem::GpuSystem(const SimConfig &config) : config_(config)
         std::make_unique<AddressMapping>(config_.buildMappingParams());
     net_ = makeNetwork(config_.buildNocParams());
     mem_ = std::make_unique<MemorySystem>(
-        config_.numMcs, config_.buildDramParams(), *mapping_);
+        config_.numMcs, config_.buildDramParams(), *mapping_,
+        config_.memSched);
 
     // SM -> application partitioning: single app owns everything;
     // multi-program splits each cluster evenly (paper Fig 9).
@@ -381,6 +386,11 @@ GpuSystem::collect() const
         : static_cast<double>(llc_->totalResponses()) /
             static_cast<double>(now_);
     r.dramAccesses = mem_->totalAccesses();
+    const McStats dram = mem_->aggregateStats();
+    r.dramRowHitRate = dram.rowHitRate();
+    r.dramRefreshes = dram.refreshes;
+    r.dramQueueRejects = dram.queueFullRejects;
+    r.dramWriteDrains = dram.writeDrainEntries;
     r.avgRequestLatency = net_->requestStats().avgLatency();
     r.avgReplyLatency = net_->replyStats().avgLatency();
 

@@ -53,6 +53,19 @@ struct RunResult
     /** LLC fills dropped by the bypass policy (llc_bypass). */
     std::uint64_t llcBypasses = 0;
     std::uint64_t dramAccesses = 0;
+    /** Aggregate DRAM row-buffer hit rate across all MCs. */
+    double dramRowHitRate = 0.0;
+    /** All-bank refreshes performed across all MCs. */
+    std::uint64_t dramRefreshes = 0;
+    /**
+     * Asks refused by a full MC queue (LLC backpressure). A slice
+     * retries every cycle and probes for both its miss and its
+     * write-back queue, so this counts refused asks, not distinct
+     * stall cycles.
+     */
+    std::uint64_t dramQueueRejects = 0;
+    /** Write-drain mode entries (mem_sched=write_drain, else 0). */
+    std::uint64_t dramWriteDrains = 0;
     double avgRequestLatency = 0.0;
     double avgReplyLatency = 0.0;
 

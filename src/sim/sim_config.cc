@@ -32,11 +32,24 @@ SimConfig::buildDramParams() const
     DramParams dp;
     dp.timings = dramTimings;
     dp.banksPerMc = banksPerMc;
+    dp.bankGroups = dramBankGroups;
     dp.busBytesPerCycle = dramBusBytesPerCycle;
     dp.lineBytes = lineBytes;
     dp.rowBytes = dramRowBytes;
     dp.queueCapacity = dramQueueCap;
     return dp;
+}
+
+void
+applyMemBackend(SimConfig &cfg, MemBackend backend)
+{
+    const MemBackendPreset &p = memBackendPreset(backend);
+    cfg.memBackend = backend;
+    cfg.dramTimings = p.timings;
+    cfg.banksPerMc = p.banksPerMc;
+    cfg.dramBankGroups = p.bankGroups;
+    cfg.dramBusBytesPerCycle = p.busBytesPerCycle;
+    cfg.dramRowBytes = p.rowBytes;
 }
 
 NocParams
@@ -413,26 +426,68 @@ buildRegistry()
         AMSC_U64_KEY("ideal_noc_latency", idealNocLatency,
                      "Fixed latency of the ideal NoC model, cycles."),
         // ---- DRAM -----------------------------------------------------
+        // mem_backend precedes the dram_* keys so that explicit
+        // timing overrides win over the preset: applyKv applies keys
+        // in registry order, scenarios in declaration order.
+        {"mem_backend", "enum", "gddr5|hbm2|scm",
+         "Memory-technology preset: rewrites the DRAM timing block, "
+         "banks, bank groups, bus width and row size; later dram_* "
+         "keys override individual fields (docs/DESIGN.md).",
+         [](const SimConfig &c) { return memBackendName(c.memBackend); },
+         [](SimConfig &c, const std::string &v) {
+             applyMemBackend(c, parseMemBackend(v));
+         }},
+        {"mem_sched", "enum", "fr_fcfs|fcfs|write_drain",
+         "Memory-controller scheduling policy (Table 1: fr_fcfs).",
+         [](const SimConfig &c) { return memSchedName(c.memSched); },
+         [](SimConfig &c, const std::string &v) {
+             c.memSched = parseMemSched(v);
+         }},
         AMSC_U32_KEY("dram_tcl", dramTimings.tCL,
-                     "GDDR5 CAS latency, core cycles."),
+                     "DRAM CAS latency, core cycles."),
+        AMSC_U32_KEY("dram_tcwl", dramTimings.tCWL,
+                     "DRAM CAS write latency (column command to "
+                     "write data), core cycles."),
         AMSC_U32_KEY("dram_trp", dramTimings.tRP,
-                     "GDDR5 row precharge time, core cycles."),
+                     "DRAM row precharge time, core cycles."),
         AMSC_U32_KEY("dram_trc", dramTimings.tRC,
-                     "GDDR5 row cycle time, core cycles."),
+                     "DRAM row cycle time, core cycles."),
         AMSC_U32_KEY("dram_tras", dramTimings.tRAS,
-                     "GDDR5 activate-to-precharge minimum, core "
+                     "DRAM activate-to-precharge minimum, core "
                      "cycles."),
         AMSC_U32_KEY("dram_trcd", dramTimings.tRCD,
-                     "GDDR5 row-to-column delay, core cycles."),
+                     "DRAM row-to-column delay, core cycles."),
         AMSC_U32_KEY("dram_trrd", dramTimings.tRRD,
-                     "GDDR5 activate-to-activate (different banks), "
-                     "core cycles."),
+                     "DRAM activate-to-activate spacing per MC, core "
+                     "cycles."),
+        AMSC_U32_KEY("dram_tfaw", dramTimings.tFAW,
+                     "DRAM four-activate window per MC, core cycles "
+                     "(0 disables)."),
         AMSC_U32_KEY("dram_tccd", dramTimings.tCCD,
-                     "GDDR5 column-to-column spacing, core cycles."),
+                     "DRAM column-to-column spacing per bank, core "
+                     "cycles."),
+        AMSC_U32_KEY("dram_tccd_l", dramTimings.tCCD_L,
+                     "DRAM column spacing within a bank group, core "
+                     "cycles (dram_bank_groups > 1)."),
+        AMSC_U32_KEY("dram_tccd_s", dramTimings.tCCD_S,
+                     "DRAM column spacing across bank groups, core "
+                     "cycles (dram_bank_groups > 1)."),
         AMSC_U32_KEY("dram_twr", dramTimings.tWR,
-                     "GDDR5 write recovery time, core cycles."),
+                     "DRAM write recovery (last write data to "
+                     "precharge), core cycles."),
+        AMSC_U32_KEY("dram_twtr", dramTimings.tWTR,
+                     "DRAM write-to-read turnaround per MC, core "
+                     "cycles."),
+        AMSC_U32_KEY("dram_trefi", dramTimings.tREFI,
+                     "DRAM refresh interval per MC, core cycles (0 "
+                     "disables refresh)."),
+        AMSC_U32_KEY("dram_trfc", dramTimings.tRFC,
+                     "DRAM all-bank refresh cycle time, core cycles."),
         AMSC_U32_KEY("banks_per_mc", banksPerMc,
                      "DRAM banks per memory controller (Table 1: 16)."),
+        AMSC_U32_KEY("dram_bank_groups", dramBankGroups,
+                     "DRAM bank groups per MC; 1 disables the "
+                     "tCCD_L/tCCD_S constraints."),
         AMSC_U32_KEY("dram_bus_bytes", dramBusBytesPerCycle,
                      "DRAM data-bus bytes per core cycle per MC."),
         AMSC_U32_KEY("dram_row_bytes", dramRowBytes,
@@ -553,6 +608,18 @@ SimConfig::validate() const
         fatal("config: L1 size not divisible into sets");
     if (dramRowBytes % lineBytes != 0)
         fatal("config: DRAM row not a multiple of the line size");
+    if (dramBusBytesPerCycle == 0)
+        fatal("config: dram_bus_bytes must be non-zero");
+    if (dramBankGroups == 0 || dramBankGroups > banksPerMc ||
+        banksPerMc % dramBankGroups != 0)
+        fatal("config: dram_bank_groups (%u) must divide banks_per_mc "
+              "(%u)",
+              dramBankGroups, banksPerMc);
+    if (dramTimings.tREFI != 0 && dramTimings.tRFC >= dramTimings.tREFI)
+        fatal("config: dram_trfc (%u) must be below dram_trefi (%u)",
+              dramTimings.tRFC, dramTimings.tREFI);
+    if (dramQueueCap == 0)
+        fatal("config: dram_queue_cap must be non-zero");
     if (!traceRecordPath.empty() && !traceReplayPath.empty())
         fatal("config: trace_record and trace_replay are exclusive");
     if (llcDuelSets == 0)
@@ -585,14 +652,23 @@ SimConfig::print(std::ostream &os) const
     os << "NoC                    " << topologyName(topology) << ", "
        << channelWidthBytes << " B channels, 1 VC x " << vcDepthFlits
        << " flits, 4-stage routers, iSLIP\n";
-    os << "DRAM                   FR-FCFS, " << banksPerMc
-       << " banks/MC, " << dramBusBytesPerCycle
-       << " B/cycle/MC bus\n";
-    os << "GDDR5 timing           tCL=" << dramTimings.tCL << " tRP="
-       << dramTimings.tRP << " tRC=" << dramTimings.tRC << " tRAS="
-       << dramTimings.tRAS << " tRCD=" << dramTimings.tRCD << " tRRD="
-       << dramTimings.tRRD << " tCCD=" << dramTimings.tCCD << " tWR="
-       << dramTimings.tWR << "\n";
+    os << "DRAM                   " << memBackendName(memBackend)
+       << ", " << memSchedName(memSched) << ", " << banksPerMc
+       << " banks/MC";
+    if (dramBankGroups > 1)
+        os << " (" << dramBankGroups << " groups)";
+    os << ", " << dramBusBytesPerCycle << " B/cycle/MC bus\n";
+    os << "DRAM timing            tCL=" << dramTimings.tCL << " tCWL="
+       << dramTimings.tCWL << " tRP=" << dramTimings.tRP << " tRC="
+       << dramTimings.tRC << " tRAS=" << dramTimings.tRAS << " tRCD="
+       << dramTimings.tRCD << " tRRD=" << dramTimings.tRRD << " tFAW="
+       << dramTimings.tFAW << " tCCD=" << dramTimings.tCCD;
+    if (dramBankGroups > 1)
+        os << " tCCD_L=" << dramTimings.tCCD_L << " tCCD_S="
+           << dramTimings.tCCD_S;
+    os << " tWR=" << dramTimings.tWR << " tWTR=" << dramTimings.tWTR
+       << " tREFI=" << dramTimings.tREFI << " tRFC="
+       << dramTimings.tRFC << "\n";
     os << "Address mapping        "
        << AddressMapping::schemeName(mappingScheme) << "\n";
     os << "CTA scheduling         " << ctaPolicyName(ctaPolicy) << "\n";

@@ -24,6 +24,8 @@
 #include "llc/llc_system.hh"
 #include "mem/address_mapping.hh"
 #include "mem/dram_timing.hh"
+#include "mem/mem_backend.hh"
+#include "mem/mem_scheduler.hh"
 #include "noc/noc_params.hh"
 
 namespace amsc
@@ -95,8 +97,18 @@ struct SimConfig
     Cycle idealNocLatency = 10;
 
     // ---- DRAM (Table 1: FR-FCFS, 16 banks/MC, GDDR5, 900 GB/s) ---
+    /**
+     * Technology preset last applied (gddr5|hbm2|scm); the
+     * `mem_backend` key rewrites the timing/structure block below,
+     * and later dram_* keys override individual fields.
+     */
+    MemBackend memBackend = MemBackend::Gddr5;
+    /** Memory-controller scheduling policy. */
+    MemSched memSched = MemSched::FrFcfs;
     DramTimings dramTimings{};
     std::uint32_t banksPerMc = 16;
+    /** Bank groups per MC (1 disables tCCD_L/tCCD_S). */
+    std::uint32_t dramBankGroups = 1;
     std::uint32_t dramBusBytesPerCycle = 80;
     std::uint32_t dramRowBytes = 2048;
     std::uint32_t dramQueueCap = 64;
@@ -164,6 +176,15 @@ struct SimConfig
     /** Validate cross-parameter invariants; fatal() on violation. */
     void validate() const;
 };
+
+/**
+ * Apply the @p backend technology preset to @p cfg: rewrites the
+ * DRAM timing block, banks, bank groups, bus width and row size
+ * (mem/mem_backend.hh). Individual dram_* overrides applied
+ * afterwards win, both on the CLI (registry order) and in scenario
+ * files (declaration order).
+ */
+void applyMemBackend(SimConfig &cfg, MemBackend backend);
 
 /**
  * One introspectable SimConfig key: name, documentation, and typed

@@ -78,7 +78,7 @@ TEST(Docs, RegistryCoversEverySimConfigField)
     // the struct's size on the reference platform -- adding a field
     // changes it, and the test text tells the author what to update.
 #if defined(__x86_64__) && defined(__linux__) && defined(__GLIBCXX__)
-    EXPECT_EQ(sizeof(SimConfig), 424u)
+    EXPECT_EQ(sizeof(SimConfig), 464u)
         << "SimConfig changed. If you added or resized a field: add "
            "a ConfigRegistry entry for it in src/sim/sim_config.cc, "
            "regenerate docs/configuration.md (build/amsc describe "

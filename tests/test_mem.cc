@@ -157,13 +157,30 @@ TEST(DramBank, ConflictRespectsRasAndRp)
     EXPECT_GE(col, static_cast<Cycle>(t.tRAS + t.tRP + t.tRCD));
 }
 
-TEST(DramBank, WriteRecoveryHoldsBank)
+TEST(DramBank, WriteRecoveryGatesPrechargeNotColumns)
 {
     DramTimings t;
     DramBank bank(t);
     bool rowhit = false;
     const Cycle col = bank.service(1, true, 0, rowhit);
-    EXPECT_GE(bank.readyAt(), col + t.tWR);
+    // tWR does *not* hold the column path: the next column command
+    // to the open row is legal tCCD later.
+    EXPECT_EQ(bank.readyAt(), col + t.tCCD);
+
+    // The controller reports the write-data completion; only then is
+    // the *precharge* gated, delaying a row conflict by the full
+    // write recovery.
+    const Cycle wdata_end = col + t.tCWL + 2;
+    bank.noteWriteRecovery(wdata_end);
+    const Cycle conflict_col =
+        bank.columnReadyAt(2, bank.readyAt());
+    EXPECT_GE(conflict_col, wdata_end + t.tWR + t.tRP + t.tRCD);
+
+    // A read (no recovery note) precharges on tRAS alone.
+    DramBank rd(t);
+    rd.service(1, false, 0, rowhit);
+    EXPECT_LT(rd.columnReadyAt(2, rd.readyAt()),
+              wdata_end + t.tWR + t.tRP + t.tRCD);
 }
 
 TEST(DramBank, ColumnReadyPreviewMatchesService)

@@ -630,6 +630,8 @@ fabricatedResult(unsigned salt)
     r.llcAccesses = 90000 + salt;
     r.llcBypasses = 13 * salt;
     r.dramAccesses = 30000 + salt;
+    r.dramRowHitRate = 0.25 + 0.005 * salt;
+    r.dramRefreshes = 5 + salt;
     return r;
 }
 

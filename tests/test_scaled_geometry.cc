@@ -135,7 +135,9 @@ TEST(ScaledSystem, Sm40RunsAndStaysConsistent)
     cfg.slicesPerMc = 4;
     cfg.maxResidentWarps = 16;
     cfg.maxResidentCtas = 2;
-    cfg.maxCycles = 12000;
+    // Covers the slower finish under the full DRAM timing model
+    // (activation windows + refresh).
+    cfg.maxCycles = 24000;
     cfg.llcPolicy = LlcPolicy::ForceShared;
     GpuSystem gpu(cfg);
     TraceParams t;

@@ -496,6 +496,10 @@ fabricatedResult(unsigned salt)
     r.llcResponseRate = 3.5;
     r.llcAccesses = 100000 + salt;
     r.dramAccesses = 40000 + salt;
+    r.dramRowHitRate = 0.5 + 0.01 * salt;
+    r.dramRefreshes = 11 + salt;
+    r.dramQueueRejects = 7 * salt;
+    r.dramWriteDrains = 3 * salt;
     r.avgRequestLatency = 100.5;
     r.avgReplyLatency = 30.25;
     r.finalMode = salt % 2 == 0 ? LlcMode::Shared : LlcMode::Private;

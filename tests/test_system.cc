@@ -116,7 +116,9 @@ TEST(SimConfig, PrintMentionsKeyParameters)
     std::ostringstream os;
     cfg.print(os);
     EXPECT_NE(os.str().find("80"), std::string::npos);
-    EXPECT_NE(os.str().find("GDDR5"), std::string::npos);
+    EXPECT_NE(os.str().find("gddr5"), std::string::npos);
+    EXPECT_NE(os.str().find("fr_fcfs"), std::string::npos);
+    EXPECT_NE(os.str().find("tREFI"), std::string::npos);
     EXPECT_NE(os.str().find("iSLIP"), std::string::npos);
 }
 
@@ -125,6 +127,10 @@ TEST(SimConfig, PrintMentionsKeyParameters)
 TEST(System, RunsToCompletionAndCountsWork)
 {
     SimConfig cfg = smallConfig();
+    // The complete DRAM timing model (tRRD/tFAW activation limits,
+    // refresh) roughly halves streaming throughput vs the seed's
+    // partial model; the horizon covers the slower finish.
+    cfg.maxCycles = 20000;
     GpuSystem gpu(cfg);
     gpu.setWorkload(0, tinyWorkload(AccessPattern::PrivateStream));
     const RunResult r = gpu.run();
@@ -331,8 +337,24 @@ TEST(Classes, PrivateFriendlyGainsFromPrivateLlc)
         cfg.llcPolicy = policy;
         cfg.maxCycles = 15000;
         GpuSystem gpu(cfg);
-        gpu.setWorkload(
-            0, tinyWorkload(AccessPattern::Broadcast, 1, 4000));
+        // The class-template broadcast parameters (suite.cc
+        // privateFriendlyTrace): near-pure lockstep broadcast, few
+        // writes. The generic tinyWorkload mix leaves the class
+        // signal inside the noise floor at this scale now that DRAM
+        // writes/refresh carry their real cost.
+        TraceParams t;
+        t.pattern = AccessPattern::Broadcast;
+        t.sharedLines = 2048;
+        t.sharedFraction = 0.97;
+        t.writeFraction = 0.02;
+        t.hotLines = 768;
+        t.hotFraction = 0.15;
+        t.privateLinesPerCta = 128;
+        t.memInstrsPerWarp = 4000;
+        t.computePerMem = 3;
+        t.seed = 11;
+        t.privateBase = Addr{1} << 30;
+        gpu.setWorkload(0, {makeSyntheticKernel("k0", t, 32, 4)});
         return gpu.run();
     };
     const RunResult shared = run(LlcPolicy::ForceShared);
