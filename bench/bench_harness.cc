@@ -118,6 +118,41 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(dram_accesses),
                 dram_wall, dram_cycles_per_sec);
 
+    // ---- phase 1c: timeline overhead (off / null / file) ----------
+    // The observability contract is zero perturbation and near-zero
+    // disabled cost; this phase tracks the enabled cost. Three runs
+    // of the same adaptive point: no recorder, the full observer
+    // wiring into a NullTimelineSink (observation cost), and a real
+    // Perfetto file sink (observation + serialization cost). The
+    // results must be bit-identical -- a difference is a
+    // perturbation bug and fails the harness like nondeterminism.
+    SimConfig tl_off = cfg;
+    SimConfig tl_null = cfg;
+    tl_null.timeline = true;
+    SimConfig tl_file = cfg;
+    tl_file.timelineOut = "BENCH_timeline.json";
+    RunResult tl_results[3];
+    double tl_walls[3];
+    const SimConfig *tl_cfgs[3] = {&tl_off, &tl_null, &tl_file};
+    for (int v = 0; v < 3; ++v) {
+        tl_walls[v] = wallSeconds([&]() {
+            tl_results[v] =
+                runWorkload(*tl_cfgs[v], WorkloadSuite::byName("AN"),
+                            LlcPolicy::Adaptive);
+        });
+    }
+    bool tl_bit_exact =
+        identicalResults(tl_results[0], tl_results[1]) &&
+        identicalResults(tl_results[0], tl_results[2]);
+    const double tl_null_pct =
+        100.0 * (tl_walls[1] / tl_walls[0] - 1.0);
+    const double tl_file_pct =
+        100.0 * (tl_walls[2] / tl_walls[0] - 1.0);
+    std::printf("timeline overhead: off %.3f s, null %.3f s "
+                "(%+.1f%%), file %.3f s (%+.1f%%), bit-exact: %s\n",
+                tl_walls[0], tl_walls[1], tl_null_pct, tl_walls[2],
+                tl_file_pct, tl_bit_exact ? "yes" : "NO");
+
     // ---- phase 2: fig11 sweep at 1/2/4/8 threads ------------------
     std::vector<SweepPoint> points;
     if (smoke) {
@@ -185,6 +220,15 @@ main(int argc, char **argv)
     out << "    \"wall_seconds\": " << dram_wall << ",\n";
     out << "    \"cycles_per_sec\": " << dram_cycles_per_sec << "\n";
     out << "  },\n";
+    out << "  \"timeline_overhead\": {\n";
+    out << "    \"off_seconds\": " << tl_walls[0] << ",\n";
+    out << "    \"null_sink_seconds\": " << tl_walls[1] << ",\n";
+    out << "    \"file_sink_seconds\": " << tl_walls[2] << ",\n";
+    out << "    \"null_sink_overhead_pct\": " << tl_null_pct << ",\n";
+    out << "    \"file_sink_overhead_pct\": " << tl_file_pct << ",\n";
+    out << "    \"bit_exact\": " << (tl_bit_exact ? "true" : "false")
+        << "\n";
+    out << "  },\n";
     out << "  \"fig11_sweep\": {\n";
     out << "    \"points\": " << points.size() << ",\n";
     out << "    \"wall_seconds\": {";
@@ -211,6 +255,12 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "FAIL: multi-threaded sweep results differ from "
                      "the single-threaded reference\n");
+        return 1;
+    }
+    if (!tl_bit_exact) {
+        std::fprintf(stderr,
+                     "FAIL: timeline observation perturbed the "
+                     "simulation (results differ with sinks on)\n");
         return 1;
     }
     return 0;

@@ -110,6 +110,72 @@ LlcSystem::setHooks(StallFn stall, QuiescentFn quiescent)
     quiescent_ = std::move(quiescent);
 }
 
+void
+LlcSystem::setEventObserver(EventObserver obs)
+{
+    eventObs_ = std::move(obs);
+}
+
+const char *
+LlcSystem::ctrlStateName(CtrlState s)
+{
+    switch (s) {
+      case CtrlState::Disabled:
+        return "Disabled";
+      case CtrlState::Profiling:
+        return "Profiling";
+      case CtrlState::SharedRun:
+        return "SharedRun";
+      case CtrlState::DrainToPrivate:
+        return "DrainToPrivate";
+      case CtrlState::Writeback:
+        return "Writeback";
+      case CtrlState::GateWait:
+        return "GateWait";
+      case CtrlState::PrivateRun:
+        return "PrivateRun";
+      case CtrlState::DrainToShared:
+        return "DrainToShared";
+      case CtrlState::UngateWait:
+        return "UngateWait";
+    }
+    return "?";
+}
+
+const char *
+LlcSystem::phaseName() const
+{
+    return ctrlStateName(state_);
+}
+
+void
+LlcSystem::setState(CtrlState s, Cycle now)
+{
+    state_ = s;
+    if (eventObs_) {
+        LlcCtrlEvent e;
+        e.kind = LlcCtrlEvent::Kind::Phase;
+        e.at = now;
+        e.phase = ctrlStateName(s);
+        eventObs_(e);
+    }
+}
+
+void
+LlcSystem::notifyReprofile(Cycle now, const char *reason,
+                           bool atomic_veto)
+{
+    if (!eventObs_)
+        return;
+    LlcCtrlEvent e;
+    e.kind = LlcCtrlEvent::Kind::Reprofile;
+    e.at = now;
+    e.rule = 3;
+    e.atomicVeto = atomic_veto;
+    e.reason = reason;
+    eventObs_(e);
+}
+
 bool
 LlcSystem::adaptiveEnabled() const
 {
@@ -154,7 +220,7 @@ LlcSystem::startEpoch(Cycle now)
     profilingActive_ = true;
     atomicsBaseline_ = totalAtomics();
     profiler_.beginWindow();
-    state_ = CtrlState::Profiling;
+    setState(CtrlState::Profiling, now);
 }
 
 void
@@ -194,12 +260,23 @@ LlcSystem::decide(Cycle now)
     else if (rule2)
         ++stats_.rule2Fires;
 
+    if (eventObs_) {
+        LlcCtrlEvent e;
+        e.kind = LlcCtrlEvent::Kind::Decision;
+        e.at = now;
+        e.rule = rule1 ? 1 : (rule2 ? 2 : 0);
+        e.toPrivate = rule1 || rule2;
+        e.atomicVeto = atomics_seen;
+        e.snap = lastSnap_;
+        eventObs_(e);
+    }
+
     if (rule1 || rule2) {
         ++stats_.decisionsPrivate;
         enterPrivate(now);
     } else {
         ++stats_.decisionsShared;
-        state_ = CtrlState::SharedRun;
+        setState(CtrlState::SharedRun, now);
     }
 }
 
@@ -208,7 +285,7 @@ LlcSystem::enterPrivate(Cycle now)
 {
     stall_(true);
     stallStart_ = now;
-    state_ = CtrlState::DrainToPrivate;
+    setState(CtrlState::DrainToPrivate, now);
 }
 
 void
@@ -216,7 +293,7 @@ LlcSystem::enterShared(Cycle now)
 {
     stall_(true);
     stallStart_ = now;
-    state_ = CtrlState::DrainToShared;
+    setState(CtrlState::DrainToShared, now);
 }
 
 void
@@ -256,13 +333,13 @@ LlcSystem::tick(Cycle now)
         if (quiescent_() && drained()) {
             for (auto &s : slices_)
                 s->startWritebackAll(now);
-            state_ = CtrlState::Writeback;
+            setState(CtrlState::Writeback, now);
         }
         break;
 
       case CtrlState::Writeback:
         if (drained() && mem_->drained()) {
-            state_ = CtrlState::GateWait;
+            setState(CtrlState::GateWait, now);
             stateDeadline_ = now + params_.gateDelay;
         }
         break;
@@ -274,7 +351,7 @@ LlcSystem::tick(Cycle now)
             stall_(false);
             stats_.reconfigStallCycles += now - stallStart_;
             ++stats_.transitionsToPrivate;
-            state_ = CtrlState::PrivateRun;
+            setState(CtrlState::PrivateRun, now);
         }
         break;
 
@@ -284,9 +361,13 @@ LlcSystem::tick(Cycle now)
         if (totalAtomics() > atomicsBaseline_) {
             ++stats_.atomicVetoes;
             reprofileRequested_ = true;
+            notifyReprofile(now, "atomic", true);
         }
-        if (reprofileRequested_ || now >= epochEnd_)
+        if (reprofileRequested_ || now >= epochEnd_) {
+            if (!reprofileRequested_)
+                notifyReprofile(now, "epoch-end", false);
             enterShared(now);
+        }
         break;
 
       case CtrlState::DrainToShared:
@@ -294,7 +375,7 @@ LlcSystem::tick(Cycle now)
             // Private contents are clean (write-through): invalidate.
             for (auto &s : slices_)
                 s->invalidateAll();
-            state_ = CtrlState::UngateWait;
+            setState(CtrlState::UngateWait, now);
             stateDeadline_ = now + params_.gateDelay;
         }
         break;
@@ -325,7 +406,6 @@ LlcSystem::onDramReply(Addr line_addr, std::uint64_t token, Cycle now)
 void
 LlcSystem::onKernelLaunch(Cycle now)
 {
-    (void)now;
     // Software coherence: flushing the L1s at a kernel boundary also
     // flushes a private LLC (clean under write-through).
     bool any_private = false;
@@ -336,8 +416,10 @@ LlcSystem::onKernelLaunch(Cycle now)
         for (auto &s : slices_)
             s->invalidateAll();
     }
-    if (adaptiveEnabled())
+    if (adaptiveEnabled()) {
         reprofileRequested_ = true; // Rule #3
+        notifyReprofile(now, "kernel-launch", false);
+    }
 }
 
 bool

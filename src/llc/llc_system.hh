@@ -101,12 +101,49 @@ struct LlcSystemStats
     std::uint64_t cyclesShared = 0;
 };
 
+/**
+ * One controller event for timeline observers (obs/recorder.hh).
+ *
+ * Phase events announce every FSM state entry; Decision events carry
+ * the end-of-window Rule #1/#2 evaluation together with the profile
+ * snapshot (the ATD private-miss-rate estimate and the LSP/bandwidth
+ * model outputs) that drove it; Reprofile events mark the Rule #3
+ * private-to-shared triggers. Emitted only when an observer is
+ * installed -- the stream is read-only and never alters control flow.
+ */
+struct LlcCtrlEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        Phase,     ///< FSM entered a new state
+        Decision,  ///< end-of-window Rule #1/#2 evaluation
+        Reprofile, ///< Rule #3 trigger (epoch/kernel/atomic)
+    };
+
+    Kind kind = Kind::Phase;
+    Cycle at = 0;
+    /** Phase: state just entered (static-storage name). */
+    const char *phase = "";
+    /** Decision: firing rule (0 = stay shared, 1, 2); Reprofile: 3. */
+    int rule = 0;
+    /** Decision outcome: switch to private. */
+    bool toPrivate = false;
+    /** Forced shared by observed global atomics. */
+    bool atomicVeto = false;
+    /** Reprofile trigger ("epoch-end" | "kernel-launch" | "atomic"). */
+    const char *reason = "";
+    /** Decision: the estimates behind rule/toPrivate. */
+    ProfileSnapshot snap{};
+};
+
 /** The adaptive memory-side last-level cache. */
 class LlcSystem
 {
   public:
     /** Stalls/unstalls all SMs (wired by the GPU system). */
     using StallFn = std::function<void(bool)>;
+    /** Controller event observer (timeline sinks). */
+    using EventObserver = std::function<void(const LlcCtrlEvent &)>;
     /** True when NoC + DRAM hold no in-flight work. */
     using QuiescentFn = std::function<bool()>;
     /** Maps an SM to its application id. */
@@ -120,6 +157,16 @@ class LlcSystem
 
     /** Wire the reconfiguration hooks. */
     void setHooks(StallFn stall, QuiescentFn quiescent);
+
+    /**
+     * Install the controller event observer (nullptr clears). The
+     * observer must not touch the simulation: it receives Phase,
+     * Decision and Reprofile records (LlcCtrlEvent) as they happen.
+     */
+    void setEventObserver(EventObserver obs);
+
+    /** Display name of the controller's current FSM state. */
+    const char *phaseName() const;
 
     /**
      * Slice selection for a new request; also feeds the LSP counters
@@ -221,6 +268,16 @@ class LlcSystem
     /** True if any app uses the adaptive policy. */
     bool adaptiveEnabled() const;
 
+    /** Display name of @p s (timeline phase vocabulary). */
+    static const char *ctrlStateName(CtrlState s);
+
+    /** Enter @p s and notify the event observer. */
+    void setState(CtrlState s, Cycle now);
+
+    /** Emit a Rule #3 Reprofile event (no-op without observer). */
+    void notifyReprofile(Cycle now, const char *reason,
+                         bool atomic_veto);
+
     /** The (single) adaptive application id. */
     AppId adaptiveApp() const { return 0; }
 
@@ -242,6 +299,7 @@ class LlcSystem
 
     StallFn stall_;
     QuiescentFn quiescent_;
+    EventObserver eventObs_;
 
     CtrlState state_ = CtrlState::Disabled;
     Cycle stateDeadline_ = 0;

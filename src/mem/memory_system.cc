@@ -33,6 +33,21 @@ MemorySystem::setReadCallback(ReadCallback cb)
     }
 }
 
+void
+MemorySystem::setCommandObserver(
+    std::function<void(McId, const McCommand &)> obs)
+{
+    for (auto &mc : mcs_) {
+        if (!obs) {
+            mc->setCommandObserver(nullptr);
+            continue;
+        }
+        const McId id = mc->id();
+        mc->setCommandObserver(
+            [obs, id](const McCommand &cmd) { obs(id, cmd); });
+    }
+}
+
 bool
 MemorySystem::canAccept(Addr line_addr)
 {

@@ -45,6 +45,16 @@ class MemorySystem
     void setReadCallback(ReadCallback cb);
 
     /**
+     * Install @p obs as the command observer of every controller,
+     * fanning the per-MC McCommand streams into one callback tagged
+     * with the owning MC id (obs/recorder.hh, test_mem_policy.cc
+     * observes single controllers directly). Pass nullptr to clear.
+     * Observer-only: attaching it does not change scheduling.
+     */
+    void
+    setCommandObserver(std::function<void(McId, const McCommand &)> obs);
+
+    /**
      * @return true if the owning MC of @p line_addr can accept.
      *
      * A refusal is counted in the owning controller's

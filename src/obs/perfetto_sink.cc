@@ -1,0 +1,179 @@
+#include "obs/perfetto_sink.hh"
+
+#include "common/log.hh"
+
+namespace amsc::obs
+{
+
+std::string
+jsonEscapeString(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** JSON-safe double: finite shortest form, never NaN/Inf literals. */
+std::string
+jsonNum(double v)
+{
+    if (v != v || v > 1e308 || v < -1e308)
+        return "0";
+    return strfmt("%.12g", v);
+}
+
+} // namespace
+
+PerfettoSink::PerfettoSink(const std::string &path)
+    : out_(path, std::ios::binary), path_(path)
+{
+    if (!out_)
+        fatal("timeline: cannot write '%s'", path.c_str());
+    out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+}
+
+PerfettoSink::~PerfettoSink()
+{
+    // finish() is the normal path; close a mid-run trace legibly.
+    if (!finished_)
+        finish(0);
+}
+
+void
+PerfettoSink::event(const std::string &body)
+{
+    if (!first_)
+        out_ << ",\n";
+    first_ = false;
+    out_ << body;
+}
+
+std::string
+PerfettoSink::head(const Track &t, Cycle ts) const
+{
+    return strfmt("\"pid\":%d,\"tid\":%d,\"ts\":%llu", t.pid, t.tid,
+                  static_cast<unsigned long long>(ts));
+}
+
+int
+PerfettoSink::registerTrack(const std::string &process,
+                            const std::string &thread)
+{
+    auto it = pids_.find(process);
+    int pid;
+    if (it == pids_.end()) {
+        pid = static_cast<int>(pids_.size()) + 1;
+        pids_.emplace(process, pid);
+        event(strfmt("{\"ph\":\"M\",\"pid\":%d,\"tid\":0,"
+                     "\"name\":\"process_name\",\"args\":{\"name\":"
+                     "\"%s\"}}",
+                     pid, jsonEscapeString(process).c_str()));
+    } else {
+        pid = it->second;
+    }
+    const int tid = tidsUsed_[pid]++;
+    event(strfmt("{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                 "\"name\":\"thread_name\",\"args\":{\"name\":"
+                 "\"%s\"}}",
+                 pid, tid, jsonEscapeString(thread).c_str()));
+    tracks_.push_back(Track{pid, tid, ""});
+    return static_cast<int>(tracks_.size()) - 1;
+}
+
+void
+PerfettoSink::phaseBegin(int track, const char *name, Cycle ts)
+{
+    Track &t = tracks_[static_cast<std::size_t>(track)];
+    if (!t.openPhase.empty()) {
+        event(strfmt("{\"ph\":\"E\",%s,\"name\":\"%s\"}",
+                     head(t, ts).c_str(),
+                     jsonEscapeString(t.openPhase).c_str()));
+    }
+    t.openPhase = name;
+    event(strfmt("{\"ph\":\"B\",%s,\"name\":\"%s\"}",
+                 head(t, ts).c_str(),
+                 jsonEscapeString(t.openPhase).c_str()));
+}
+
+void
+PerfettoSink::instant(int track, const char *name, Cycle ts,
+                      const std::vector<TimelineArg> &args)
+{
+    const Track &t = tracks_[static_cast<std::size_t>(track)];
+    std::string rendered;
+    for (const TimelineArg &a : args) {
+        if (!rendered.empty())
+            rendered += ",";
+        rendered += strfmt("\"%s\":", a.key);
+        if (a.quoted)
+            rendered +=
+                "\"" + jsonEscapeString(a.value) + "\"";
+        else
+            rendered += a.value;
+    }
+    event(strfmt("{\"ph\":\"i\",%s,\"s\":\"t\",\"name\":\"%s\","
+                 "\"args\":{%s}}",
+                 head(t, ts).c_str(), jsonEscapeString(name).c_str(),
+                 rendered.c_str()));
+}
+
+void
+PerfettoSink::counter(int track, const char *name, Cycle ts,
+                      double value)
+{
+    const Track &t = tracks_[static_cast<std::size_t>(track)];
+    // Counter series key in the trace format is (pid, name); tid 0
+    // keeps every series of a process group in one block.
+    event(strfmt("{\"ph\":\"C\",\"pid\":%d,\"tid\":0,\"ts\":%llu,"
+                 "\"name\":\"%s\",\"args\":{\"value\":%s}}",
+                 t.pid, static_cast<unsigned long long>(ts),
+                 jsonEscapeString(name).c_str(),
+                 jsonNum(value).c_str()));
+}
+
+void
+PerfettoSink::finish(Cycle ts)
+{
+    if (finished_)
+        return;
+    for (Track &t : tracks_) {
+        if (t.openPhase.empty())
+            continue;
+        event(strfmt("{\"ph\":\"E\",%s,\"name\":\"%s\"}",
+                     head(t, ts).c_str(),
+                     jsonEscapeString(t.openPhase).c_str()));
+        t.openPhase.clear();
+    }
+    out_ << "\n]}\n";
+    out_.close();
+    finished_ = true;
+}
+
+} // namespace amsc::obs

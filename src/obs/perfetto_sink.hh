@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Chrome-tracing / Perfetto JSON timeline sink.
+ *
+ * Writes the classic trace-event format -- {"traceEvents": [...]} --
+ * that both chrome://tracing and ui.perfetto.dev open directly
+ * (docs/observability.md). Events stream to the file as they arrive;
+ * nothing is buffered beyond the ofstream, so a run killed mid-way
+ * still leaves a salvageable prefix.
+ *
+ * Mapping: one simulated cycle = one microsecond of trace time (the
+ * format's ts unit), a registered track = one (pid, tid) pair with
+ * process_name/thread_name metadata, phases = "B"/"E" duration
+ * events, instants = "i", counters = "C" keyed per (pid, name).
+ */
+
+#ifndef AMSC_OBS_PERFETTO_SINK_HH
+#define AMSC_OBS_PERFETTO_SINK_HH
+
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.hh"
+
+namespace amsc::obs
+{
+
+/** Streaming chrome-tracing JSON writer. */
+class PerfettoSink : public TimelineSink
+{
+  public:
+    /** Open @p path for writing; fatal() when it cannot be created. */
+    explicit PerfettoSink(const std::string &path);
+    ~PerfettoSink() override;
+
+    int registerTrack(const std::string &process,
+                      const std::string &thread) override;
+    void phaseBegin(int track, const char *name, Cycle ts) override;
+    void instant(int track, const char *name, Cycle ts,
+                 const std::vector<TimelineArg> &args) override;
+    void counter(int track, const char *name, Cycle ts,
+                 double value) override;
+    void finish(Cycle ts) override;
+
+  private:
+    struct Track
+    {
+        int pid = 0;
+        int tid = 0;
+        /** Currently open phase name; empty = none. */
+        std::string openPhase;
+    };
+
+    /** Write one event object (commas between events handled here). */
+    void event(const std::string &body);
+    /** Common "pid":p,"tid":t,"ts":ts fragment. */
+    std::string head(const Track &t, Cycle ts) const;
+
+    std::ofstream out_;
+    std::string path_;
+    bool first_ = true;
+    bool finished_ = false;
+    /** Process name -> pid, in registration order. */
+    std::map<std::string, int> pids_;
+    /** Threads registered per pid (tid allocation). */
+    std::map<int, int> tidsUsed_;
+    std::vector<Track> tracks_;
+};
+
+/** JSON string escaping (quotes, backslashes, control chars). */
+std::string jsonEscapeString(const std::string &s);
+
+} // namespace amsc::obs
+
+#endif // AMSC_OBS_PERFETTO_SINK_HH

@@ -1,0 +1,33 @@
+#include "obs/stats_stream.hh"
+
+#include "common/log.hh"
+#include "obs/perfetto_sink.hh"
+
+namespace amsc::obs
+{
+
+StatsStreamer::StatsStreamer(const std::string &path)
+    : out_(path, std::ios::binary)
+{
+    if (!out_)
+        fatal("stats stream: cannot write '%s'", path.c_str());
+}
+
+void
+StatsStreamer::write(Cycle cycle, Cycle window,
+                     const std::vector<TimelineArg> &fields)
+{
+    out_ << "{\"cycle\":" << cycle << ",\"window\":" << window;
+    for (const TimelineArg &f : fields) {
+        out_ << ",\"" << f.key << "\":";
+        if (f.quoted)
+            out_ << '"' << jsonEscapeString(f.value) << '"';
+        else
+            out_ << f.value;
+    }
+    out_ << "}\n";
+    out_.flush();
+    ++lines_;
+}
+
+} // namespace amsc::obs

@@ -1,0 +1,166 @@
+#include "obs/trace_check.hh"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/log.hh"
+#include "obs/json_min.hh"
+
+namespace amsc::obs
+{
+
+namespace
+{
+
+/** Args a controller decision instant must carry (ISSUE 6). */
+const char *const kDecisionArgs[] = {
+    "rule",          "to_private",     "shared_miss_rate",
+    "private_miss_rate", "shared_bw", "private_bw",
+};
+
+TraceCheckResult
+failAt(std::size_t index, const std::string &what)
+{
+    TraceCheckResult r;
+    r.error = strfmt("traceEvents[%zu]: %s", index, what.c_str());
+    return r;
+}
+
+} // namespace
+
+TraceCheckResult
+checkPerfettoTrace(const std::string &json_text)
+{
+    TraceCheckResult res;
+
+    JsonValue root;
+    std::string perr;
+    if (!parseJson(json_text, root, perr)) {
+        res.error = perr;
+        return res;
+    }
+    if (!root.isObject()) {
+        res.error = "top-level value is not an object";
+        return res;
+    }
+    const JsonValue *events = root.find("traceEvents");
+    if (!events || !events->isArray()) {
+        res.error = "missing traceEvents array";
+        return res;
+    }
+
+    // Per-(pid, tid) track state: last timestamp + open-phase stack
+    // depth (the sink nests at most one phase, but the format allows
+    // more; balance is what matters).
+    struct TrackState
+    {
+        double lastTs = -1.0;
+        std::size_t openPhases = 0;
+    };
+    std::map<std::pair<double, double>, TrackState> tracks;
+
+    for (std::size_t i = 0; i < events->items.size(); ++i) {
+        const JsonValue &ev = events->items[i];
+        if (!ev.isObject())
+            return failAt(i, "event is not an object");
+        const JsonValue *ph = ev.find("ph");
+        const JsonValue *name = ev.find("name");
+        if (!ph || !ph->isString() || ph->text.size() != 1)
+            return failAt(i, "missing/invalid ph");
+        if (!name || !name->isString() || name->text.empty())
+            return failAt(i, "missing/invalid name");
+        const JsonValue *pid = ev.find("pid");
+        const JsonValue *tid = ev.find("tid");
+        if (!pid || !pid->isNumber() || !tid || !tid->isNumber())
+            return failAt(i, "missing pid/tid");
+        ++res.events;
+
+        const char kind = ph->text[0];
+        if (kind == 'M')
+            continue; // metadata carries no timestamp
+
+        const JsonValue *ts = ev.find("ts");
+        if (!ts || !ts->isNumber() || ts->number < 0)
+            return failAt(i, "missing/negative ts");
+
+        TrackState &track =
+            tracks[{pid->number, tid->number}];
+        if (ts->number < track.lastTs)
+            return failAt(
+                i, strfmt("timestamp runs backwards (%g < %g)",
+                          ts->number, track.lastTs));
+        track.lastTs = ts->number;
+
+        switch (kind) {
+          case 'B':
+            ++track.openPhases;
+            break;
+          case 'E':
+            if (track.openPhases == 0)
+                return failAt(i, "E without matching B");
+            --track.openPhases;
+            ++res.durations;
+            break;
+          case 'i': {
+            ++res.instants;
+            if (name->text == "decision") {
+                const JsonValue *args = ev.find("args");
+                if (!args || !args->isObject())
+                    return failAt(i, "decision instant without args");
+                for (const char *key : kDecisionArgs) {
+                    const JsonValue *a = args->find(key);
+                    if (!a || !a->isNumber())
+                        return failAt(
+                            i, strfmt("decision instant missing "
+                                      "numeric arg '%s'",
+                                      key));
+                }
+                ++res.decisions;
+            }
+            break;
+          }
+          case 'C': {
+            const JsonValue *args = ev.find("args");
+            const JsonValue *value =
+                args ? args->find("value") : nullptr;
+            if (!value || !value->isNumber())
+                return failAt(i, "counter without numeric args.value");
+            ++res.counters;
+            break;
+          }
+          default:
+            return failAt(i, strfmt("unknown ph '%c'", kind));
+        }
+    }
+
+    for (const auto &[key, track] : tracks) {
+        if (track.openPhases != 0) {
+            res.error = strfmt(
+                "track pid=%g tid=%g left %zu phase(s) open",
+                key.first, key.second, track.openPhases);
+            return res;
+        }
+    }
+
+    res.tracks = tracks.size();
+    res.ok = true;
+    return res;
+}
+
+TraceCheckResult
+checkPerfettoTraceFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f.is_open()) {
+        TraceCheckResult r;
+        r.error = strfmt("cannot open '%s'", path.c_str());
+        return r;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return checkPerfettoTrace(ss.str());
+}
+
+} // namespace amsc::obs

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Structural validator for emitted Perfetto/chrome-tracing JSON.
+ *
+ * Checks what a human loading the trace into ui.perfetto.dev would
+ * assume: the file parses, traceEvents is an array of well-formed
+ * event objects, every "B" has a matching "E" on its (pid, tid)
+ * track, per-track timestamps never run backwards, counters carry a
+ * numeric args.value, and every controller decision instant carries
+ * its rule id plus the ATD-derived estimates that drove it. Used by
+ * tests/test_obs.cc, the CI smoke job and `amsc validate-timeline`.
+ */
+
+#ifndef AMSC_OBS_TRACE_CHECK_HH
+#define AMSC_OBS_TRACE_CHECK_HH
+
+#include <cstddef>
+#include <string>
+
+namespace amsc::obs
+{
+
+/** Validation outcome + event census. */
+struct TraceCheckResult
+{
+    bool ok = false;
+    /** First violation, empty when ok. */
+    std::string error;
+
+    std::size_t events = 0;     ///< traceEvents entries
+    std::size_t tracks = 0;     ///< distinct (pid, tid) pairs seen
+    std::size_t durations = 0;  ///< completed B/E phase pairs
+    std::size_t instants = 0;   ///< "i" events
+    std::size_t counters = 0;   ///< "C" samples
+    std::size_t decisions = 0;  ///< controller decision instants
+};
+
+/** Validate @p json_text (whole-file contents, not a path). */
+TraceCheckResult checkPerfettoTrace(const std::string &json_text);
+
+/** Convenience: read @p path and validate; IO errors fail the check. */
+TraceCheckResult checkPerfettoTraceFile(const std::string &path);
+
+} // namespace amsc::obs
+
+#endif // AMSC_OBS_TRACE_CHECK_HH

@@ -47,6 +47,10 @@ metricCells(const RunResult &r)
     std::string app_ipc;
     for (std::size_t i = 0; i < r.appIpc.size(); ++i)
         app_ipc += (i ? "+" : "") + d17(r.appIpc[i]);
+    std::string app_instr;
+    for (std::size_t i = 0; i < r.appInstructions.size(); ++i)
+        app_instr +=
+            (i ? "+" : "") + std::to_string(r.appInstructions[i]);
 
     return {
         {"cycles", std::to_string(r.cycles), false},
@@ -73,11 +77,26 @@ metricCells(const RunResult &r)
          std::to_string(r.llcCtrl.transitionsToShared), false},
         {"reconfig_stall_cycles",
          std::to_string(r.llcCtrl.reconfigStallCycles), false},
+        {"profile_windows", std::to_string(r.llcCtrl.profileWindows),
+         false},
+        {"llc_decisions_private",
+         std::to_string(r.llcCtrl.decisionsPrivate), false},
+        {"llc_decisions_shared",
+         std::to_string(r.llcCtrl.decisionsShared), false},
+        {"rule1_fires", std::to_string(r.llcCtrl.rule1Fires), false},
+        {"rule2_fires", std::to_string(r.llcCtrl.rule2Fires), false},
+        {"atomic_vetoes", std::to_string(r.llcCtrl.atomicVetoes),
+         false},
+        {"llc_cycles_private",
+         std::to_string(r.llcCtrl.cyclesPrivate), false},
+        {"llc_cycles_shared", std::to_string(r.llcCtrl.cyclesShared),
+         false},
         {"sharing_1c", d17(r.sharingBuckets[0]), false},
         {"sharing_2c", d17(r.sharingBuckets[1]), false},
         {"sharing_3_4c", d17(r.sharingBuckets[2]), false},
         {"sharing_5_8c", d17(r.sharingBuckets[3]), false},
         {"app_ipc", app_ipc, true},
+        {"app_instructions", app_instr, true},
         {"noc_energy_uj", d17(noc.totalEnergyUj()), false},
         {"noc_buffer_uj", d17(noc.energyUj.buffer), false},
         {"noc_xbar_uj", d17(noc.energyUj.crossbar), false},

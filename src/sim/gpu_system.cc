@@ -274,6 +274,15 @@ GpuSystem::allWorkDone() const
 }
 
 void
+GpuSystem::setCycleObserver(Cycle period, CycleObserver obs)
+{
+    cycleObs_ = std::move(obs);
+    obsPeriod_ = period;
+    nextObsAt_ =
+        (cycleObs_ && obsPeriod_ > 0) ? now_ + obsPeriod_ : kNoCycle;
+}
+
+void
 GpuSystem::tickOnce()
 {
     llc_->tick(now_);
@@ -286,6 +295,13 @@ GpuSystem::tickOnce()
         manageKernels();
     }
     ++now_;
+    // Disabled observers cost exactly this compare (nextObsAt_ =
+    // kNoCycle). Fast-forward jumps coalesce into one late sample.
+    if (now_ >= nextObsAt_) {
+        cycleObs_(now_);
+        while (nextObsAt_ <= now_)
+            nextObsAt_ += obsPeriod_;
+    }
 }
 
 void

@@ -19,6 +19,7 @@
 #define AMSC_SIM_GPU_SYSTEM_HH
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -144,6 +145,20 @@ class GpuSystem
     /** Total instructions retired so far (running counter, O(1)). */
     std::uint64_t totalInstructions() const { return instrRetired_; }
 
+    /** Periodic pull-only observer (obs/recorder.hh). */
+    using CycleObserver = std::function<void(Cycle now)>;
+
+    /**
+     * Call @p obs every @p period cycles (after the tick completes),
+     * for counter sampling and stats-window streaming. Pass a null
+     * observer (or period 0) to disable. The observer must only read;
+     * with it disabled the hot-path cost is a single compare against
+     * kNoCycle. Fast-forwarded quiescent ranges are not sampled
+     * cycle-by-cycle -- the first live tick past the jump catches up
+     * with one call, which keeps fast_forward=0/1 bit-exact.
+     */
+    void setCycleObserver(Cycle period, CycleObserver obs);
+
     /** Register all statistics into @p set. */
     void registerStats(StatSet &set) const;
 
@@ -182,6 +197,11 @@ class GpuSystem
     std::uint32_t unfinishedApps_ = 0;
     /** Running whole-GPU retirement counter (fed by the SMs). */
     std::uint64_t instrRetired_ = 0;
+
+    /** Next cycle-observer firing; kNoCycle = observer disabled. */
+    Cycle nextObsAt_ = kNoCycle;
+    Cycle obsPeriod_ = 0;
+    CycleObserver cycleObs_;
 };
 
 } // namespace amsc

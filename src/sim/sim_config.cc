@@ -530,6 +530,32 @@ buildRegistry()
          [](SimConfig &c, const std::string &v) {
              c.traceReplayPath = v;
          }},
+        // ---- observability --------------------------------------------
+        AMSC_BOOL_KEY("timeline", timeline,
+                      "Capture the run's timeline (epoch phases, "
+                      "Rule #1/#2/#3 decisions, counters); with "
+                      "timeline_out empty the events feed a null "
+                      "sink (docs/observability.md)."),
+        {"timeline_out", "string", "",
+         "Perfetto/chrome-tracing JSON output path; setting it "
+         "implies timeline=true (docs/observability.md).",
+         [](const SimConfig &c) { return c.timelineOut; },
+         [](SimConfig &c, const std::string &v) {
+             c.timelineOut = v;
+             if (!v.empty())
+                 c.timeline = true;
+         }},
+        {"stats_stream_out", "string", "",
+         "Windowed stats-delta JSONL output path, one record every "
+         "stats_stream_period cycles (docs/observability.md).",
+         [](const SimConfig &c) { return c.statsStreamOut; },
+         [](SimConfig &c, const std::string &v) {
+             c.statsStreamOut = v;
+         }},
+        AMSC_U64_KEY("stats_stream_period", statsStreamPeriod,
+                     "Counter-sampling and stats-window period in "
+                     "cycles; inert unless timeline or "
+                     "stats_stream_out enables an observer."),
     };
 }
 
@@ -622,6 +648,8 @@ SimConfig::validate() const
         fatal("config: dram_queue_cap must be non-zero");
     if (!traceRecordPath.empty() && !traceReplayPath.empty())
         fatal("config: trace_record and trace_replay are exclusive");
+    if (statsStreamPeriod == 0)
+        fatal("config: stats_stream_period must be non-zero");
     if (llcDuelSets == 0)
         fatal("config: llc_duel_sets must be non-zero");
     buildBypassAppMask(); // fatal() on malformed llc_bypass_apps
@@ -676,6 +704,15 @@ SimConfig::print(std::ostream &os) const
         os << "Trace recording        " << traceRecordPath << "\n";
     if (!traceReplayPath.empty())
         os << "Trace replay           " << traceReplayPath << "\n";
+    if (timeline) {
+        os << "Timeline               "
+           << (timelineOut.empty() ? "null sink" : timelineOut)
+           << ", period " << statsStreamPeriod << "\n";
+    }
+    if (!statsStreamOut.empty()) {
+        os << "Stats stream           " << statsStreamOut
+           << ", every " << statsStreamPeriod << " cycles\n";
+    }
 }
 
 } // namespace amsc

@@ -135,6 +135,21 @@ struct SimConfig
     /** Replay the workload from this trace file instead. */
     std::string traceReplayPath;
 
+    // ---- observability (src/obs) -----------------------------------
+    /**
+     * Capture the run's timeline (epoch phases, Rule #1/#2/#3
+     * decisions, per-slice/per-MC/NoC counters). With timelineOut
+     * empty the stream feeds a null sink -- the overhead-measurement
+     * configuration of bench_harness.
+     */
+    bool timeline = false;
+    /** Perfetto/chrome-tracing JSON output path (implies timeline). */
+    std::string timelineOut;
+    /** Windowed stats-delta JSONL output path (empty = off). */
+    std::string statsStreamOut;
+    /** Counter-sampling and stats-window period, cycles. */
+    Cycle statsStreamPeriod = 10000;
+
     /** SMs per cluster. */
     std::uint32_t
     smsPerCluster() const

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "obs/recorder.hh"
 
 namespace amsc
 {
@@ -89,16 +90,24 @@ SweepRunner::runPoint(const SweepPoint &point)
                                    point.apps[a], point.cfg.seed, a));
         }
     }
+    if (point.onBuilt)
+        point.onBuilt(gpu);
+    // Observability is per point: the recorder exists only when this
+    // point's config enables it, and the sinks are pull-only, so
+    // results stay bit-identical either way (tests/test_obs.cc).
+    const auto recorder = obs::TimelineRecorder::fromConfig(gpu);
     RunResult r = gpu.run();
+    if (recorder)
+        recorder->finish();
     if (point.post)
         point.post(gpu, r);
     return r;
 }
 
 std::vector<RunResult>
-SweepRunner::run(
-    const std::vector<SweepPoint> &points,
-    const std::function<void(std::size_t, std::size_t)> &progress)
+SweepRunner::run(const std::vector<SweepPoint> &points,
+                 const std::function<void(std::size_t, std::size_t,
+                                          std::size_t)> &progress)
     const
 {
     std::vector<RunResult> results(points.size());
@@ -110,7 +119,7 @@ SweepRunner::run(
             const std::size_t n =
                 done.fetch_add(1, std::memory_order_relaxed) + 1;
             std::lock_guard<std::mutex> lock(progress_mutex);
-            progress(n, points.size());
+            progress(n, points.size(), i);
         }
     });
     return results;

@@ -43,6 +43,14 @@ struct SweepPoint
     /** Custom workload installation (overrides @ref apps). */
     std::function<void(GpuSystem &)> setup;
     /**
+     * Runs after construction + workload installation, before
+     * GpuSystem::run(): attach per-point observers (custom timeline
+     * sinks, probes). The standard observability wiring needs no
+     * hook -- runPoint() builds a TimelineRecorder whenever the
+     * point's cfg enables the timeline/stats-stream keys.
+     */
+    std::function<void(GpuSystem &)> onBuilt;
+    /**
      * Runs after GpuSystem::run() on the worker thread, with the
      * system still alive: extract extra metrics (profiler snapshots,
      * sharing buckets, cache contents) into the result or into
@@ -85,14 +93,16 @@ class SweepRunner
      * Bit-identical to calling runPoint() in a sequential loop.
      *
      * @param progress optional completion hook, called as
-     *        progress(done, total) after each point finishes.
-     *        Serialized (never concurrent with itself), but invoked
-     *        from worker threads in completion -- not index -- order.
+     *        progress(done, total, index) after each point finishes,
+     *        where index is the finished point's slot (labels, ETA
+     *        heartbeats). Serialized (never concurrent with itself),
+     *        but invoked from worker threads in completion -- not
+     *        index -- order.
      */
     std::vector<RunResult>
     run(const std::vector<SweepPoint> &points,
-        const std::function<void(std::size_t, std::size_t)> &progress =
-            {}) const;
+        const std::function<void(std::size_t, std::size_t,
+                                 std::size_t)> &progress = {}) const;
 
     /** Build, run and collect one point (the sequential reference). */
     static RunResult runPoint(const SweepPoint &point);

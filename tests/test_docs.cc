@@ -12,12 +12,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
 
+#include "scenario/emit.hh"
 #include "scenario/schema.hh"
+#include "sim/gpu_system.hh"
 #include "sim/sim_config.hh"
 
 using namespace amsc;
@@ -78,7 +81,7 @@ TEST(Docs, RegistryCoversEverySimConfigField)
     // the struct's size on the reference platform -- adding a field
     // changes it, and the test text tells the author what to update.
 #if defined(__x86_64__) && defined(__linux__) && defined(__GLIBCXX__)
-    EXPECT_EQ(sizeof(SimConfig), 464u)
+    EXPECT_EQ(sizeof(SimConfig), 544u)
         << "SimConfig changed. If you added or resized a field: add "
            "a ConfigRegistry entry for it in src/sim/sim_config.cc, "
            "regenerate docs/configuration.md (build/amsc describe "
@@ -87,6 +90,58 @@ TEST(Docs, RegistryCoversEverySimConfigField)
 #else
     GTEST_SKIP() << "sizeof canary pinned on x86-64 linux/libstdc++";
 #endif
+}
+
+TEST(Docs, EmitColumnsCoverRunResult)
+{
+    // Same canary idea for the result side: every RunResult field
+    // must either surface as an emit column or be on the documented
+    // exclusion list in docs/observability.md (the raw activity
+    // snapshots, which are exported as derived energy columns
+    // instead). Growing RunResult changes the size and lands here.
+#if defined(__x86_64__) && defined(__linux__) && defined(__GLIBCXX__)
+    EXPECT_EQ(sizeof(RunResult), 392u)
+        << "RunResult changed. If you added a field: emit it as a "
+           "column in src/scenario/emit.cc metricCells() (before the "
+           "power block so sys_energy_uj stays last), regenerate the "
+           "emit goldens (AMSC_UPDATE_GOLDEN=1), or add it to the "
+           "exclusion list in docs/observability.md; then update "
+           "this canary.";
+#else
+    GTEST_SKIP() << "sizeof canary pinned on x86-64 linux/libstdc++";
+#endif
+
+    const std::vector<std::string> &cols = scenario::metricColumns();
+    const auto has = [&cols](const char *name) {
+        return std::find(cols.begin(), cols.end(), name) != cols.end();
+    };
+    // One column per directly-exported RunResult field (spot-checking
+    // the full map keeps the exclusion list honest).
+    for (const char *col :
+         {"cycles", "instructions", "ipc", "finished",
+          "llc_read_miss_rate", "llc_response_rate", "llc_accesses",
+          "llc_bypasses", "dram_accesses", "dram_row_hit_rate",
+          "dram_refreshes", "dram_queue_rejects", "dram_write_drains",
+          "avg_request_latency", "avg_reply_latency",
+          "final_llc_mode", "llc_to_private", "llc_to_shared",
+          "reconfig_stall_cycles", "profile_windows",
+          "llc_decisions_private", "llc_decisions_shared",
+          "rule1_fires", "rule2_fires", "atomic_vetoes",
+          "llc_cycles_private", "llc_cycles_shared", "sharing_1c",
+          "sharing_2c", "sharing_3_4c", "sharing_5_8c", "app_ipc",
+          "app_instructions", "sys_energy_uj"}) {
+        EXPECT_TRUE(has(col)) << "emit column '" << col
+                              << "' missing from metricCells()";
+    }
+    // The exclusions must stay documented.
+    const std::string obs =
+        readFile(kSourceDir + "/docs/observability.md");
+    EXPECT_NE(obs.find("nocActivity"), std::string::npos)
+        << "docs/observability.md must document why nocActivity is "
+           "not an emit column";
+    EXPECT_NE(obs.find("gpuActivity"), std::string::npos)
+        << "docs/observability.md must document why gpuActivity is "
+           "not an emit column";
 }
 
 TEST(Docs, RegistryGettersAndSettersRoundTrip)
@@ -112,7 +167,7 @@ TEST(Docs, ReferencedDocsExist)
     for (const char *doc :
          {"docs/DESIGN.md", "docs/configuration.md",
           "docs/architecture.md", "docs/trace_format.md",
-          "docs/performance.md"}) {
+          "docs/performance.md", "docs/observability.md"}) {
         const std::string text = readFile(kSourceDir + "/" + doc);
         EXPECT_GT(text.size(), 500u) << doc;
     }
@@ -132,7 +187,7 @@ TEST(Docs, ArchitectureMapsEveryModule)
     for (const char *mod :
          {"src/common", "src/gpu", "src/cache", "src/llc", "src/noc",
           "src/mem", "src/power", "src/sim", "src/workloads",
-          "src/trace", "src/scenario"}) {
+          "src/trace", "src/scenario", "src/obs"}) {
         EXPECT_NE(arch.find(mod), std::string::npos)
             << "docs/architecture.md does not mention " << mod;
     }

@@ -24,14 +24,26 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
 #include <vector>
 
+#ifdef _WIN32
+#include <io.h>
+#define AMSC_ISATTY _isatty
+#define AMSC_FILENO _fileno
+#else
+#include <unistd.h>
+#define AMSC_ISATTY isatty
+#define AMSC_FILENO fileno
+#endif
+
 #include "common/kvargs.hh"
 #include "common/log.hh"
 #include "common/strutil.hh"
+#include "obs/trace_check.hh"
 #include "scenario/emit.hh"
 #include "scenario/scenario.hh"
 #include "scenario/schema.hh"
@@ -63,9 +75,14 @@ usage()
         "available\n"
         "  describe [<key>] [--markdown]              configuration "
         "reference\n"
+        "  validate-timeline <trace.json>             check an "
+        "emitted trace\n"
         "\n"
         "common keys: threads=N format=table|csv|json out=FILE\n"
-        "full reference: docs/configuration.md\n",
+        "run/sweep:   --timeline=FILE (Perfetto JSON per point), "
+        "--progress\n"
+        "full reference: docs/configuration.md, "
+        "docs/observability.md\n",
         stderr);
     return 2;
 }
@@ -90,9 +107,40 @@ loadWithOverrides(const std::string &path, const KvArgs &args)
             kCliKeys.end()) {
             continue;
         }
+        if (key == "--timeline") {
+            // amsc run --timeline=out.json == timeline_out=out.json.
+            Scenario::applyOverride(kv, "timeline_out",
+                                    args.getString(key));
+            continue;
+        }
         Scenario::applyOverride(kv, key, args.getString(key));
     }
     return Scenario::fromKv(std::move(kv), path);
+}
+
+/** path.ext -> path.p<i>.ext (per-point output files). */
+std::string
+perPointPath(const std::string &path, std::size_t i)
+{
+    const std::size_t dot = path.rfind('.');
+    const std::size_t slash = path.find_last_of("/\\");
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + ".p" + std::to_string(i);
+    return path.substr(0, dot) + ".p" + std::to_string(i) +
+        path.substr(dot);
+}
+
+/** Render seconds as "1h02m", "3m20s" or "45s". */
+std::string
+renderEta(double seconds)
+{
+    const long s = seconds < 0 ? 0 : static_cast<long>(seconds + 0.5);
+    if (s >= 3600)
+        return strfmt("%ldh%02ldm", s / 3600, (s % 3600) / 60);
+    if (s >= 60)
+        return strfmt("%ldm%02lds", s / 60, s % 60);
+    return strfmt("%lds", s);
 }
 
 int
@@ -112,6 +160,23 @@ cmdRunSweep(const KvArgs &args, bool is_sweep)
     for (const ExpandedPoint &ep : expanded)
         points.push_back(ep.point);
 
+    // Per-point output files: a multi-point grid with one timeline
+    // (or stats-stream) path would have every worker clobbering the
+    // same file, so suffix the point index before the extension.
+    if (points.size() > 1) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            SimConfig &cfg = points[i].cfg;
+            if (!cfg.timelineOut.empty())
+                cfg.timelineOut = perPointPath(cfg.timelineOut, i);
+            if (!cfg.statsStreamOut.empty())
+                cfg.statsStreamOut =
+                    perPointPath(cfg.statsStreamOut, i);
+        }
+        if (!points[0].cfg.timelineOut.empty())
+            std::fprintf(stderr, "amsc: timeline per point: %s ...\n",
+                         points[0].cfg.timelineOut.c_str());
+    }
+
     const SweepRunner runner(
         static_cast<unsigned>(args.getUint("threads", 0)));
     std::fprintf(stderr,
@@ -124,15 +189,47 @@ cmdRunSweep(const KvArgs &args, bool is_sweep)
                  runner.numThreads(),
                  runner.numThreads() == 1 ? "" : "s",
                  smoke ? ", smoke (quarter-length runs)" : "");
-    // Progress to stderr roughly every tenth of the grid.
+
+    // Progress: a rich heartbeat (done/total, ETA, the point that
+    // just finished) on interactive stderr or with --progress;
+    // otherwise the coarse every-tenth lines, so batch logs stay
+    // small and hangs are still distinguishable from progress.
+    const bool heartbeat = hasFlag(args, "--progress") ||
+        AMSC_ISATTY(AMSC_FILENO(stderr)) != 0;
     const std::size_t stride =
         std::max<std::size_t>(1, points.size() / 10);
-    const std::vector<RunResult> results = runner.run(
-        points, [stride](std::size_t done, std::size_t total) {
-            if (total > 1 && (done % stride == 0 || done == total))
+    const auto t0 = std::chrono::steady_clock::now();
+    auto last_beat = t0;
+    const auto progress = [&](std::size_t done, std::size_t total,
+                              std::size_t index) {
+        if (total <= 1)
+            return;
+        if (!heartbeat) {
+            if (done % stride == 0 || done == total)
                 std::fprintf(stderr, "amsc: %zu/%zu points done\n",
                              done, total);
-        });
+            return;
+        }
+        const auto now = std::chrono::steady_clock::now();
+        if (done != total &&
+            now - last_beat < std::chrono::seconds(1))
+            return;
+        last_beat = now;
+        const double elapsed =
+            std::chrono::duration<double>(now - t0).count();
+        const double eta =
+            elapsed / static_cast<double>(done) *
+            static_cast<double>(total - done);
+        std::fprintf(stderr,
+                     "amsc: %zu/%zu (%.0f%%) eta %s, last: %s\n",
+                     done, total,
+                     100.0 * static_cast<double>(done) /
+                         static_cast<double>(total),
+                     renderEta(eta).c_str(),
+                     points[index].label.c_str());
+    };
+    const std::vector<RunResult> results =
+        runner.run(points, progress);
 
     const std::string format =
         args.getString("format", is_sweep ? "csv" : "table");
@@ -200,6 +297,30 @@ cmdList(const KvArgs &args)
 }
 
 int
+cmdValidateTimeline(const KvArgs &args)
+{
+    if (args.positionals().size() < 2)
+        return usage();
+    int rc = 0;
+    for (std::size_t i = 1; i < args.positionals().size(); ++i) {
+        const std::string &path = args.positionals()[i];
+        const obs::TraceCheckResult r =
+            obs::checkPerfettoTraceFile(path);
+        if (!r.ok) {
+            std::fprintf(stderr, "amsc: %s: INVALID: %s\n",
+                         path.c_str(), r.error.c_str());
+            rc = 1;
+            continue;
+        }
+        std::printf("%s: ok (%zu events, %zu tracks, %zu phases, "
+                    "%zu instants, %zu counters, %zu decisions)\n",
+                    path.c_str(), r.events, r.tracks, r.durations,
+                    r.instants, r.counters, r.decisions);
+    }
+    return rc;
+}
+
+int
 cmdDescribe(const KvArgs &args)
 {
     if (hasFlag(args, "--markdown")) {
@@ -233,6 +354,8 @@ main(int argc, char **argv)
         return cmdList(args);
     if (cmd == "describe")
         return cmdDescribe(args);
+    if (cmd == "validate-timeline")
+        return cmdValidateTimeline(args);
     std::fprintf(stderr, "amsc: unknown command '%s'\n", cmd.c_str());
     return usage();
 }
