@@ -11,6 +11,10 @@
  *      16 KB LLC, so nearly every access reaches the memory
  *      controllers: tracks the memory model's cost (the complete
  *      timing engine: activation windows, refresh, turnaround).
+ *   1d. checkpoint overhead -- the same adaptive point with periodic
+ *      checkpointing off vs every ~1/8 horizon; results must stay
+ *      bit-identical (crash-safety may not perturb the simulation)
+ *      and the wall-clock delta is the tracked cost.
  *   2. fig11 sweep scaling -- the Figure-11 grid (workloads x
  *      {shared, private, adaptive}) executed at 1/2/4/8 threads;
  *      reports wall clock per sweep and speedup vs 1 thread.
@@ -153,6 +157,37 @@ main(int argc, char **argv)
                 tl_walls[0], tl_walls[1], tl_null_pct, tl_walls[2],
                 tl_file_pct, tl_bit_exact ? "yes" : "NO");
 
+    // ---- phase 1d: checkpoint overhead (off / every-N) ------------
+    // Crash-safety must be pay-as-you-go: periodic checkpoints add
+    // serialization + atomic-write cost but may never perturb the
+    // simulation. Two runs of the same adaptive point, one with
+    // checkpoint_every at ~1/8 of the horizon; bit-identical results
+    // are a hard gate, the wall-clock delta is the tracked cost.
+    SimConfig ck_on = cfg;
+    ck_on.checkpointEvery = std::max<std::uint64_t>(
+        1, cfg.maxCycles / 8);
+    ck_on.checkpointPath = "BENCH_ckpt.bin";
+    RunResult ck_results[2];
+    double ck_walls[2];
+    const SimConfig *ck_cfgs[2] = {&cfg, &ck_on};
+    for (int v = 0; v < 2; ++v) {
+        ck_walls[v] = wallSeconds([&]() {
+            ck_results[v] =
+                runWorkload(*ck_cfgs[v], WorkloadSuite::byName("AN"),
+                            LlcPolicy::Adaptive);
+        });
+    }
+    std::remove("BENCH_ckpt.bin");
+    const bool ck_bit_exact =
+        identicalResults(ck_results[0], ck_results[1]);
+    const double ck_pct =
+        100.0 * (ck_walls[1] / ck_walls[0] - 1.0);
+    std::printf("checkpoint overhead: off %.3f s, every-%llu %.3f s "
+                "(%+.1f%%), bit-exact: %s\n",
+                ck_walls[0],
+                static_cast<unsigned long long>(ck_on.checkpointEvery),
+                ck_walls[1], ck_pct, ck_bit_exact ? "yes" : "NO");
+
     // ---- phase 2: fig11 sweep at 1/2/4/8 threads ------------------
     std::vector<SweepPoint> points;
     if (smoke) {
@@ -229,6 +264,14 @@ main(int argc, char **argv)
     out << "    \"bit_exact\": " << (tl_bit_exact ? "true" : "false")
         << "\n";
     out << "  },\n";
+    out << "  \"checkpoint_overhead\": {\n";
+    out << "    \"off_seconds\": " << ck_walls[0] << ",\n";
+    out << "    \"every_cycles\": " << ck_on.checkpointEvery << ",\n";
+    out << "    \"on_seconds\": " << ck_walls[1] << ",\n";
+    out << "    \"overhead_pct\": " << ck_pct << ",\n";
+    out << "    \"bit_exact\": " << (ck_bit_exact ? "true" : "false")
+        << "\n";
+    out << "  },\n";
     out << "  \"fig11_sweep\": {\n";
     out << "    \"points\": " << points.size() << ",\n";
     out << "    \"wall_seconds\": {";
@@ -261,6 +304,13 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "FAIL: timeline observation perturbed the "
                      "simulation (results differ with sinks on)\n");
+        return 1;
+    }
+    if (!ck_bit_exact) {
+        std::fprintf(stderr,
+                     "FAIL: periodic checkpointing perturbed the "
+                     "simulation (results differ with "
+                     "checkpoint_every on)\n");
         return 1;
     }
     return 0;

@@ -143,4 +143,29 @@ Atd::hardwareCostBytes(std::uint32_t tag_bits) const
     return divCeil(bits_per_entry * entries, 8);
 }
 
+
+void
+Atd::saveCkpt(CkptWriter &w) const
+{
+    w.podVec(entries_);
+    repl_->saveCkpt(w);
+    w.u64(samples_);
+    w.u64(sharedHits_);
+    w.u64(privateHits_);
+}
+
+void
+Atd::loadCkpt(CkptReader &r)
+{
+    std::vector<CacheLine> entries;
+    r.podVec(entries);
+    if (entries.size() != entries_.size())
+        r.fail("ATD geometry mismatch");
+    entries_ = std::move(entries);
+    repl_->loadCkpt(r);
+    samples_ = r.u64();
+    sharedHits_ = r.u64();
+    privateHits_ = r.u64();
+}
+
 } // namespace amsc

@@ -101,6 +101,12 @@ class Atd
     /** The bound replacement policy (tests, introspection). */
     const ReplacementPolicy &replacement() const { return *repl_; }
 
+    /** Serialize entries + counters + mutable policy state. */
+    void saveCkpt(CkptWriter &w) const;
+
+    /** Restore state written by saveCkpt(); geometry must match. */
+    void loadCkpt(CkptReader &r);
+
   private:
     /**
      * ATD entries reuse the CacheLine layout: lineAddr is the tag,

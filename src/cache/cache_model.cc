@@ -138,4 +138,19 @@ CacheModel::registerStats(StatSet &set) const
             [s]() { return s->missRate(); });
 }
 
+
+void
+CacheModel::saveCkpt(CkptWriter &w) const
+{
+    tags_.saveCkpt(w);
+    w.pod(stats_);
+}
+
+void
+CacheModel::loadCkpt(CkptReader &r)
+{
+    tags_.loadCkpt(r);
+    r.pod(stats_);
+}
+
 } // namespace amsc

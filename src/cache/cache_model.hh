@@ -164,6 +164,12 @@ class CacheModel
     /** Register this cache's statistics in @p set. */
     void registerStats(StatSet &set) const;
 
+    /** Serialize tags + statistics. */
+    void saveCkpt(CkptWriter &w) const;
+
+    /** Restore state written by saveCkpt(); geometry must match. */
+    void loadCkpt(CkptReader &r);
+
   private:
     CacheParams params_;
     TagArray tags_;

@@ -14,10 +14,12 @@
 #ifndef AMSC_CACHE_MSHR_HH
 #define AMSC_CACHE_MSHR_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "common/ckpt.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 
@@ -135,6 +137,48 @@ class MshrFile
 
     std::uint32_t numEntries() const { return numEntries_; }
     std::uint32_t targetsPerEntry() const { return targetsPerEntry_; }
+
+    /**
+     * Serialize entries sorted by line address (deterministic bytes;
+     * no simulator behavior depends on the hash-map's bucket order).
+     */
+    void
+    saveCkpt(CkptWriter &w) const
+    {
+        static_assert(std::is_trivially_copyable_v<Target>);
+        std::vector<Addr> keys;
+        keys.reserve(entries_.size());
+        for (const auto &[addr, targets] : entries_)
+            keys.push_back(addr);
+        std::sort(keys.begin(), keys.end());
+        w.varint(keys.size());
+        for (const Addr addr : keys) {
+            w.u64(addr);
+            const auto &targets = entries_.at(addr);
+            w.varint(targets.size());
+            for (const Target &t : targets)
+                w.pod(t);
+        }
+    }
+
+    /** Restore entries written by saveCkpt(). */
+    void
+    loadCkpt(CkptReader &r)
+    {
+        entries_.clear();
+        const std::uint64_t n = r.varint();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const Addr addr = r.u64();
+            const std::uint64_t m = r.varint();
+            auto &targets = entries_[addr];
+            targets.reserve(static_cast<std::size_t>(m));
+            for (std::uint64_t j = 0; j < m; ++j) {
+                Target t{};
+                r.pod(t);
+                targets.push_back(std::move(t));
+            }
+        }
+    }
 
   private:
     std::uint32_t numEntries_;

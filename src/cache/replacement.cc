@@ -1,6 +1,7 @@
 #include "cache/replacement.hh"
 
 #include "common/bitutils.hh"
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace amsc
@@ -21,9 +22,9 @@ parseReplPolicy(const std::string &name)
         return ReplPolicy::Brrip;
     if (name == "drrip")
         return ReplPolicy::Drrip;
-    fatal("unknown replacement policy '%s' "
-          "(lru|fifo|random|srrip|brrip|drrip)",
-          name.c_str());
+    throw ConfigError(strfmt("unknown replacement policy '%s' "
+                             "(lru|fifo|random|srrip|brrip|drrip)",
+                             name.c_str()));
 }
 
 std::string
@@ -53,7 +54,8 @@ parseBypassPolicy(const std::string &name)
         return BypassPolicy::None;
     if (name == "stream")
         return BypassPolicy::Stream;
-    fatal("unknown bypass policy '%s' (none|stream)", name.c_str());
+    throw ConfigError(strfmt("unknown bypass policy '%s' (none|stream)",
+                             name.c_str()));
 }
 
 std::string

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "cache/cache_types.hh"
+#include "common/ckpt.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 
@@ -125,6 +126,17 @@ class ReplacementPolicy
     victim(std::uint32_t set, const std::vector<CacheLine *> &ways) = 0;
 
     /**
+     * Serialize mutable policy state (clocks, RNG words, PSEL).
+     * Geometry (bind()) and per-line state (CacheLine::replState)
+     * are restored by the owning array; stateless policies write
+     * nothing.
+     */
+    virtual void saveCkpt(CkptWriter &w) const { (void)w; }
+
+    /** Restore state written by saveCkpt() onto a bound policy. */
+    virtual void loadCkpt(CkptReader &r) { (void)r; }
+
+    /**
      * Factory for the policy selected by @p kind, unbound.
      *
      * @param seed      seed for stochastic policies.
@@ -155,6 +167,8 @@ class LruPolicy : public ReplacementPolicy
     }
     std::uint32_t victim(std::uint32_t set,
                          const std::vector<CacheLine *> &ways) override;
+    void saveCkpt(CkptWriter &w) const override { w.u64(clock_); }
+    void loadCkpt(CkptReader &r) override { clock_ = r.u64(); }
 
   private:
     std::uint64_t clock_ = 0;
@@ -172,6 +186,8 @@ class FifoPolicy : public ReplacementPolicy
     }
     std::uint32_t victim(std::uint32_t set,
                          const std::vector<CacheLine *> &ways) override;
+    void saveCkpt(CkptWriter &w) const override { w.u64(clock_); }
+    void loadCkpt(CkptReader &r) override { clock_ = r.u64(); }
 
   private:
     std::uint64_t clock_ = 0;
@@ -187,6 +203,21 @@ class RandomPolicy : public ReplacementPolicy
     void onFill(CacheLine &, const AccessInfo &) override {}
     std::uint32_t victim(std::uint32_t set,
                          const std::vector<CacheLine *> &ways) override;
+
+    void
+    saveCkpt(CkptWriter &w) const override
+    {
+        const auto [s0, s1] = rng_.state();
+        w.u64(s0);
+        w.u64(s1);
+    }
+    void
+    loadCkpt(CkptReader &r) override
+    {
+        const std::uint64_t s0 = r.u64();
+        const std::uint64_t s1 = r.u64();
+        rng_.setState(s0, s1);
+    }
 
   private:
     Rng rng_;
@@ -244,6 +275,9 @@ class BrripPolicy : public RripPolicyBase
             fills_++ % kLongInsertPeriod == 0 ? kMaxRrpv - 1 : kMaxRrpv;
     }
 
+    void saveCkpt(CkptWriter &w) const override { w.u64(fills_); }
+    void loadCkpt(CkptReader &r) override { fills_ = r.u64(); }
+
   private:
     std::uint64_t fills_ = 0;
 };
@@ -282,6 +316,21 @@ class DrripPolicy : public RripPolicyBase
     void bind(std::uint32_t num_sets, std::uint32_t assoc) override;
     void onMiss(const AccessInfo &ai) override;
     void onFill(CacheLine &line, const AccessInfo &ai) override;
+
+    void
+    saveCkpt(CkptWriter &w) const override
+    {
+        // roles_ is a pure function of bind() geometry; only the
+        // duel outcome and the bimodal throttle are mutable.
+        w.u32(psel_);
+        w.u64(brripFills_);
+    }
+    void
+    loadCkpt(CkptReader &r) override
+    {
+        psel_ = r.u32();
+        brripFills_ = r.u64();
+    }
 
     SetRole
     role(std::uint32_t set) const
@@ -340,6 +389,12 @@ class BypassPredictor
         (void)line;
         (void)ai;
     }
+
+    /** Serialize mutable predictor state (confidence tables). */
+    virtual void saveCkpt(CkptWriter &w) const { (void)w; }
+
+    /** Restore state written by saveCkpt() onto a bound predictor. */
+    virtual void loadCkpt(CkptReader &r) { (void)r; }
 
     /** Factory; returns nullptr for BypassPolicy::None. */
     static std::unique_ptr<BypassPredictor> create(BypassPolicy kind);
@@ -400,6 +455,12 @@ class StreamBypassPredictor : public BypassPredictor
     {
         return confidence_[src % kSources];
     }
+
+    void saveCkpt(CkptWriter &w) const override
+    {
+        w.podVec(confidence_);
+    }
+    void loadCkpt(CkptReader &r) override { r.podVec(confidence_); }
 
   private:
     void bumpDown(std::uint32_t src);

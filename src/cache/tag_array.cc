@@ -186,4 +186,27 @@ TagArray::numValidLines() const
     return n;
 }
 
+
+void
+TagArray::saveCkpt(CkptWriter &w) const
+{
+    w.podVec(lines_);
+    repl_->saveCkpt(w);
+    if (bypass_)
+        bypass_->saveCkpt(w);
+}
+
+void
+TagArray::loadCkpt(CkptReader &r)
+{
+    std::vector<CacheLine> lines;
+    r.podVec(lines);
+    if (lines.size() != lines_.size())
+        r.fail("tag array geometry mismatch");
+    lines_ = std::move(lines);
+    repl_->loadCkpt(r);
+    if (bypass_)
+        bypass_->loadCkpt(r);
+}
+
 } // namespace amsc

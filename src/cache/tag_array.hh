@@ -24,6 +24,7 @@
 
 #include "cache/cache_types.hh"
 #include "cache/replacement.hh"
+#include "common/ckpt.hh"
 #include "common/types.hh"
 
 namespace amsc
@@ -146,6 +147,12 @@ class TagArray
 
     /** Number of currently valid lines. */
     std::uint64_t numValidLines() const;
+
+    /** Serialize lines + mutable policy/predictor state. */
+    void saveCkpt(CkptWriter &w) const;
+
+    /** Restore state written by saveCkpt(); geometry must match. */
+    void loadCkpt(CkptReader &r);
 
   private:
     CacheLine &lineAt(std::uint32_t set, std::uint32_t way)

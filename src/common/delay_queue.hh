@@ -28,8 +28,10 @@
 #include <cstddef>
 #include <deque>
 #include <limits>
+#include <type_traits>
 #include <utility>
 
+#include "common/ckpt.hh"
 #include "common/types.hh"
 
 namespace amsc
@@ -125,6 +127,41 @@ class DelayQueue
 
     /** Remove all items. */
     void clear() { q_.clear(); }
+
+    /**
+     * Serialize (ready cycle, payload) entries. Trivially copyable
+     * payloads are written verbatim; the rest (e.g. std::pair, which
+     * has a non-trivial assignment operator) go through ckptValue().
+     */
+    void
+    saveCkpt(CkptWriter &w) const
+    {
+        w.varint(q_.size());
+        for (const auto &e : q_) {
+            w.u64(e.first);
+            if constexpr (std::is_trivially_copyable_v<T>)
+                w.pod(e.second);
+            else
+                ckptValue(w, e.second);
+        }
+    }
+
+    /** Restore entries written by saveCkpt(); capacity unchanged. */
+    void
+    loadCkpt(CkptReader &r)
+    {
+        q_.clear();
+        const std::uint64_t n = r.varint();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const Cycle ready = r.u64();
+            T item{};
+            if constexpr (std::is_trivially_copyable_v<T>)
+                r.pod(item);
+            else
+                ckptValue(r, item);
+            q_.emplace_back(ready, std::move(item));
+        }
+    }
 
     /** Iterate over all buffered items (for invariant checks). */
     template <typename Fn>

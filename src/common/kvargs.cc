@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/error.hh"
 #include "common/log.hh"
 #include "common/strutil.hh"
 
@@ -139,15 +140,19 @@ KvArgs::parseText(const std::string &text, const std::string &origin,
 
         if (line == "}") {
             if (stack.empty())
-                fatal("%s:%d: unmatched '}'", origin.c_str(), lineno);
+                throw FormatError(
+                    origin, FormatError::kNoOffset,
+                    strfmt("line %d: unmatched '}'", lineno));
             stack.pop_back();
             continue;
         }
         if (line.back() == '{') {
             const std::string name = trim(line.substr(0, line.size() - 1));
             if (name.empty() || name.find('=') != std::string::npos)
-                fatal("%s:%d: malformed block header '%s'",
-                      origin.c_str(), lineno, line.c_str());
+                throw FormatError(
+                    origin, FormatError::kNoOffset,
+                    strfmt("line %d: malformed block header '%s'",
+                           lineno, line.c_str()));
             const std::string parent = joinPath(stack);
             const std::string full =
                 parent.empty() ? name : parent + "." + name;
@@ -163,19 +168,24 @@ KvArgs::parseText(const std::string &text, const std::string &origin,
         }
         const auto eq = line.find('=');
         if (eq == std::string::npos || eq == 0)
-            fatal("%s:%d: expected 'key = value', got '%s'",
-                  origin.c_str(), lineno, line.c_str());
+            throw FormatError(
+                origin, FormatError::kNoOffset,
+                strfmt("line %d: expected 'key = value', got '%s'",
+                       lineno, line.c_str()));
         const std::string key = trim(line.substr(0, eq));
         const std::string value = unquote(trim(line.substr(eq + 1)));
         if (key.empty() || key.find(' ') != std::string::npos)
-            fatal("%s:%d: malformed key in '%s'", origin.c_str(),
-                  lineno, line.c_str());
+            throw FormatError(
+                origin, FormatError::kNoOffset,
+                strfmt("line %d: malformed key in '%s'", lineno,
+                       line.c_str()));
         const std::string parent = joinPath(stack);
         out.insert(parent.empty() ? key : parent + "." + key, value);
     }
     if (!stack.empty())
-        fatal("%s: unterminated block '%s'", origin.c_str(),
-              stack.back().c_str());
+        throw FormatError(origin, FormatError::kNoOffset,
+                          "unterminated block '" + stack.back() +
+                              "'");
     return out;
 }
 
@@ -185,7 +195,7 @@ KvArgs::parseFile(const std::string &path,
 {
     std::ifstream f(path);
     if (!f)
-        fatal("cannot open scenario file '%s'", path.c_str());
+        throw IoError(path, "cannot open scenario file");
     std::ostringstream ss;
     ss << f.rdbuf();
     return parseText(ss.str(), path, indexed);

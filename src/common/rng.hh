@@ -98,6 +98,21 @@ class Rng
         return Rng(next() ^ 0xa5a5a5a55a5a5a5aULL);
     }
 
+    /** Raw generator words, for checkpointing. */
+    std::pair<std::uint64_t, std::uint64_t>
+    state() const
+    {
+        return {s0_, s1_};
+    }
+
+    /** Restore raw words captured by state(). */
+    void
+    setState(std::uint64_t s0, std::uint64_t s1)
+    {
+        s0_ = s0;
+        s1_ = s1;
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)

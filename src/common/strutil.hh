@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace amsc
@@ -61,7 +62,7 @@ splitList(const std::string &s, char sep = ',')
 
 /**
  * Parse an integer value (base auto-detected, so 0x40 works);
- * fatal() naming @p key on malformed input.
+ * throws ConfigError naming @p key on malformed input.
  */
 inline std::int64_t
 parseIntValue(const char *key, const std::string &v)
@@ -70,7 +71,8 @@ parseIntValue(const char *key, const std::string &v)
     char *end = nullptr;
     const long long n = std::strtoll(v.c_str(), &end, 0);
     if (errno != 0 || end == v.c_str() || *end != '\0')
-        fatal("malformed integer for key '%s': '%s'", key, v.c_str());
+        throw ConfigError("malformed integer for key '" +
+                          std::string(key) + "': '" + v + "'");
     return n;
 }
 
@@ -80,11 +82,12 @@ parseUintValue(const char *key, const std::string &v)
 {
     const std::int64_t n = parseIntValue(key, v);
     if (n < 0)
-        fatal("negative value for unsigned key '%s'", key);
+        throw ConfigError("negative value for unsigned key '" +
+                          std::string(key) + "'");
     return static_cast<std::uint64_t>(n);
 }
 
-/** Parse a floating-point value; fatal() naming @p key. */
+/** Parse a floating-point value; throws ConfigError naming @p key. */
 inline double
 parseDoubleValue(const char *key, const std::string &v)
 {
@@ -92,11 +95,15 @@ parseDoubleValue(const char *key, const std::string &v)
     char *end = nullptr;
     const double d = std::strtod(v.c_str(), &end);
     if (errno != 0 || end == v.c_str() || *end != '\0')
-        fatal("malformed float for key '%s': '%s'", key, v.c_str());
+        throw ConfigError("malformed float for key '" +
+                          std::string(key) + "': '" + v + "'");
     return d;
 }
 
-/** Parse 1/0/true/false/yes/no/on/off; fatal() naming @p key. */
+/**
+ * Parse 1/0/true/false/yes/no/on/off; throws ConfigError naming
+ * @p key.
+ */
 inline bool
 parseBoolValue(const char *key, const std::string &value)
 {
@@ -108,7 +115,8 @@ parseBoolValue(const char *key, const std::string &value)
         return true;
     if (v == "0" || v == "false" || v == "no" || v == "off")
         return false;
-    fatal("malformed bool for key '%s': '%s'", key, value.c_str());
+    throw ConfigError("malformed bool for key '" + std::string(key) +
+                      "': '" + value + "'");
 }
 
 /** @return true if @p s starts with @p prefix. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitutils.hh"
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace amsc
@@ -17,7 +18,8 @@ parseCtaPolicy(const std::string &name)
         return CtaPolicy::Bcs;
     if (name == "dcs")
         return CtaPolicy::Dcs;
-    fatal("unknown CTA policy '%s' (rr|bcs|dcs)", name.c_str());
+    throw ConfigError(
+        strfmt("unknown CTA policy '%s' (rr|bcs|dcs)", name.c_str()));
 }
 
 std::string

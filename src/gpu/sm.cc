@@ -49,6 +49,7 @@ Sm::activateCtas(Cycle now)
             warp = Warp{};
             warp.gen = kernel_->makeGen(cta, w);
             warp.cta = cta;
+            warp.warpInCta = w;
             warp.age = ++warpAgeCounter_;
             setWarpState(warp, WarpState::Compute);
             advanceWarp(warp, now);
@@ -362,6 +363,120 @@ Sm::registerStats(StatSet &set) const
                    stats_.issueStallCycles);
     set.addCounter(p + ".ctas", "CTAs completed",
                    stats_.ctasCompleted);
+}
+
+void
+Sm::saveCkpt(CkptWriter &w) const
+{
+    l1_.saveCkpt(w);
+    mshrs_.saveCkpt(w);
+    w.varint(warps_.size());
+    for (const Warp &warp : warps_) {
+        w.u8(static_cast<std::uint8_t>(warp.state));
+        w.pod(warp.cur);
+        w.u32(warp.computeLeft);
+        w.u32(warp.nextAccess);
+        w.u32(warp.outstanding);
+        w.u64(warp.age);
+        w.u32(warp.cta);
+        w.u32(warp.warpInCta);
+        w.b(warp.gen != nullptr);
+        if (warp.gen)
+            warp.gen->saveCkpt(w);
+    }
+    w.podVec(freeSlots_);
+    ckptValue(w, pendingCtas_);
+    ckptValue(w, activeCtaWarps_);
+    hitQueue_.saveCkpt(w);
+
+    // atomicPending_ is serialized key-sorted (deterministic bytes);
+    // each key's slot group is written in equal_range order because
+    // onReply() completes the find()-first entry, making the per-key
+    // order observable.
+    std::vector<Addr> keys;
+    keys.reserve(atomicPending_.size());
+    for (const auto &e : atomicPending_)
+        keys.push_back(e.first);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    w.varint(keys.size());
+    for (const Addr line : keys) {
+        const auto [lo, hi] = atomicPending_.equal_range(line);
+        std::vector<std::uint32_t> slots;
+        for (auto it = lo; it != hi; ++it)
+            slots.push_back(it->second);
+        w.u64(line);
+        w.varint(slots.size());
+        for (const std::uint32_t s : slots)
+            w.u32(s);
+    }
+
+    w.podVec(gtoCurrent_);
+    w.b(stalled_);
+    w.u64(warpAgeCounter_);
+    w.pod(stats_);
+}
+
+void
+Sm::loadCkpt(CkptReader &r, const KernelInfo *kernel)
+{
+    l1_.loadCkpt(r);
+    mshrs_.loadCkpt(r);
+    if (r.varint() != warps_.size())
+        r.fail("SM warp-slot count mismatch");
+    kernel_ = kernel;
+    issueCandidates_ = 0;
+    for (Warp &warp : warps_) {
+        const std::uint8_t st = r.u8();
+        if (st > static_cast<std::uint8_t>(WarpState::Done))
+            r.fail("bad warp state");
+        warp.state = static_cast<WarpState>(st);
+        r.pod(warp.cur);
+        warp.computeLeft = r.u32();
+        warp.nextAccess = r.u32();
+        warp.outstanding = r.u32();
+        warp.age = r.u64();
+        warp.cta = r.u32();
+        warp.warpInCta = r.u32();
+        if (r.b()) {
+            if (kernel == nullptr || !kernel->makeGen)
+                r.fail("warp generator without a live kernel");
+            warp.gen = kernel->makeGen(warp.cta, warp.warpInCta);
+            warp.gen->loadCkpt(r);
+        } else {
+            warp.gen.reset();
+        }
+        if (countsIssue(warp.state))
+            ++issueCandidates_;
+    }
+    r.podVec(freeSlots_);
+    ckptValue(r, pendingCtas_);
+    ckptValue(r, activeCtaWarps_);
+    hitQueue_.loadCkpt(r);
+
+    atomicPending_.clear();
+    const std::uint64_t nkeys = r.varint();
+    for (std::uint64_t k = 0; k < nkeys; ++k) {
+        const Addr line = r.u64();
+        const std::uint64_t n = r.varint();
+        std::vector<std::uint32_t> slots(n);
+        for (std::uint32_t &s : slots)
+            s = r.u32();
+        if (slots.empty())
+            continue;
+        // libstdc++ keeps equal keys adjacent and links each new node
+        // right after the first existing equal one, so inserting
+        // y1, yn, yn-1, ..., y2 reproduces traversal order y1..yn.
+        atomicPending_.emplace(line, slots[0]);
+        for (std::size_t i = slots.size(); i > 1; --i)
+            atomicPending_.emplace(line, slots[i - 1]);
+    }
+
+    r.podVec(gtoCurrent_);
+    stalled_ = r.b();
+    warpAgeCounter_ = r.u64();
+    r.pod(stats_);
+    memPortBusyThisCycle_ = false;
 }
 
 } // namespace amsc

@@ -148,6 +148,20 @@ class Sm
     /** Register per-SM statistics in @p set. */
     void registerStats(StatSet &set) const;
 
+    /**
+     * Serialize the L1, MSHRs, every warp context (including its
+     * generator position) and the scheduler state.
+     */
+    void saveCkpt(CkptWriter &w) const;
+
+    /**
+     * Restore state written by saveCkpt(). @p kernel must be the
+     * KernelInfo that was live at save time (or nullptr if none was):
+     * warp generators are recreated through its factory before their
+     * positions are restored.
+     */
+    void loadCkpt(CkptReader &r, const KernelInfo *kernel);
+
   private:
     /** Warp execution state. */
     enum class WarpState : std::uint8_t
@@ -169,6 +183,8 @@ class Sm
         std::uint32_t outstanding = 0;
         std::uint64_t age = 0;
         CtaId cta = 0;
+        /** Warp index within the CTA (gen recreation on restore). */
+        std::uint32_t warpInCta = 0;
     };
 
     /** @return true if state @p s competes for issue slots. */

@@ -19,6 +19,8 @@
 #include <memory>
 #include <string>
 
+#include "common/ckpt.hh"
+#include "common/error.hh"
 #include "common/types.hh"
 
 namespace amsc
@@ -59,6 +61,27 @@ class WarpTraceGen
      * @return false when the warp has finished its work.
      */
     virtual bool nextInstr(WarpInstr &out, Cycle now) = 0;
+
+    /**
+     * Serialize the stream position so a factory-fresh generator for
+     * the same (cta, warp) resumes bit-identically after loadCkpt().
+     * Generators with external side effects (trace recording) cannot
+     * be checkpointed and keep the throwing default.
+     */
+    virtual void
+    saveCkpt(CkptWriter &w) const
+    {
+        (void)w;
+        throw SimError("warp generator is not checkpointable");
+    }
+
+    /** Restore the position written by saveCkpt(). */
+    virtual void
+    loadCkpt(CkptReader &r)
+    {
+        (void)r;
+        throw SimError("warp generator is not checkpointable");
+    }
 };
 
 /** Factory producing the generator for (cta, warp-in-cta). */

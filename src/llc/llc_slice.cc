@@ -287,4 +287,41 @@ LlcSlice::registerStats(StatSet &set) const
             [s]() { return s->readMissRate(); });
 }
 
+void
+LlcSlice::saveCkpt(CkptWriter &w) const
+{
+    tags_.saveCkpt(w);
+    mshrs_.saveCkpt(w);
+    w.b(stalledReq_.has_value());
+    if (stalledReq_)
+        w.pod(*stalledReq_);
+    missQueue_.saveCkpt(w);
+    replyQueue_.saveCkpt(w);
+    w.varint(writebackQueue_.size());
+    for (const Addr a : writebackQueue_)
+        w.u64(a);
+    w.pod(stats_);
+}
+
+void
+LlcSlice::loadCkpt(CkptReader &r)
+{
+    tags_.loadCkpt(r);
+    mshrs_.loadCkpt(r);
+    if (r.b()) {
+        NocMessage msg{};
+        r.pod(msg);
+        stalledReq_ = msg;
+    } else {
+        stalledReq_.reset();
+    }
+    missQueue_.loadCkpt(r);
+    replyQueue_.loadCkpt(r);
+    writebackQueue_.clear();
+    const std::uint64_t n = r.varint();
+    for (std::uint64_t i = 0; i < n; ++i)
+        writebackQueue_.push_back(r.u64());
+    r.pod(stats_);
+}
+
 } // namespace amsc

@@ -144,6 +144,15 @@ class LlcSlice
     /** Register per-slice statistics in @p set. */
     void registerStats(StatSet &set) const;
 
+    /**
+     * Serialize tags, MSHRs, the stalled request, the miss/reply/
+     * write-back queues and statistics.
+     */
+    void saveCkpt(CkptWriter &w) const;
+
+    /** Restore state written by saveCkpt(). */
+    void loadCkpt(CkptReader &r);
+
   private:
     /** Pending read target: requesting SM (+ atomic flag). */
     struct ReadTarget

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace amsc
@@ -16,8 +17,9 @@ parseLlcPolicy(const std::string &name)
         return LlcPolicy::ForcePrivate;
     if (name == "adaptive")
         return LlcPolicy::Adaptive;
-    fatal("unknown LLC policy '%s' (shared|private|adaptive)",
-          name.c_str());
+    throw ConfigError(
+        strfmt("unknown LLC policy '%s' (shared|private|adaptive)",
+               name.c_str()));
 }
 
 std::string
@@ -529,6 +531,51 @@ LlcSystem::registerStats(StatSet &set) const
             [self]() { return self->aggregateReadMissRate(); });
     for (const auto &s : slices_)
         s->registerStats(set);
+}
+
+void
+LlcSystem::saveCkpt(CkptWriter &w) const
+{
+    mapper_.saveCkpt(w);
+    profiler_.saveCkpt(w);
+    tracker_.saveCkpt(w);
+    for (const auto &s : slices_)
+        s->saveCkpt(w);
+    w.u8(static_cast<std::uint8_t>(state_));
+    w.u64(stateDeadline_);
+    w.u64(windowMid_);
+    w.b(midMarked_);
+    w.u64(epochEnd_);
+    w.u64(stallStart_);
+    w.b(reprofileRequested_);
+    w.b(profilingActive_);
+    w.u64(atomicsBaseline_);
+    w.pod(lastSnap_);
+    w.pod(stats_);
+}
+
+void
+LlcSystem::loadCkpt(CkptReader &r)
+{
+    mapper_.loadCkpt(r);
+    profiler_.loadCkpt(r);
+    tracker_.loadCkpt(r);
+    for (auto &s : slices_)
+        s->loadCkpt(r);
+    const std::uint8_t st = r.u8();
+    if (st > static_cast<std::uint8_t>(CtrlState::UngateWait))
+        r.fail("bad LLC controller state");
+    state_ = static_cast<CtrlState>(st);
+    stateDeadline_ = r.u64();
+    windowMid_ = r.u64();
+    midMarked_ = r.b();
+    epochEnd_ = r.u64();
+    stallStart_ = r.u64();
+    reprofileRequested_ = r.b();
+    profilingActive_ = r.b();
+    atomicsBaseline_ = r.u64();
+    r.pod(lastSnap_);
+    r.pod(stats_);
 }
 
 } // namespace amsc

@@ -250,6 +250,16 @@ class LlcSystem
     /** Register controller + slice statistics in @p set. */
     void registerStats(StatSet &set) const;
 
+    /**
+     * Serialize the controller FSM, mapper, profiler, tracker and
+     * every slice. The NoC private-mode/bypass state rides in the
+     * Network checkpoint.
+     */
+    void saveCkpt(CkptWriter &w) const;
+
+    /** Restore state written by saveCkpt(). */
+    void loadCkpt(CkptReader &r);
+
   private:
     /** Controller FSM states. */
     enum class CtrlState

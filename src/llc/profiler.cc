@@ -127,4 +127,35 @@ LlcProfiler::snapshot() const
     return s;
 }
 
+void
+LlcProfiler::saveCkpt(CkptWriter &w) const
+{
+    atd_.saveCkpt(w);
+    w.podVec(sliceAccessCounts_);
+    w.podVec(lspCounters_);
+    w.u64(reads_);
+    w.u64(readHits_);
+    w.u64(firstHalfReads_);
+    w.u64(firstHalfHits_);
+    w.b(midMarked_);
+}
+
+void
+LlcProfiler::loadCkpt(CkptReader &r)
+{
+    atd_.loadCkpt(r);
+    const std::size_t slices = sliceAccessCounts_.size();
+    const std::size_t mcs = lspCounters_.size();
+    r.podVec(sliceAccessCounts_);
+    r.podVec(lspCounters_);
+    if (sliceAccessCounts_.size() != slices ||
+        lspCounters_.size() != mcs)
+        r.fail("profiler geometry mismatch");
+    reads_ = r.u64();
+    readHits_ = r.u64();
+    firstHalfReads_ = r.u64();
+    firstHalfHits_ = r.u64();
+    midMarked_ = r.b();
+}
+
 } // namespace amsc

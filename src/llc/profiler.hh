@@ -116,6 +116,12 @@ class LlcProfiler
     const Atd &atd() const { return atd_; }
     const ProfilerParams &params() const { return params_; }
 
+    /** Serialize ATD and window counters. */
+    void saveCkpt(CkptWriter &w) const;
+
+    /** Restore state written by saveCkpt(). */
+    void loadCkpt(CkptReader &r);
+
   private:
     ProfilerParams params_;
     Atd atd_;

@@ -1,5 +1,8 @@
 #include "llc/sharing_tracker.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/bitutils.hh"
 
 namespace amsc
@@ -42,6 +45,41 @@ SharingTracker::clear()
     buckets_.fill(0);
     total_ = 0;
     windowStart_ = 0;
+}
+
+void
+SharingTracker::saveCkpt(CkptWriter &w) const
+{
+    // masks_ is only ever iterated in roll(), whose per-line bucket
+    // increments commute, so the hash order is not observable; the
+    // entries are written key-sorted for deterministic bytes.
+    std::vector<std::pair<Addr, std::uint32_t>> entries(
+        masks_.begin(), masks_.end());
+    std::sort(entries.begin(), entries.end());
+    w.varint(entries.size());
+    for (const auto &[line, mask] : entries) {
+        w.u64(line);
+        w.u32(mask);
+    }
+    w.u64(windowStart_);
+    for (const std::uint64_t b : buckets_)
+        w.u64(b);
+    w.u64(total_);
+}
+
+void
+SharingTracker::loadCkpt(CkptReader &r)
+{
+    masks_.clear();
+    const std::uint64_t n = r.varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr line = r.u64();
+        masks_[line] = r.u32();
+    }
+    windowStart_ = r.u64();
+    for (std::uint64_t &b : buckets_)
+        b = r.u64();
+    total_ = r.u64();
 }
 
 } // namespace amsc

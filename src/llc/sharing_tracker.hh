@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/ckpt.hh"
 #include "common/types.hh"
 
 namespace amsc
@@ -63,6 +64,12 @@ class SharingTracker
 
     /** Clear all accumulated results. */
     void clear();
+
+    /** Serialize window state and accumulated buckets. */
+    void saveCkpt(CkptWriter &w) const;
+
+    /** Restore state written by saveCkpt(). */
+    void loadCkpt(CkptReader &r);
 
   private:
     void

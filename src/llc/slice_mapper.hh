@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/ckpt.hh"
 #include "common/types.hh"
 #include "mem/address_mapping.hh"
 
@@ -70,6 +71,23 @@ class SliceMapper
     }
 
     const AddressMapping &mapping() const { return mapping_; }
+
+    /** Serialize the per-application modes. */
+    void saveCkpt(CkptWriter &w) const { ckptValue(w, modes_); }
+
+    /** Restore state written by saveCkpt(). */
+    void
+    loadCkpt(CkptReader &r)
+    {
+        const std::size_t apps = modes_.size();
+        ckptValue(r, modes_);
+        if (modes_.size() != apps)
+            r.fail("slice mapper app count mismatch");
+        for (const LlcMode m : modes_) {
+            if (m != LlcMode::Shared && m != LlcMode::Private)
+                r.fail("bad LLC mode");
+        }
+    }
 
   private:
     const AddressMapping &mapping_;

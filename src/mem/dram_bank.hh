@@ -24,6 +24,7 @@
 
 #include <cstdint>
 
+#include "common/ckpt.hh"
 #include "common/types.hh"
 #include "mem/dram_timing.hh"
 
@@ -148,6 +149,28 @@ class DramBank
 
     /** Most recent activate cycle (for cross-bank tRRD checks). */
     Cycle lastActivateAt() const { return lastActivate_; }
+
+    /** Serialize the bank state machine (timings are structural). */
+    void
+    saveCkpt(CkptWriter &w) const
+    {
+        w.b(rowOpen_);
+        w.u64(openRow_);
+        w.u64(busyUntil_);
+        w.u64(lastActivate_);
+        w.u64(preReadyAt_);
+    }
+
+    /** Restore state written by saveCkpt(). */
+    void
+    loadCkpt(CkptReader &r)
+    {
+        rowOpen_ = r.b();
+        openRow_ = r.u64();
+        busyUntil_ = r.u64();
+        lastActivate_ = r.u64();
+        preReadyAt_ = r.u64();
+    }
 
   private:
     /** Earliest precharge honouring tRAS and write recovery. */

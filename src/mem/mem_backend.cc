@@ -1,5 +1,6 @@
 #include "mem/mem_backend.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace amsc
@@ -14,8 +15,8 @@ parseMemBackend(const std::string &name)
         return MemBackend::Hbm2;
     if (name == "scm")
         return MemBackend::Scm;
-    fatal("unknown memory backend '%s' (gddr5|hbm2|scm)",
-          name.c_str());
+    throw ConfigError(strfmt("unknown memory backend '%s' (gddr5|hbm2|scm)",
+                             name.c_str()));
 }
 
 std::string

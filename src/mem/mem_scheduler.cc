@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace amsc
@@ -16,8 +17,9 @@ parseMemSched(const std::string &name)
         return MemSched::Fcfs;
     if (name == "write_drain")
         return MemSched::WriteDrain;
-    fatal("unknown memory scheduler '%s' (fr_fcfs|fcfs|write_drain)",
-          name.c_str());
+    throw ConfigError(
+        strfmt("unknown memory scheduler '%s' (fr_fcfs|fcfs|write_drain)",
+               name.c_str()));
 }
 
 std::string

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ckpt.hh"
 #include "common/types.hh"
 #include "mem/dram_bank.hh"
 
@@ -100,6 +101,12 @@ class MemSchedulerPolicy
     /** Times the policy entered write-drain mode (0 for stateless). */
     virtual std::uint64_t drainEntries() const { return 0; }
 
+    /** Serialize policy state (no-op for stateless policies). */
+    virtual void saveCkpt(CkptWriter &w) const { (void)w; }
+
+    /** Restore state written by saveCkpt(). */
+    virtual void loadCkpt(CkptReader &r) { (void)r; }
+
     /**
      * Factory for the policy selected by @p kind.
      *
@@ -144,6 +151,22 @@ class WriteDrainSched : public MemSchedulerPolicy
     bool draining() const { return draining_; }
     std::uint32_t highWatermark() const { return high_; }
     std::uint32_t lowWatermark() const { return low_; }
+
+    // Watermarks are derived from the queue capacity (structural);
+    // only the drain mode and its entry counter are dynamic.
+    void
+    saveCkpt(CkptWriter &w) const override
+    {
+        w.b(draining_);
+        w.u64(entries_);
+    }
+
+    void
+    loadCkpt(CkptReader &r) override
+    {
+        draining_ = r.b();
+        entries_ = r.u64();
+    }
 
   private:
     std::uint32_t high_;

@@ -248,4 +248,67 @@ MemoryController::registerStats(StatSet &set) const
             [s]() { return s->avgReadLatency(); });
 }
 
+void
+MemoryController::saveCkpt(CkptWriter &w) const
+{
+    w.podVec(queue_);
+    static_assert(std::is_trivially_copyable_v<InFlight>);
+    w.varint(inFlight_.size());
+    for (const InFlight &f : inFlight_)
+        w.pod(f);
+    for (const DramBank &b : banks_)
+        b.saveCkpt(w);
+    w.u64(busFreeAt_);
+    for (const Cycle act : actWindow_)
+        w.u64(act);
+    w.varint(actWindowPos_);
+    w.u64(actCount_);
+    w.u64(lastWdataEnd_);
+    w.b(anyWrite_);
+    w.u64(lastColAt_);
+    w.podVec(groupColAt_);
+    w.podVec(groupColValid_);
+    w.b(anyCol_);
+    w.u64(nextRefreshAt_);
+    sched_->saveCkpt(w);
+    w.pod(stats_);
+}
+
+void
+MemoryController::loadCkpt(CkptReader &r)
+{
+    r.podVec(queue_);
+    if (queue_.size() > params_.queueCapacity)
+        r.fail("memory controller queue overflow");
+    inFlight_.clear();
+    const std::uint64_t n = r.varint();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        InFlight f{};
+        r.pod(f);
+        inFlight_.push_back(f);
+    }
+    for (DramBank &b : banks_)
+        b.loadCkpt(r);
+    busFreeAt_ = r.u64();
+    for (Cycle &act : actWindow_)
+        act = r.u64();
+    actWindowPos_ = static_cast<std::size_t>(r.varint());
+    if (actWindowPos_ >= 4)
+        r.fail("tFAW window position out of range");
+    actCount_ = r.u64();
+    lastWdataEnd_ = r.u64();
+    anyWrite_ = r.b();
+    lastColAt_ = r.u64();
+    const std::size_t groups = groupColAt_.size();
+    r.podVec(groupColAt_);
+    r.podVec(groupColValid_);
+    if (groupColAt_.size() != groups ||
+        groupColValid_.size() != groups)
+        r.fail("bank-group geometry mismatch");
+    anyCol_ = r.b();
+    nextRefreshAt_ = r.u64();
+    sched_->loadCkpt(r);
+    r.pod(stats_);
+}
+
 } // namespace amsc

@@ -167,6 +167,15 @@ class MemoryController
     /** Register statistics in @p set. */
     void registerStats(StatSet &set) const;
 
+    /**
+     * Serialize queue, in-flight completions, bank state machines,
+     * controller-scope timing windows, scheduler state and stats.
+     */
+    void saveCkpt(CkptWriter &w) const;
+
+    /** Restore state written by saveCkpt(). */
+    void loadCkpt(CkptReader &r);
+
   private:
     struct InFlight
     {

@@ -124,4 +124,18 @@ MemorySystem::registerStats(StatSet &set) const
         mc->registerStats(set);
 }
 
+void
+MemorySystem::saveCkpt(CkptWriter &w) const
+{
+    for (const auto &mc : mcs_)
+        mc->saveCkpt(w);
+}
+
+void
+MemorySystem::loadCkpt(CkptReader &r)
+{
+    for (auto &mc : mcs_)
+        mc->loadCkpt(r);
+}
+
 } // namespace amsc

@@ -106,6 +106,12 @@ class MemorySystem
     /** Register all controller statistics in @p set. */
     void registerStats(StatSet &set) const;
 
+    /** Serialize every controller, in MC order. */
+    void saveCkpt(CkptWriter &w) const;
+
+    /** Restore state written by saveCkpt(). */
+    void loadCkpt(CkptReader &r);
+
   private:
     const AddressMapping &mapping_;
     std::vector<std::unique_ptr<MemoryController>> mcs_;

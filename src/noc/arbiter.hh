@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/ckpt.hh"
+
 namespace amsc
 {
 
@@ -79,6 +81,18 @@ class RoundRobinArbiter
 
     /** Current pointer position (for tests). */
     std::uint32_t pointer() const { return pointer_; }
+
+    /** Serialize the grant pointer (width is structural). */
+    void saveCkpt(CkptWriter &w) const { w.u32(pointer_); }
+
+    /** Restore the grant pointer written by saveCkpt(). */
+    void
+    loadCkpt(CkptReader &r)
+    {
+        pointer_ = r.u32();
+        if (numInputs_ != 0 && pointer_ >= numInputs_)
+            r.fail("arbiter pointer out of range");
+    }
 
   private:
     std::uint32_t numInputs_;

@@ -94,6 +94,30 @@ class FlitChannel
     const LinkActivity &activity() const { return activity_; }
     LinkActivity &activity() { return activity_; }
 
+    /**
+     * Serialize in-flight flits, in-flight credits, the sender credit
+     * counter and the traversal counter (latencies and geometry are
+     * structural).
+     */
+    void
+    saveCkpt(CkptWriter &w) const
+    {
+        w.u32(senderCredits_);
+        flits_.saveCkpt(w);
+        creditReturns_.saveCkpt(w);
+        w.u64(activity_.flitTraversals);
+    }
+
+    /** Restore state written by saveCkpt(). */
+    void
+    loadCkpt(CkptReader &r)
+    {
+        senderCredits_ = r.u32();
+        flits_.loadCkpt(r);
+        creditReturns_.loadCkpt(r);
+        activity_.flitTraversals = r.u64();
+    }
+
   private:
     Cycle flitLatency_;
     Cycle creditLatency_;

@@ -206,4 +206,32 @@ ConcentratedXbarNetwork::drained() const
     return true;
 }
 
+void
+ConcentratedXbarNetwork::saveCkpt(CkptWriter &w) const
+{
+    CrossbarBase::saveCkpt(w);
+    for (const auto &a : reqConc_)
+        a->saveCkpt(w);
+    for (const auto &a : reqDist_)
+        a->saveCkpt(w);
+    for (const auto &a : repConc_)
+        a->saveCkpt(w);
+    for (const auto &a : repDist_)
+        a->saveCkpt(w);
+}
+
+void
+ConcentratedXbarNetwork::loadCkpt(CkptReader &r)
+{
+    CrossbarBase::loadCkpt(r);
+    for (auto &a : reqConc_)
+        a->loadCkpt(r);
+    for (auto &a : reqDist_)
+        a->loadCkpt(r);
+    for (auto &a : repConc_)
+        a->loadCkpt(r);
+    for (auto &a : repDist_)
+        a->loadCkpt(r);
+}
+
 } // namespace amsc

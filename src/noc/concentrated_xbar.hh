@@ -40,6 +40,8 @@ class ConcentratedXbarNetwork : public CrossbarBase
     NocMessage popReplyFor(SmId sm, Cycle now) override;
     void tick(Cycle now) override;
     bool drained() const override;
+    void saveCkpt(CkptWriter &w) const override;
+    void loadCkpt(CkptReader &r) override;
 
     std::string name() const override;
 

@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/ckpt.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 #include "noc/arbiter.hh"
@@ -100,6 +101,40 @@ class ConcentratorAdapter
                 return false;
         }
         return true;
+    }
+
+    /** Serialize per-source queues, arbiter and streaming cursor. */
+    void
+    saveCkpt(CkptWriter &w) const
+    {
+        for (const auto &q : queues_) {
+            w.varint(q.size());
+            for (const NocMessage &m : q)
+                w.pod(m);
+        }
+        arb_.saveCkpt(w);
+        w.u32(current_);
+        w.u32(flitsSent_);
+    }
+
+    /** Restore state written by saveCkpt(). */
+    void
+    loadCkpt(CkptReader &r)
+    {
+        for (auto &q : queues_) {
+            q.clear();
+            const std::uint64_t n = r.varint();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                NocMessage m{};
+                r.pod(m);
+                q.push_back(m);
+            }
+        }
+        arb_.loadCkpt(r);
+        current_ = r.u32();
+        flitsSent_ = r.u32();
+        if (current_ != kInvalidId && current_ >= queues_.size())
+            r.fail("concentrator cursor out of range");
     }
 
   private:
@@ -194,6 +229,40 @@ class DistributorAdapter
                 return false;
         }
         return true;
+    }
+
+    /** Serialize per-destination queues and the reassembly latch. */
+    void
+    saveCkpt(CkptWriter &w) const
+    {
+        for (const auto &q : queues_) {
+            w.varint(q.size());
+            for (const NocMessage &m : q)
+                w.pod(m);
+        }
+        w.pod(pending_);
+        w.u32(pendingLocal_);
+        w.b(havePending_);
+    }
+
+    /** Restore state written by saveCkpt(). */
+    void
+    loadCkpt(CkptReader &r)
+    {
+        for (auto &q : queues_) {
+            q.clear();
+            const std::uint64_t n = r.varint();
+            for (std::uint64_t i = 0; i < n; ++i) {
+                NocMessage m{};
+                r.pod(m);
+                q.push_back(m);
+            }
+        }
+        r.pod(pending_);
+        pendingLocal_ = r.u32();
+        havePending_ = r.b();
+        if (havePending_ && pendingLocal_ >= queues_.size())
+            r.fail("distributor latch out of range");
     }
 
   private:

@@ -157,6 +157,51 @@ CrossbarBase::drained() const
     return true;
 }
 
+void
+CrossbarBase::saveCkpt(CkptWriter &w) const
+{
+    saveStatsCkpt(w);
+    // Channel/router/adapter counts and wiring are fully determined
+    // by the topology constructor, so per-element state is written in
+    // construction order; the counts guard against topology drift.
+    w.varint(channels_.size());
+    for (const auto &ch : channels_)
+        ch->saveCkpt(w);
+    w.varint(routers_.size());
+    for (const auto &r : routers_)
+        r->saveCkpt(w);
+    for (const auto &inj : reqInj_)
+        inj->saveCkpt(w);
+    for (const auto &ej : reqEj_)
+        ej->saveCkpt(w);
+    for (const auto &inj : repInj_)
+        inj->saveCkpt(w);
+    for (const auto &ej : repEj_)
+        ej->saveCkpt(w);
+}
+
+void
+CrossbarBase::loadCkpt(CkptReader &r)
+{
+    loadStatsCkpt(r);
+    if (r.varint() != channels_.size())
+        r.fail("NoC channel count mismatch");
+    for (auto &ch : channels_)
+        ch->loadCkpt(r);
+    if (r.varint() != routers_.size())
+        r.fail("NoC router count mismatch");
+    for (auto &rt : routers_)
+        rt->loadCkpt(r);
+    for (auto &inj : reqInj_)
+        inj->loadCkpt(r);
+    for (auto &ej : reqEj_)
+        ej->loadCkpt(r);
+    for (auto &inj : repInj_)
+        inj->loadCkpt(r);
+    for (auto &ej : repEj_)
+        ej->loadCkpt(r);
+}
+
 NocActivity
 CrossbarBase::activity() const
 {

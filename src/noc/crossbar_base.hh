@@ -42,6 +42,8 @@ class CrossbarBase : public Network
     bool drained() const override;
     void advanceIdleCycles(Cycle n) override;
     NocActivity activity() const override;
+    void saveCkpt(CkptWriter &w) const override;
+    void loadCkpt(CkptReader &r) override;
 
     const NocParams &nocParams() const { return params_; }
 

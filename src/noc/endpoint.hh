@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "common/ckpt.hh"
 #include "common/log.hh"
 #include "common/types.hh"
 #include "noc/channel.hh"
@@ -84,6 +85,30 @@ class InjectionAdapter
 
     std::size_t queueSize() const { return queue_.size(); }
 
+    /** Serialize queued messages and the partial-packet cursor. */
+    void
+    saveCkpt(CkptWriter &w) const
+    {
+        w.varint(queue_.size());
+        for (const NocMessage &m : queue_)
+            w.pod(m);
+        w.u32(flitsSent_);
+    }
+
+    /** Restore state written by saveCkpt(). */
+    void
+    loadCkpt(CkptReader &r)
+    {
+        queue_.clear();
+        const std::uint64_t n = r.varint();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            NocMessage m{};
+            r.pod(m);
+            queue_.push_back(m);
+        }
+        flitsSent_ = r.u32();
+    }
+
   private:
     FlitChannel *out_;
     std::uint32_t widthBytes_;
@@ -139,6 +164,30 @@ class EjectionAdapter
     bool drained() const { return msgs_.empty(); }
 
     std::size_t queueSize() const { return msgs_.size(); }
+
+    /** Serialize delivered messages and the reassembly latch. */
+    void
+    saveCkpt(CkptWriter &w) const
+    {
+        w.varint(msgs_.size());
+        for (const NocMessage &m : msgs_)
+            w.pod(m);
+        w.pod(pending_);
+    }
+
+    /** Restore state written by saveCkpt(). */
+    void
+    loadCkpt(CkptReader &r)
+    {
+        msgs_.clear();
+        const std::uint64_t n = r.varint();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            NocMessage m{};
+            r.pod(m);
+            msgs_.push_back(m);
+        }
+        r.pod(pending_);
+    }
 
   private:
     FlitChannel *in_;

@@ -187,4 +187,20 @@ HierXbarNetwork::setPrivateMode(bool enable)
     privateMode_ = enable;
 }
 
+void
+HierXbarNetwork::saveCkpt(CkptWriter &w) const
+{
+    CrossbarBase::saveCkpt(w);
+    w.b(privateMode_);
+}
+
+void
+HierXbarNetwork::loadCkpt(CkptReader &r)
+{
+    // Per-router bypass flags ride along in Router::loadCkpt; only
+    // the aggregate mode flag needs restoring here.
+    CrossbarBase::loadCkpt(r);
+    privateMode_ = r.b();
+}
+
 } // namespace amsc

@@ -37,6 +37,8 @@ class HierXbarNetwork : public CrossbarBase
     void setPrivateMode(bool enable) override;
     bool supportsPowerGating() const override { return true; }
     bool privateMode() const { return privateMode_; }
+    void saveCkpt(CkptWriter &w) const override;
+    void loadCkpt(CkptReader &r) override;
 
     std::string name() const override { return "H-Xbar"; }
 

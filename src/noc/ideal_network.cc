@@ -123,4 +123,26 @@ IdealNetwork::activity() const
     return NocActivity{};
 }
 
+void
+IdealNetwork::saveCkpt(CkptWriter &w) const
+{
+    saveStatsCkpt(w);
+    w.u64(now_);
+    for (const auto &q : toSlice_)
+        q.saveCkpt(w);
+    for (const auto &q : toSm_)
+        q.saveCkpt(w);
+}
+
+void
+IdealNetwork::loadCkpt(CkptReader &r)
+{
+    loadStatsCkpt(r);
+    now_ = r.u64();
+    for (auto &q : toSlice_)
+        q.loadCkpt(r);
+    for (auto &q : toSm_)
+        q.loadCkpt(r);
+}
+
 } // namespace amsc

@@ -37,6 +37,8 @@ class IdealNetwork : public Network
     Cycle nextEventCycle(Cycle now) const override;
     NocActivity activity() const override;
     std::string name() const override { return "Ideal"; }
+    void saveCkpt(CkptWriter &w) const override;
+    void loadCkpt(CkptReader &r) override;
 
   private:
     NocParams params_;

@@ -18,6 +18,7 @@
 #include <functional>
 #include <string>
 
+#include "common/ckpt.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "noc/message.hh"
@@ -155,6 +156,19 @@ class Network
     const NetworkStats &requestStats() const { return reqStats_; }
     const NetworkStats &replyStats() const { return repStats_; }
 
+    /**
+     * Serialize all dynamic network state (in-flight messages and
+     * flits, credits, arbiter pointers, statistics). Structural state
+     * (topology, channel latencies) is reconstructed from SimConfig.
+     */
+    virtual void saveCkpt(CkptWriter &w) const = 0;
+
+    /**
+     * Restore state written by saveCkpt() into an identically
+     * configured network. Throws FormatError on geometry mismatch.
+     */
+    virtual void loadCkpt(CkptReader &r) = 0;
+
     /** Register summary statistics in @p set. */
     void
     registerStats(StatSet &set) const
@@ -177,6 +191,22 @@ class Network
     }
 
   protected:
+    /** Serialize the direction statistics (saveCkpt() helper). */
+    void
+    saveStatsCkpt(CkptWriter &w) const
+    {
+        w.pod(reqStats_);
+        w.pod(repStats_);
+    }
+
+    /** Restore the direction statistics (loadCkpt() helper). */
+    void
+    loadStatsCkpt(CkptReader &r)
+    {
+        r.pod(reqStats_);
+        r.pod(repStats_);
+    }
+
     /** Account one delivered message in @p stats. */
     void
     accountDelivery(NetworkStats &stats, const NocMessage &msg,

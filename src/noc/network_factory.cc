@@ -1,5 +1,6 @@
 #include "noc/network_factory.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 #include "noc/concentrated_xbar.hh"
 #include "noc/full_xbar.hh"
@@ -36,8 +37,9 @@ parseTopology(const std::string &name)
         return NocTopology::Concentrated;
     if (name == "hxbar" || name == "hier" || name == "hierarchical")
         return NocTopology::Hierarchical;
-    fatal("unknown NoC topology '%s' (ideal|full|cxbar|hxbar)",
-          name.c_str());
+    throw ConfigError(
+        strfmt("unknown NoC topology '%s' (ideal|full|cxbar|hxbar)",
+               name.c_str()));
 }
 
 std::string

@@ -198,6 +198,57 @@ Router::tickAllocate(Cycle now)
 }
 
 void
+Router::saveCkpt(CkptWriter &w) const
+{
+    w.b(bypass_);
+    for (const InputPort &in : inputs_) {
+        w.varint(in.buffer.size());
+        for (const auto &e : in.buffer) {
+            w.u64(e.first);
+            w.pod(e.second);
+        }
+        w.u32(in.currentOut);
+    }
+    for (const OutputPort &out : outputs_) {
+        out.arb.saveCkpt(w);
+        w.u32(out.lockedBy);
+    }
+    w.pod(activity_);
+}
+
+void
+Router::loadCkpt(CkptReader &r)
+{
+    bypass_ = r.b();
+    bufferedFlits_ = 0;
+    for (InputPort &in : inputs_) {
+        in.buffer.clear();
+        const std::uint64_t n = r.varint();
+        if (n > inputBufferDepth())
+            r.fail("router input buffer overflow");
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const Cycle eligible = r.u64();
+            Flit flit{};
+            r.pod(flit);
+            in.buffer.emplace_back(eligible, flit);
+        }
+        bufferedFlits_ += static_cast<std::uint32_t>(n);
+        in.currentOut = r.u32();
+        if (in.currentOut != kInvalidId &&
+            in.currentOut >= params_.numOutPorts)
+            r.fail("router wormhole lock out of range");
+    }
+    for (OutputPort &out : outputs_) {
+        out.arb.loadCkpt(r);
+        out.lockedBy = r.u32();
+        if (out.lockedBy != kInvalidId &&
+            out.lockedBy >= params_.numInPorts)
+            r.fail("router output lock out of range");
+    }
+    r.pod(activity_);
+}
+
+void
 Router::tick(Cycle now)
 {
     // Absorb credit returns on all downstream channels.

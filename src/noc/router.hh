@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ckpt.hh"
 #include "common/types.hh"
 #include "noc/arbiter.hh"
 #include "noc/channel.hh"
@@ -114,6 +115,15 @@ class Router
 
     const RouterParams &params() const { return params_; }
     const RouterActivity &activity() const { return activity_; }
+
+    /**
+     * Serialize input buffers, wormhole locks, arbiter pointers, the
+     * bypass flag and activity counters (geometry is structural).
+     */
+    void saveCkpt(CkptWriter &w) const;
+
+    /** Restore state written by saveCkpt(). */
+    void loadCkpt(CkptReader &r);
 
   private:
     struct InputPort

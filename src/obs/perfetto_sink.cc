@@ -1,5 +1,7 @@
 #include "obs/perfetto_sink.hh"
 
+#include "common/atomic_io.hh"
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace amsc::obs
@@ -52,27 +54,41 @@ jsonNum(double v)
 } // namespace
 
 PerfettoSink::PerfettoSink(const std::string &path)
-    : out_(path, std::ios::binary), path_(path)
+    : tmpPath_(path + ".tmp"), out_(tmpPath_, std::ios::binary),
+      path_(path)
 {
     if (!out_)
-        fatal("timeline: cannot write '%s'", path.c_str());
-    out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+        throw IoError(path, "timeline: cannot create");
+    checkedStreamWrite(
+        out_, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n",
+        tmpPath_);
 }
 
 PerfettoSink::~PerfettoSink()
 {
     // finish() is the normal path; close a mid-run trace legibly.
-    if (!finished_)
-        finish(0);
+    // A destructor must not throw: a publish failure here degrades
+    // to a warning and leaves the .tmp prefix behind -- never a
+    // truncated file under the final name.
+    if (!finished_) {
+        try {
+            finish(0);
+        } catch (const SimError &e) {
+            warn("timeline: %s", e.what());
+        }
+    }
 }
 
 void
 PerfettoSink::event(const std::string &body)
 {
+    std::string chunk;
+    chunk.reserve(body.size() + 2);
     if (!first_)
-        out_ << ",\n";
+        chunk += ",\n";
     first_ = false;
-    out_ << body;
+    chunk += body;
+    checkedStreamWrite(out_, chunk, tmpPath_);
 }
 
 std::string
@@ -171,9 +187,15 @@ PerfettoSink::finish(Cycle ts)
                      jsonEscapeString(t.openPhase).c_str()));
         t.openPhase.clear();
     }
-    out_ << "\n]}\n";
+    checkedStreamWrite(out_, "\n]}\n", tmpPath_);
+    out_.flush();
+    if (!out_.good())
+        throw IoError(tmpPath_, "timeline: flush failed");
     out_.close();
     finished_ = true;
+    // Publish atomically: readers see the previous timeline (or
+    // nothing) until the complete new one lands.
+    renameFileDurable(tmpPath_, path_);
 }
 
 } // namespace amsc::obs

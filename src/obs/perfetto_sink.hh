@@ -4,9 +4,12 @@
  *
  * Writes the classic trace-event format -- {"traceEvents": [...]} --
  * that both chrome://tracing and ui.perfetto.dev open directly
- * (docs/observability.md). Events stream to the file as they arrive;
- * nothing is buffered beyond the ofstream, so a run killed mid-way
- * still leaves a salvageable prefix.
+ * (docs/observability.md). Events stream into `<path>.tmp` as they
+ * arrive through checked writes (a short write raises IoError, never
+ * silent truncation); finish() publishes the complete file over
+ * @p path with an atomic rename, so the final name never holds a
+ * half-written trace. A run killed mid-way leaves the salvageable
+ * `.tmp` prefix instead (docs/robustness.md).
  *
  * Mapping: one simulated cycle = one microsecond of trace time (the
  * format's ts unit), a registered track = one (pid, tid) pair with
@@ -31,7 +34,10 @@ namespace amsc::obs
 class PerfettoSink : public TimelineSink
 {
   public:
-    /** Open @p path for writing; fatal() when it cannot be created. */
+    /**
+     * Open `<path>.tmp` for streaming; throws IoError when it
+     * cannot be created.
+     */
     explicit PerfettoSink(const std::string &path);
     ~PerfettoSink() override;
 
@@ -58,8 +64,9 @@ class PerfettoSink : public TimelineSink
     /** Common "pid":p,"tid":t,"ts":ts fragment. */
     std::string head(const Track &t, Cycle ts) const;
 
+    std::string tmpPath_; ///< streaming target until finish()
     std::ofstream out_;
-    std::string path_;
+    std::string path_;    ///< published name (rename target)
     bool first_ = true;
     bool finished_ = false;
     /** Process name -> pid, in registration order. */

@@ -1,32 +1,41 @@
 #include "obs/stats_stream.hh"
 
-#include "common/log.hh"
+#include <sstream>
+
+#include "common/atomic_io.hh"
+#include "common/error.hh"
 #include "obs/perfetto_sink.hh"
 
 namespace amsc::obs
 {
 
 StatsStreamer::StatsStreamer(const std::string &path)
-    : out_(path, std::ios::binary)
+    : out_(path, std::ios::binary), path_(path)
 {
     if (!out_)
-        fatal("stats stream: cannot write '%s'", path.c_str());
+        throw IoError(path, "stats stream: cannot create");
 }
 
 void
 StatsStreamer::write(Cycle cycle, Cycle window,
                      const std::vector<TimelineArg> &fields)
 {
-    out_ << "{\"cycle\":" << cycle << ",\"window\":" << window;
+    std::ostringstream line;
+    line << "{\"cycle\":" << cycle << ",\"window\":" << window;
     for (const TimelineArg &f : fields) {
-        out_ << ",\"" << f.key << "\":";
+        line << ",\"" << f.key << "\":";
         if (f.quoted)
-            out_ << '"' << jsonEscapeString(f.value) << '"';
+            line << '"' << jsonEscapeString(f.value) << '"';
         else
-            out_ << f.value;
+            line << f.value;
     }
-    out_ << "}\n";
+    line << "}\n";
+    // One whole line per checked write: a failure surfaces as
+    // IoError and concurrent readers only ever see whole records.
+    checkedStreamWrite(out_, line.str(), path_);
     out_.flush();
+    if (!out_.good())
+        throw IoError(path_, "stats stream: flush failed");
     ++lines_;
 }
 

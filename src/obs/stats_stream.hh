@@ -27,7 +27,10 @@ namespace amsc::obs
 class StatsStreamer
 {
   public:
-    /** Open @p path for writing; fatal() when it cannot be created. */
+    /**
+     * Open @p path for writing; throws IoError when it cannot be
+     * created.
+     */
     explicit StatsStreamer(const std::string &path);
 
     /**
@@ -44,6 +47,7 @@ class StatsStreamer
 
   private:
     std::ofstream out_;
+    std::string path_; ///< for error reporting on short writes
     std::uint64_t lines_ = 0;
 };
 

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
+#include "common/atomic_io.hh"
 #include "common/log.hh"
 #include "power/gpu_energy.hh"
 #include "power/noc_power.hh"
@@ -182,10 +182,27 @@ axisColumns(const std::vector<EmitPoint> &points)
     return out;
 }
 
-std::string
-emitCsv(const std::vector<EmitPoint> &points,
-        const std::vector<RunResult> &results)
+namespace
 {
+
+bool
+anyError(const std::vector<std::string> *errors)
+{
+    if (!errors)
+        return false;
+    for (const std::string &e : *errors) {
+        if (!e.empty())
+            return true;
+    }
+    return false;
+}
+
+std::string
+emitCsvImpl(const std::vector<EmitPoint> &points,
+            const std::vector<RunResult> &results,
+            const std::vector<std::string> *errors)
+{
+    const bool with_errors = anyError(errors);
     const std::vector<std::string> axes = axisColumns(points);
     std::ostringstream os;
     os << "label";
@@ -193,6 +210,8 @@ emitCsv(const std::vector<EmitPoint> &points,
         os << "," << a;
     for (const std::string &m : metricColumns())
         os << "," << m;
+    if (with_errors)
+        os << ",error";
     os << "\n";
     for (std::size_t i = 0; i < points.size(); ++i) {
         os << csvField(points[i].label);
@@ -207,16 +226,40 @@ emitCsv(const std::vector<EmitPoint> &points,
         }
         for (const Cell &c : metricCells(results[i]))
             os << "," << c.value;
+        if (with_errors)
+            os << "," << csvField((*errors)[i]);
         os << "\n";
     }
     return os.str();
 }
 
+} // namespace
+
 std::string
-emitJson(const std::string &scenario,
-         const std::vector<EmitPoint> &points,
-         const std::vector<RunResult> &results)
+emitCsv(const std::vector<EmitPoint> &points,
+        const std::vector<RunResult> &results)
 {
+    return emitCsvImpl(points, results, nullptr);
+}
+
+std::string
+emitCsv(const std::vector<EmitPoint> &points,
+        const std::vector<RunResult> &results,
+        const std::vector<std::string> &errors)
+{
+    return emitCsvImpl(points, results, &errors);
+}
+
+namespace
+{
+
+std::string
+emitJsonImpl(const std::string &scenario,
+             const std::vector<EmitPoint> &points,
+             const std::vector<RunResult> &results,
+             const std::vector<std::string> *errors)
+{
+    const bool with_errors = anyError(errors);
     std::ostringstream os;
     os << "{\n  \"scenario\": \"" << jsonEscape(scenario)
        << "\",\n  \"points\": [\n";
@@ -237,10 +280,33 @@ emitJson(const std::string &scenario,
             else
                 os << cells[c].value;
         }
-        os << "}}" << (i + 1 < points.size() ? "," : "") << "\n";
+        os << "}";
+        if (with_errors)
+            os << ", \"error\": \"" << jsonEscape((*errors)[i])
+               << "\"";
+        os << "}" << (i + 1 < points.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
     return os.str();
+}
+
+} // namespace
+
+std::string
+emitJson(const std::string &scenario,
+         const std::vector<EmitPoint> &points,
+         const std::vector<RunResult> &results)
+{
+    return emitJsonImpl(scenario, points, results, nullptr);
+}
+
+std::string
+emitJson(const std::string &scenario,
+         const std::vector<EmitPoint> &points,
+         const std::vector<RunResult> &results,
+         const std::vector<std::string> &errors)
+{
+    return emitJsonImpl(scenario, points, results, &errors);
 }
 
 std::string
@@ -268,10 +334,7 @@ writeOut(const std::string &content, const std::string &path)
         std::fputs(content.c_str(), stdout);
         return;
     }
-    std::ofstream f(path, std::ios::binary);
-    if (!f)
-        fatal("cannot write '%s'", path.c_str());
-    f << content;
+    writeFileAtomic(path, content);
 }
 
 void

@@ -51,10 +51,27 @@ const std::vector<std::string> &metricColumns();
 std::string emitCsv(const std::vector<EmitPoint> &points,
                     const std::vector<RunResult> &results);
 
+/**
+ * CSV with per-point failure annotations (sweep_on_error=skip). When
+ * every entry of @p errors is empty the output is byte-identical to
+ * the plain overload; otherwise a trailing "error" column carries
+ * the SimError text of each failed point (whose metric cells are the
+ * default-constructed RunResult's).
+ */
+std::string emitCsv(const std::vector<EmitPoint> &points,
+                    const std::vector<RunResult> &results,
+                    const std::vector<std::string> &errors);
+
 /** JSON: {"scenario": name, "points": [{label, axes, metrics}]}. */
 std::string emitJson(const std::string &scenario,
                      const std::vector<EmitPoint> &points,
                      const std::vector<RunResult> &results);
+
+/** JSON with failure annotations; same contract as the CSV overload. */
+std::string emitJson(const std::string &scenario,
+                     const std::vector<EmitPoint> &points,
+                     const std::vector<RunResult> &results,
+                     const std::vector<std::string> &errors);
 
 /** Markdown summary table (amsc run's default output). */
 std::string renderTable(const std::vector<EmitPoint> &points,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/error.hh"
 #include "common/log.hh"
 #include "common/strutil.hh"
 #include "scenario/schema.hh"
@@ -72,8 +73,8 @@ parsePattern(const std::string &pattern, const std::string &origin)
         return AccessPattern::TiledShared;
     if (pattern == "stream")
         return AccessPattern::PrivateStream;
-    fatal("%s: unknown pattern '%s' (broadcast|zipf|tiled|stream)",
-          origin.c_str(), pattern.c_str());
+    throw ConfigError(strfmt("%s: unknown pattern '%s' (broadcast|zipf|tiled|stream)",
+          origin.c_str(), pattern.c_str()));
 }
 
 const char *
@@ -103,10 +104,10 @@ suiteByName(const std::string &abbr, const std::string &origin)
     std::vector<std::string> names;
     for (const WorkloadSpec &s : WorkloadSuite::all())
         names.push_back(s.abbr);
-    fatal("%s: unknown workload '%s'; nearest is '%s' (amsc list "
+    throw ConfigError(strfmt("%s: unknown workload '%s'; nearest is '%s' (amsc list "
           "workloads)",
           origin.c_str(), abbr.c_str(),
-          nearestOf(abbr, names).c_str());
+          nearestOf(abbr, names).c_str()));
 }
 
 /** '+'-joined suite abbreviations -> one AppSpec per program. */
@@ -121,7 +122,7 @@ appsFromWorkload(const std::string &value, const std::string &origin)
         apps.push_back(std::move(a));
     }
     if (apps.empty())
-        fatal("%s: empty workload value", origin.c_str());
+        throw ConfigError(strfmt("%s: empty workload value", origin.c_str()));
     return apps;
 }
 
@@ -139,9 +140,9 @@ parseApp(const KvArgs &kv, const std::string &prefix,
     const int modes = (a.workload.empty() ? 0 : 1) +
         (a.replay.empty() ? 0 : 1) + (pattern.empty() ? 0 : 1);
     if (modes != 1)
-        fatal("%s: block '%s' needs exactly one of workload=, "
+        throw ConfigError(strfmt("%s: block '%s' needs exactly one of workload=, "
               "pattern= or replay=",
-              origin.c_str(), prefix.c_str());
+              origin.c_str(), prefix.c_str()));
     if (!a.workload.empty())
         suiteByName(a.workload, origin);
     a.ctas = static_cast<std::uint32_t>(kv.getUint(K("ctas"), 0));
@@ -201,9 +202,9 @@ validateAxisKey(const std::string &key, const std::string &origin)
         if (key == k.name)
             return;
     }
-    fatal("%s: unknown sweep axis '%s'; nearest is '%s'",
+    throw ConfigError(strfmt("%s: unknown sweep axis '%s'; nearest is '%s'",
           origin.c_str(), key.c_str(),
-          suggestScenarioKey("sweep." + key).c_str());
+          suggestScenarioKey("sweep." + key).c_str()));
 }
 
 std::string
@@ -261,18 +262,18 @@ Scenario::fromKv(KvArgs kv, const std::string &origin)
     for (const std::string &key : kv.keysWithPrefix("config.")) {
         const std::string leaf = key.substr(7);
         if (!ConfigRegistry::find(leaf))
-            fatal("%s: unknown configuration key '%s'; nearest is "
+            throw ConfigError(strfmt("%s: unknown configuration key '%s'; nearest is "
                   "'config.%s' (see docs/configuration.md)",
                   origin.c_str(), key.c_str(),
-                  ConfigRegistry::suggest(leaf).c_str());
+                  ConfigRegistry::suggest(leaf).c_str()));
         s.config_.emplace_back(leaf, kv.getString(key));
     }
 
     const std::string workload = kv.getString("workload", "");
     const auto app_prefixes = blockPrefixes(kv, "app");
     if (!workload.empty() && !app_prefixes.empty())
-        fatal("%s: use either workload= or app { } blocks, not both",
-              origin.c_str());
+        throw ConfigError(strfmt("%s: use either workload= or app { } blocks, not both",
+              origin.c_str()));
     if (!workload.empty())
         s.apps_ = appsFromWorkload(workload, origin);
     for (const std::string &prefix : app_prefixes)
@@ -282,16 +283,16 @@ Scenario::fromKv(KvArgs kv, const std::string &origin)
         const std::string rest = key.substr(8);
         const auto dot = rest.find('.');
         if (dot == std::string::npos || dot == 0)
-            fatal("%s: malformed variant key '%s' (expected "
+            throw ConfigError(strfmt("%s: malformed variant key '%s' (expected "
                   "variant.<name>.<config key>)",
-                  origin.c_str(), key.c_str());
+                  origin.c_str(), key.c_str()));
         const std::string vname = rest.substr(0, dot);
         const std::string leaf = rest.substr(dot + 1);
         if (!ConfigRegistry::find(leaf))
-            fatal("%s: unknown configuration key '%s' in variant "
+            throw ConfigError(strfmt("%s: unknown configuration key '%s' in variant "
                   "'%s'; nearest is '%s'",
                   origin.c_str(), leaf.c_str(), vname.c_str(),
-                  ConfigRegistry::suggest(leaf).c_str());
+                  ConfigRegistry::suggest(leaf).c_str()));
         auto it = std::find_if(
             s.variants_.begin(), s.variants_.end(),
             [&vname](const auto &v) { return v.first == vname; });
@@ -309,8 +310,8 @@ Scenario::fromKv(KvArgs kv, const std::string &origin)
         axis.key = leaf;
         axis.values = kv.getList(key);
         if (axis.values.empty())
-            fatal("%s: sweep axis '%s' has no values", origin.c_str(),
-                  leaf.c_str());
+            throw ConfigError(strfmt("%s: sweep axis '%s' has no values", origin.c_str(),
+                  leaf.c_str()));
         s.axes_.push_back(std::move(axis));
     }
 
@@ -325,27 +326,27 @@ Scenario::fromKv(KvArgs kv, const std::string &origin)
                 axis.key = axis_key;
                 axis.values = kv.getList(key);
                 if (axis.values.empty())
-                    fatal("%s: sweep axis '%s' has no values",
-                          origin.c_str(), axis_key.c_str());
+                    throw ConfigError(strfmt("%s: sweep axis '%s' has no values",
+                          origin.c_str(), axis_key.c_str()));
                 g.axes.push_back(std::move(axis));
             } else if (leaf == "workload") {
                 g.apps = appsFromWorkload(kv.getString(key), origin);
             } else if (ConfigRegistry::find(leaf)) {
                 g.overrides.emplace_back(leaf, kv.getString(key));
             } else {
-                fatal("%s: unknown key '%s' in grid block; nearest "
+                throw ConfigError(strfmt("%s: unknown key '%s' in grid block; nearest "
                       "is '%s'",
                       origin.c_str(), key.c_str(),
-                      suggestScenarioKey(key).c_str());
+                      suggestScenarioKey(key).c_str()));
             }
         }
         s.grids_.push_back(std::move(g));
     }
 
     for (const std::string &key : kv.unusedKeys())
-        fatal("%s: unknown scenario key '%s'; nearest is '%s'",
+        throw ConfigError(strfmt("%s: unknown scenario key '%s'; nearest is '%s'",
               origin.c_str(), key.c_str(),
-              suggestScenarioKey(key).c_str());
+              suggestScenarioKey(key).c_str()));
     return s;
 }
 
@@ -359,9 +360,9 @@ Scenario::variantOverrides(const std::string &name) const
     std::vector<std::string> names;
     for (const auto &[vname, overrides] : variants_)
         names.push_back(vname);
-    fatal("%s: unknown variant '%s'; nearest is '%s'",
+    throw ConfigError(strfmt("%s: unknown variant '%s'; nearest is '%s'",
           origin_.c_str(), name.c_str(),
-          nearestOf(name, names).c_str());
+          nearestOf(name, names).c_str()));
 }
 
 ExpandedPoint
@@ -370,9 +371,9 @@ Scenario::buildPoint(
     std::vector<std::pair<std::string, std::string>> coords) const
 {
     if (apps.empty())
-        fatal("%s: scenario '%s' defines no workload (workload=, "
+        throw ConfigError(strfmt("%s: scenario '%s' defines no workload (workload=, "
               "app { } or a workload sweep axis)",
-              origin_.c_str(), name_.c_str());
+              origin_.c_str(), name_.c_str()));
 
     // Per-app policies: app 0 maps onto llc_policy, the rest onto
     // the extra-app policy vector (sized to the app count; apps
@@ -397,8 +398,8 @@ Scenario::buildPoint(
     for (const AppSpec &a : apps) {
         if (!a.replay.empty()) {
             if (apps.size() != 1)
-                fatal("%s: replay= apps must run alone",
-                      origin_.c_str());
+                throw ConfigError(strfmt("%s: replay= apps must run alone",
+                      origin_.c_str()));
             const std::string path = a.replay;
             p.setup = [path](GpuSystem &gpu) {
                 const auto reader =

@@ -1,0 +1,153 @@
+#include "sim/checkpoint.hh"
+
+#include <cstring>
+#include <istream>
+
+#include "common/crc32.hh"
+#include "common/error.hh"
+#include "sim/sim_config.hh"
+
+namespace amsc
+{
+
+namespace
+{
+
+/** Keys that cannot change the simulated state trajectory. */
+bool
+identityExcluded(const std::string &name)
+{
+    return name == "max_cycles" || name == "max_instructions" ||
+        name == "checkpoint_every" || name == "checkpoint_path" ||
+        name == "sweep_on_error" || name == "timeline" ||
+        name == "timeline_out" || name == "stats_stream_out" ||
+        name == "stats_stream_period" || name == "trace_record";
+}
+
+void
+appendU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint32_t
+readU32(const std::string &s, std::size_t at)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(s[at + i]))
+            << (8 * i);
+    return v;
+}
+
+std::uint64_t
+readU64(const std::string &s, std::size_t at)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(s[at + i]))
+            << (8 * i);
+    return v;
+}
+
+constexpr std::size_t kMagicLen = 8;
+constexpr std::size_t kHeaderLen = kMagicLen + 4 + 8 + 8;
+
+} // namespace
+
+std::uint64_t
+configIdentityHash(const SimConfig &cfg)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull; // FNV-1a offset basis
+    const auto mix = [&h](const std::string &s) {
+        for (const char c : s) {
+            h ^= static_cast<std::uint8_t>(c);
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (const ConfigKeyInfo &k : ConfigRegistry::keys()) {
+        if (identityExcluded(k.name))
+            continue;
+        mix(k.name);
+        mix("=");
+        mix(k.get(cfg));
+        mix("\n");
+    }
+    return h;
+}
+
+std::string
+frameCheckpoint(const SimConfig &cfg,
+                const std::vector<std::uint8_t> &payload)
+{
+    std::string out;
+    out.reserve(kHeaderLen + payload.size() + 4);
+    out.append(kCkptMagic, kMagicLen);
+    appendU32(out, kCkptVersion);
+    appendU64(out, configIdentityHash(cfg));
+    appendU64(out, payload.size());
+    out.append(reinterpret_cast<const char *>(payload.data()),
+               payload.size());
+    appendU32(out, crc32(payload.data(), payload.size()));
+    return out;
+}
+
+std::vector<std::uint8_t>
+unframeCheckpoint(const std::string &bytes, const SimConfig &cfg,
+                  const std::string &origin)
+{
+    if (bytes.size() < kHeaderLen)
+        throw FormatError(origin, bytes.size(),
+                          "truncated checkpoint header");
+    if (std::memcmp(bytes.data(), kCkptMagic, kMagicLen) != 0)
+        throw FormatError(origin, 0, "bad checkpoint magic");
+    const std::uint32_t version = readU32(bytes, kMagicLen);
+    if (version != kCkptVersion)
+        throw FormatError(origin, kMagicLen,
+                          "unsupported checkpoint version " +
+                              std::to_string(version));
+    const std::uint64_t hash = readU64(bytes, kMagicLen + 4);
+    if (hash != configIdentityHash(cfg))
+        throw FormatError(
+            origin, kMagicLen + 4,
+            "checkpoint was taken under a different configuration");
+    const std::uint64_t size = readU64(bytes, kMagicLen + 12);
+    if (bytes.size() < kHeaderLen + size + 4)
+        throw FormatError(origin, bytes.size(),
+                          "truncated checkpoint payload");
+    std::vector<std::uint8_t> payload(
+        bytes.begin() + static_cast<std::ptrdiff_t>(kHeaderLen),
+        bytes.begin() +
+            static_cast<std::ptrdiff_t>(kHeaderLen + size));
+    const std::uint32_t want =
+        readU32(bytes, kHeaderLen + static_cast<std::size_t>(size));
+    const std::uint32_t got = crc32(payload.data(), payload.size());
+    if (want != got)
+        throw FormatError(origin, kHeaderLen + size,
+                          "checkpoint payload CRC mismatch");
+    return payload;
+}
+
+std::string
+readStreamBytes(std::istream &is, const std::string &origin)
+{
+    std::string bytes;
+    char buf[4096];
+    while (is.read(buf, sizeof(buf)) || is.gcount() > 0)
+        bytes.append(buf, static_cast<std::size_t>(is.gcount()));
+    if (is.bad())
+        throw IoError(origin, "read failed", 0);
+    return bytes;
+}
+
+} // namespace amsc

@@ -1,10 +1,13 @@
 #include "sim/gpu_system.hh"
 
 #include <algorithm>
+#include <sstream>
 
+#include "common/atomic_io.hh"
 #include "common/log.hh"
 #include "gpu/cta_scheduler.hh"
 #include "noc/network_factory.hh"
+#include "sim/checkpoint.hh"
 
 namespace amsc
 {
@@ -352,8 +355,18 @@ GpuSystem::maybeFastForward()
 RunResult
 GpuSystem::run()
 {
-    manageDirty_ = false;
-    manageKernels(); // initial launches
+    if (!started_) {
+        started_ = true;
+        manageDirty_ = false;
+        manageKernels(); // initial launches
+    }
+    // Checkpoint grid points are absolute cycle numbers, so a
+    // restored run continues the same schedule.
+    nextCkptAt_ = kNoCycle;
+    if (config_.checkpointEvery != 0) {
+        nextCkptAt_ = (now_ / config_.checkpointEvery + 1) *
+            config_.checkpointEvery;
+    }
     while (now_ < config_.maxCycles) {
         if (smsStalled_) {
             maybeFastForward();
@@ -361,6 +374,11 @@ GpuSystem::run()
                 break;
         }
         tickOnce();
+        if (now_ >= nextCkptAt_) {
+            writeCheckpointFile();
+            while (nextCkptAt_ <= now_)
+                nextCkptAt_ += config_.checkpointEvery;
+        }
         if (unfinishedApps_ == 0)
             break;
         if (config_.maxInstructions != 0 && (now_ & 127) == 0 &&
@@ -426,6 +444,100 @@ GpuSystem::collect() const
     r.gpuActivity.llcAccesses = r.llcAccesses;
     r.gpuActivity.dramAccesses = r.dramAccesses;
     return r;
+}
+
+const KernelInfo *
+GpuSystem::activeKernelOf(AppId app) const
+{
+    if (workloads_[app].empty() || nextKernel_[app] == 0)
+        return nullptr;
+    return &workloads_[app][nextKernel_[app] - 1];
+}
+
+void
+GpuSystem::savePayload(CkptWriter &w) const
+{
+    w.u64(now_);
+    w.b(started_);
+    w.b(smsStalled_);
+    w.b(manageDirty_);
+    w.u32(unfinishedApps_);
+    w.u64(instrRetired_);
+    ckptValue(w, nextKernel_);
+    ckptValue(w, appRunning_);
+    // Workload shape rides along purely as a restore-time guard: the
+    // kernels themselves (factories) must be re-supplied through
+    // setWorkload().
+    w.varint(workloads_.size());
+    for (const auto &ws : workloads_)
+        w.varint(ws.size());
+    for (const auto &sm : sms_)
+        sm->saveCkpt(w);
+    net_->saveCkpt(w);
+    mem_->saveCkpt(w);
+    llc_->saveCkpt(w);
+}
+
+void
+GpuSystem::checkpoint(std::ostream &os) const
+{
+    CkptWriter w;
+    savePayload(w);
+    checkedStreamWrite(os, frameCheckpoint(config_, w.buffer()),
+                       "<checkpoint>");
+}
+
+void
+GpuSystem::writeCheckpointFile() const
+{
+    CkptWriter w;
+    savePayload(w);
+    writeFileAtomic(config_.checkpointPath,
+                    frameCheckpoint(config_, w.buffer()));
+}
+
+void
+GpuSystem::restore(std::istream &is)
+{
+    const std::string bytes = readStreamBytes(is, "<checkpoint>");
+    const std::vector<std::uint8_t> payload =
+        unframeCheckpoint(bytes, config_, "<checkpoint>");
+    CkptReader r(payload.data(), payload.size());
+    now_ = r.u64();
+    started_ = r.b();
+    smsStalled_ = r.b();
+    manageDirty_ = r.b();
+    unfinishedApps_ = r.u32();
+    instrRetired_ = r.u64();
+    ckptValue(r, nextKernel_);
+    ckptValue(r, appRunning_);
+    if (nextKernel_.size() != workloads_.size() ||
+        appRunning_.size() != workloads_.size())
+        r.fail("application count mismatch");
+    if (r.varint() != workloads_.size())
+        r.fail("workload count mismatch");
+    for (std::size_t a = 0; a < workloads_.size(); ++a) {
+        if (r.varint() != workloads_[a].size())
+            r.fail("kernel sequence mismatch: apply the recorded "
+                   "setWorkload() calls before restore");
+        if (nextKernel_[a] > workloads_[a].size())
+            r.fail("kernel index out of range");
+    }
+    for (const auto &sm : sms_)
+        sm->loadCkpt(r, activeKernelOf(smApp_[sm->id()]));
+    net_->loadCkpt(r);
+    mem_->loadCkpt(r);
+    llc_->loadCkpt(r);
+    if (!r.atEnd())
+        r.fail("trailing bytes after checkpoint payload");
+    // Re-arm the cycle observer on its absolute sampling grid.
+    if (cycleObs_ && obsPeriod_ > 0) {
+        nextObsAt_ = obsPeriod_;
+        while (nextObsAt_ <= now_)
+            nextObsAt_ += obsPeriod_;
+    } else {
+        nextObsAt_ = kNoCycle;
+    }
 }
 
 void

@@ -20,6 +20,7 @@
 
 #include <array>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -162,7 +163,39 @@ class GpuSystem
     /** Register all statistics into @p set. */
     void registerStats(StatSet &set) const;
 
+    /**
+     * Serialize the complete simulation state -- clocks, kernel
+     * bookkeeping, every SM (warps, generators, L1, MSHRs), NoC,
+     * DRAM and the adaptive LLC -- into the framed container of
+     * sim/checkpoint.hh. Throws SimError if the workload is not
+     * checkpointable (trace recording) and IoError on stream
+     * failure. Restoring the bytes and running to completion is
+     * bit-identical to the unbroken run.
+     */
+    void checkpoint(std::ostream &os) const;
+
+    /**
+     * Restore state written by checkpoint(). The receiving system
+     * must be constructed with an identical SimConfig (up to the
+     * identity-excluded keys; sim/checkpoint.hh) and the identical
+     * setWorkload() calls must have been applied first -- warp
+     * generators are recreated through the workload's factories.
+     * Throws FormatError (with byte offset) on any mismatch or
+     * corruption; the system is not usable after a failed restore.
+     */
+    void restore(std::istream &is);
+
   private:
+    /** Serialize the checkpoint payload (unframed). */
+    void savePayload(CkptWriter &w) const;
+
+    /** Atomically (over)write config_.checkpointPath. */
+    void writeCheckpointFile() const;
+
+    /** Kernel currently (or last) launched for @p app; nullptr if
+     *  none was launched yet. */
+    const KernelInfo *activeKernelOf(AppId app) const;
+
     void tickOnce();
     void manageKernels();
     void launchKernel(AppId app, std::size_t kernel_index);
@@ -191,6 +224,11 @@ class GpuSystem
 
     Cycle now_ = 0;
     bool smsStalled_ = false;
+    /** run() has performed its initial kernel launches (serialized:
+     *  a restored run must not relaunch before the first tick). */
+    bool started_ = false;
+    /** Next periodic-checkpoint grid point; kNoCycle = off. */
+    Cycle nextCkptAt_ = kNoCycle;
     /** Kernel state changed; manageKernels() must run this cycle. */
     bool manageDirty_ = true;
     /** Apps that still have kernels to launch or finish. */

@@ -1,0 +1,347 @@
+#include "sim/journal.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/atomic_io.hh"
+#include "common/crc32.hh"
+#include "common/error.hh"
+#include "common/strutil.hh"
+#include "sim/checkpoint.hh"
+
+namespace amsc
+{
+
+namespace
+{
+
+constexpr std::size_t kMagicLen = 8;
+constexpr std::size_t kFrameHeadLen = 8; // u32 size + u32 crc
+
+std::uint32_t
+readU32(const std::string &s, std::size_t at)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(s[at + i]))
+            << (8 * i);
+    return v;
+}
+
+/** Wrap @p payload into one [size][crc][payload] frame. */
+std::string
+frameBytes(const std::vector<std::uint8_t> &payload)
+{
+    std::string out;
+    out.reserve(kFrameHeadLen + payload.size());
+    const std::uint32_t size =
+        static_cast<std::uint32_t>(payload.size());
+    const std::uint32_t crc = crc32(payload.data(), payload.size());
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>(size >> (8 * i)));
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>(crc >> (8 * i)));
+    out.append(reinterpret_cast<const char *>(payload.data()),
+               payload.size());
+    return out;
+}
+
+/**
+ * Extract the frame starting at @p off; advances @p off past it.
+ * Returns false (leaving @p off untouched) when the remaining bytes
+ * are not one intact frame -- a torn or corrupt tail.
+ */
+bool
+nextFrame(const std::string &bytes, std::size_t &off,
+          std::vector<std::uint8_t> &payload)
+{
+    if (bytes.size() - off < kFrameHeadLen)
+        return false;
+    const std::uint32_t size = readU32(bytes, off);
+    const std::uint32_t crc = readU32(bytes, off + 4);
+    if (bytes.size() - off - kFrameHeadLen < size)
+        return false;
+    const auto *p =
+        reinterpret_cast<const std::uint8_t *>(bytes.data()) + off +
+        kFrameHeadLen;
+    if (crc32(p, size) != crc)
+        return false;
+    payload.assign(p, p + size);
+    off += kFrameHeadLen + size;
+    return true;
+}
+
+std::vector<std::uint8_t>
+headerPayload(const JournalHeader &h)
+{
+    CkptWriter w;
+    w.bytes(kJournalMagic, kMagicLen);
+    w.u32(kJournalVersion);
+    w.u64(h.sweepHash);
+    w.varint(h.shardIndex);
+    w.varint(h.shardCount);
+    w.varint(h.totalPoints);
+    return w.takeBuffer();
+}
+
+JournalHeader
+parseHeader(const std::vector<std::uint8_t> &payload,
+            const std::string &path)
+{
+    CkptReader r(payload.data(), payload.size(), path);
+    std::uint8_t magic[kMagicLen];
+    for (std::uint8_t &c : magic)
+        c = r.u8();
+    if (std::memcmp(magic, kJournalMagic, kMagicLen) != 0)
+        throw FormatError(path, 0, "bad journal magic");
+    const std::uint32_t version = r.u32();
+    if (version != kJournalVersion)
+        r.fail("unsupported journal version " +
+               std::to_string(version));
+    JournalHeader h;
+    h.sweepHash = r.u64();
+    h.shardIndex = static_cast<std::uint32_t>(r.varint());
+    h.shardCount = static_cast<std::uint32_t>(r.varint());
+    h.totalPoints = r.varint();
+    if (!r.atEnd())
+        r.fail("trailing bytes after journal header");
+    return h;
+}
+
+JournalRecord
+parseRecord(const std::vector<std::uint8_t> &payload,
+            const std::string &path, std::uint64_t total_points)
+{
+    CkptReader r(payload.data(), payload.size(), path);
+    JournalRecord rec;
+    rec.pointIndex = r.varint();
+    if (rec.pointIndex >= total_points)
+        r.fail("journal record index " +
+               std::to_string(rec.pointIndex) +
+               " out of range (grid has " +
+               std::to_string(total_points) + " points)");
+    rec.failed = r.b();
+    rec.label = r.str();
+    rec.error = r.str();
+    loadRunResult(r, rec.result);
+    if (!r.atEnd())
+        r.fail("trailing bytes in journal record");
+    return rec;
+}
+
+/** Read @p path into @p bytes; false when the file does not exist. */
+bool
+readFileIfExists(const std::string &path, std::string &bytes)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is.is_open())
+        return false;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    if (is.bad())
+        throw IoError(path, "read failed", 0);
+    bytes = ss.str();
+    return true;
+}
+
+struct ParsedJournal
+{
+    std::vector<JournalRecord> records;
+    /** Byte length of the intact prefix (header + whole records). */
+    std::size_t goodSize = 0;
+};
+
+/**
+ * Parse and validate a complete journal file. The header must match
+ * @p expect exactly; any CRC-valid but semantically malformed frame
+ * throws. The first torn frame ends parsing: everything before it is
+ * returned, its offset recorded in goodSize.
+ */
+ParsedJournal
+parseJournal(const std::string &bytes, const std::string &path,
+             const JournalHeader &expect)
+{
+    std::size_t off = 0;
+    std::vector<std::uint8_t> payload;
+    if (!nextFrame(bytes, off, payload))
+        throw FormatError(path, 0,
+                          "corrupt or foreign journal header");
+    const JournalHeader got = parseHeader(payload, path);
+    if (!(got == expect)) {
+        throw FormatError(
+            path, 0,
+            strfmt("journal belongs to a different sweep "
+                   "(shard %u/%u, %llu points, hash %016llx; "
+                   "expected shard %u/%u, %llu points, hash %016llx)",
+                   got.shardIndex, got.shardCount,
+                   static_cast<unsigned long long>(got.totalPoints),
+                   static_cast<unsigned long long>(got.sweepHash),
+                   expect.shardIndex, expect.shardCount,
+                   static_cast<unsigned long long>(expect.totalPoints),
+                   static_cast<unsigned long long>(expect.sweepHash)));
+    }
+    ParsedJournal out;
+    out.goodSize = off;
+    while (nextFrame(bytes, off, payload)) {
+        out.records.push_back(
+            parseRecord(payload, path, expect.totalPoints));
+        out.goodSize = off;
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+operator==(const JournalHeader &a, const JournalHeader &b)
+{
+    return a.sweepHash == b.sweepHash &&
+        a.shardIndex == b.shardIndex &&
+        a.shardCount == b.shardCount &&
+        a.totalPoints == b.totalPoints;
+}
+
+void
+saveRunResult(CkptWriter &w, const RunResult &r)
+{
+    w.u64(r.cycles);
+    w.varint(r.instructions);
+    w.d(r.ipc);
+    ckptValue(w, r.appIpc);
+    ckptValue(w, r.appInstructions);
+    w.b(r.finishedWork);
+    w.d(r.llcReadMissRate);
+    w.d(r.llcResponseRate);
+    w.varint(r.llcAccesses);
+    w.varint(r.llcBypasses);
+    w.varint(r.dramAccesses);
+    w.d(r.dramRowHitRate);
+    w.varint(r.dramRefreshes);
+    w.varint(r.dramQueueRejects);
+    w.varint(r.dramWriteDrains);
+    w.d(r.avgRequestLatency);
+    w.d(r.avgReplyLatency);
+    ckptValue(w, r.finalMode);
+    w.pod(r.llcCtrl);
+    w.pod(r.sharingBuckets);
+    w.podVec(r.nocActivity.routers);
+    w.podVec(r.nocActivity.links);
+    w.pod(r.gpuActivity);
+}
+
+void
+loadRunResult(CkptReader &r, RunResult &out)
+{
+    out.cycles = r.u64();
+    out.instructions = r.varint();
+    out.ipc = r.d();
+    ckptValue(r, out.appIpc);
+    ckptValue(r, out.appInstructions);
+    out.finishedWork = r.b();
+    out.llcReadMissRate = r.d();
+    out.llcResponseRate = r.d();
+    out.llcAccesses = r.varint();
+    out.llcBypasses = r.varint();
+    out.dramAccesses = r.varint();
+    out.dramRowHitRate = r.d();
+    out.dramRefreshes = r.varint();
+    out.dramQueueRejects = r.varint();
+    out.dramWriteDrains = r.varint();
+    out.avgRequestLatency = r.d();
+    out.avgReplyLatency = r.d();
+    ckptValue(r, out.finalMode);
+    r.pod(out.llcCtrl);
+    r.pod(out.sharingBuckets);
+    r.podVec(out.nocActivity.routers);
+    r.podVec(out.nocActivity.links);
+    r.pod(out.gpuActivity);
+}
+
+std::uint64_t
+sweepIdentityHash(const std::vector<SweepPoint> &points)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull; // FNV-1a offset basis
+    const auto mixByte = [&h](std::uint8_t c) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    };
+    const auto mixU64 = [&mixByte](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            mixByte(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    const auto mixStr = [&mixByte](const std::string &s) {
+        for (const char c : s)
+            mixByte(static_cast<std::uint8_t>(c));
+    };
+    mixU64(points.size());
+    for (const SweepPoint &p : points) {
+        mixStr(p.label);
+        mixByte('\n');
+        mixU64(configIdentityHash(p.cfg));
+        // The identity hash excludes the run-length limits (a
+        // checkpoint may legally be resumed with a longer horizon),
+        // but a journaled *result* depends on them -- mix them in.
+        mixU64(p.cfg.maxCycles);
+        mixU64(p.cfg.maxInstructions);
+        mixU64(p.apps.size());
+        for (const WorkloadSpec &s : p.apps) {
+            mixStr(s.abbr);
+            mixByte(';');
+        }
+    }
+    return h;
+}
+
+std::string
+SweepJournal::shardFileName(std::uint32_t shard, std::uint32_t count)
+{
+    return strfmt("shard-%u-of-%u.jnl", shard, count);
+}
+
+SweepJournal::SweepJournal(const std::string &path,
+                           const JournalHeader &header)
+    : path_(path), header_(header)
+{
+    std::string bytes;
+    if (!readFileIfExists(path_, bytes) || bytes.empty()) {
+        writeFileAtomic(path_, frameBytes(headerPayload(header_)));
+        return;
+    }
+    ParsedJournal parsed = parseJournal(bytes, path_, header_);
+    records_ = std::move(parsed.records);
+    for (const JournalRecord &rec : records_)
+        done_.insert(rec.pointIndex);
+    // Cut off the torn tail so the next append starts on a frame
+    // boundary (a kill mid-append leaves at most one partial frame).
+    if (parsed.goodSize < bytes.size())
+        std::filesystem::resize_file(path_, parsed.goodSize);
+}
+
+void
+SweepJournal::append(const JournalRecord &rec)
+{
+    CkptWriter w;
+    w.varint(rec.pointIndex);
+    w.b(rec.failed);
+    w.str(rec.label);
+    w.str(rec.error);
+    saveRunResult(w, rec.result);
+    appendFileDurable(path_, frameBytes(w.buffer()));
+    done_.insert(rec.pointIndex);
+    records_.push_back(rec);
+}
+
+std::vector<JournalRecord>
+SweepJournal::readAll(const std::string &path,
+                      const JournalHeader &expect)
+{
+    std::string bytes;
+    if (!readFileIfExists(path, bytes))
+        throw IoError(path, "journal does not exist", 0);
+    return parseJournal(bytes, path, expect).records;
+}
+
+} // namespace amsc

@@ -7,6 +7,7 @@
 
 #include "cache/replacement.hh"
 #include "common/bitutils.hh"
+#include "common/error.hh"
 #include "common/log.hh"
 #include "common/strutil.hh"
 #include "noc/network_factory.hh"
@@ -166,8 +167,9 @@ SimConfig::buildBypassAppMask() const
     const std::vector<std::string> names =
         splitList(llcBypassApps, '+');
     if (names.size() > numApps())
-        fatal("llc_bypass_apps lists %zu apps but the run has %u",
-              names.size(), numApps());
+        throw ConfigError(
+            strfmt("llc_bypass_apps lists %zu apps but the run has %u",
+                   names.size(), numApps()));
     mask.assign(numApps(), llcBypass != BypassPolicy::None ? 1 : 0);
     for (std::size_t i = 0; i < names.size(); ++i) {
         if (names[i] == "on")
@@ -175,14 +177,38 @@ SimConfig::buildBypassAppMask() const
         else if (names[i] == "off")
             mask[i] = 0;
         else if (names[i] != "inherit")
-            fatal("llc_bypass_apps: unknown value '%s' "
-                  "(on|off|inherit)",
-                  names[i].c_str());
+            throw ConfigError(
+                strfmt("llc_bypass_apps: unknown value '%s' "
+                       "(on|off|inherit)",
+                       names[i].c_str()));
     }
     return mask;
 }
 
 // ---- key registry ----------------------------------------------------
+
+namespace
+{
+
+} // namespace
+
+SweepOnError
+parseSweepOnError(const std::string &name)
+{
+    if (name == "abort")
+        return SweepOnError::Abort;
+    if (name == "skip")
+        return SweepOnError::Skip;
+    throw ConfigError(
+        strfmt("unknown sweep_on_error '%s' (abort|skip)",
+               name.c_str()));
+}
+
+std::string
+sweepOnErrorName(SweepOnError v)
+{
+    return v == SweepOnError::Abort ? "abort" : "skip";
+}
 
 namespace
 {
@@ -194,7 +220,8 @@ parseMapping(const std::string &m)
         return MappingScheme::Pae;
     if (m == "hynix")
         return MappingScheme::Hynix;
-    fatal("unknown mapping '%s' (pae|hynix)", m.c_str());
+    throw ConfigError(
+        strfmt("unknown mapping '%s' (pae|hynix)", m.c_str()));
 }
 
 std::string
@@ -251,7 +278,7 @@ setAppPolicies(SimConfig &c, const std::string &value)
 {
     const std::vector<std::string> names = splitList(value, '+');
     if (names.empty())
-        fatal("empty value for key 'app_policies'");
+        throw ConfigError("empty value for key 'app_policies'");
     c.llcPolicy = parseLlcPolicy(names[0]);
     c.extraAppPolicies.clear();
     for (std::size_t i = 1; i < names.size(); ++i)
@@ -516,6 +543,27 @@ buildRegistry()
         AMSC_BOOL_KEY("fast_forward", fastForward,
                       "Skip fully-quiescent reconfiguration stalls "
                       "(bit-exact; see docs/performance.md)."),
+        AMSC_U64_KEY("checkpoint_every", checkpointEvery,
+                     "Write a crash-recovery checkpoint every N "
+                     "cycles (0 = off; requires checkpoint_path; "
+                     "docs/robustness.md)."),
+        {"checkpoint_path", "string", "",
+         "Checkpoint output file, atomically overwritten at each "
+         "checkpoint_every boundary (docs/robustness.md).",
+         [](const SimConfig &c) { return c.checkpointPath; },
+         [](SimConfig &c, const std::string &v) {
+             c.checkpointPath = v;
+         }},
+        {"sweep_on_error", "enum", "abort|skip",
+         "Sweep-point failure policy: abort the whole sweep on the "
+         "first error (seed behaviour) or mark the point failed and "
+         "keep going (docs/robustness.md).",
+         [](const SimConfig &c) {
+             return sweepOnErrorName(c.sweepOnError);
+         },
+         [](SimConfig &c, const std::string &v) {
+             c.sweepOnError = parseSweepOnError(v);
+         }},
         {"trace_record", "string", "",
          "Record the run's warp streams to this trace file "
          "(docs/trace_format.md).",
@@ -599,9 +647,10 @@ ConfigRegistry::apply(SimConfig &cfg, const std::string &name,
 {
     const ConfigKeyInfo *key = find(name);
     if (!key)
-        fatal("unknown configuration key '%s'; nearest is '%s' "
-              "(see docs/configuration.md)",
-              name.c_str(), suggest(name).c_str());
+        throw ConfigError(
+            strfmt("unknown configuration key '%s'; nearest is '%s' "
+                   "(see docs/configuration.md)",
+                   name.c_str(), suggest(name).c_str()));
     key->set(cfg, value);
 }
 
@@ -648,11 +697,17 @@ SimConfig::validate() const
         fatal("config: dram_queue_cap must be non-zero");
     if (!traceRecordPath.empty() && !traceReplayPath.empty())
         fatal("config: trace_record and trace_replay are exclusive");
+    if (checkpointEvery != 0 && checkpointPath.empty())
+        fatal("config: checkpoint_every requires checkpoint_path");
+    if (checkpointEvery != 0 && !traceRecordPath.empty())
+        fatal("config: checkpoint_every and trace_record are "
+              "exclusive (recording generators are not "
+              "checkpointable)");
     if (statsStreamPeriod == 0)
         fatal("config: stats_stream_period must be non-zero");
     if (llcDuelSets == 0)
         fatal("config: llc_duel_sets must be non-zero");
-    buildBypassAppMask(); // fatal() on malformed llc_bypass_apps
+    buildBypassAppMask(); // throws on malformed llc_bypass_apps
 }
 
 void
@@ -712,6 +767,10 @@ SimConfig::print(std::ostream &os) const
     if (!statsStreamOut.empty()) {
         os << "Stats stream           " << statsStreamOut
            << ", every " << statsStreamPeriod << " cycles\n";
+    }
+    if (checkpointEvery != 0) {
+        os << "Checkpoints            " << checkpointPath
+           << ", every " << checkpointEvery << " cycles\n";
     }
 }
 

@@ -31,6 +31,19 @@
 namespace amsc
 {
 
+/** Sweep-point failure policy (SweepRunner, `amsc sweep`). */
+enum class SweepOnError
+{
+    Abort, ///< first failed point aborts the whole sweep (seed)
+    Skip,  ///< record the error, keep running the remaining points
+};
+
+/** Parse "abort" | "skip". */
+SweepOnError parseSweepOnError(const std::string &name);
+
+/** Key spelling of @p v ("abort" | "skip"). */
+std::string sweepOnErrorName(SweepOnError v);
+
 /** Complete system configuration. */
 struct SimConfig
 {
@@ -128,6 +141,23 @@ struct SimConfig
      * tests can prove that.
      */
     bool fastForward = true;
+    /**
+     * Write a crash-recovery checkpoint every N cycles during run()
+     * (0 = off; requires checkpoint_path). The grid is aligned to
+     * absolute cycle numbers; a fast-forward jump over a grid point
+     * checkpoints at the first live tick past it. Restoring the file
+     * and running to completion is bit-identical to the unbroken run
+     * (docs/robustness.md).
+     */
+    Cycle checkpointEvery = 0;
+    /**
+     * Checkpoint output file, atomically overwritten at every
+     * checkpoint_every boundary: a crash mid-write leaves the
+     * previous checkpoint intact.
+     */
+    std::string checkpointPath;
+    /** Failure policy for sweep points (SweepRunner). */
+    SweepOnError sweepOnError = SweepOnError::Abort;
 
     // ---- trace capture / replay (src/trace) ------------------------
     /** Record the run's warp streams to this trace file. */

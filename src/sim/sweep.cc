@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/error.hh"
 #include "common/log.hh"
 #include "obs/recorder.hh"
 
@@ -110,16 +111,48 @@ SweepRunner::run(const std::vector<SweepPoint> &points,
                                           std::size_t)> &progress)
     const
 {
+    return run(points, SweepOptions{}, progress);
+}
+
+std::vector<RunResult>
+SweepRunner::run(const std::vector<SweepPoint> &points,
+                 const SweepOptions &options,
+                 const std::function<void(std::size_t, std::size_t,
+                                          std::size_t)> &progress)
+    const
+{
+    if (options.skip && options.skip->size() != points.size())
+        throw SimError("sweep skip mask size mismatch");
+    std::size_t live = points.size();
+    if (options.skip) {
+        for (const char s : *options.skip)
+            live -= (s != 0);
+    }
     std::vector<RunResult> results(points.size());
     std::atomic<std::size_t> done{0};
-    std::mutex progress_mutex;
+    std::mutex hook_mutex;
     parallelFor(points.size(), [&](std::size_t i) {
-        results[i] = runPoint(points[i]);
-        if (progress) {
+        if (options.skip && (*options.skip)[i])
+            return;
+        std::string error;
+        if (points[i].cfg.sweepOnError == SweepOnError::Skip) {
+            try {
+                results[i] = runPoint(points[i]);
+            } catch (const SimError &e) {
+                results[i] = RunResult{};
+                error = e.what();
+            }
+        } else {
+            results[i] = runPoint(points[i]);
+        }
+        if (options.onResult || progress) {
             const std::size_t n =
                 done.fetch_add(1, std::memory_order_relaxed) + 1;
-            std::lock_guard<std::mutex> lock(progress_mutex);
-            progress(n, points.size(), i);
+            std::lock_guard<std::mutex> lock(hook_mutex);
+            if (options.onResult)
+                options.onResult(i, results[i], error);
+            if (progress)
+                progress(n, live, i);
         }
     });
     return results;

@@ -61,6 +61,37 @@ struct SweepPoint
     std::string label;
 };
 
+/**
+ * Extra controls for journaled / fault-tolerant sweeps.
+ *
+ * The plain run() overload is equivalent to default-constructed
+ * options. With a skip mask, masked points are never executed and
+ * their result slots stay default-constructed -- that is how a
+ * resumed or sharded sweep re-runs only its missing points. The
+ * onResult hook fires once per executed point, serialized with the
+ * progress hook under one mutex, so a journal append needs no
+ * locking of its own.
+ */
+struct SweepOptions
+{
+    /**
+     * Per-point skip mask (size must equal the point count); nonzero
+     * entries are not run. Null runs everything.
+     */
+    const std::vector<char> *skip = nullptr;
+    /**
+     * Called as onResult(index, result, error) after each executed
+     * point. error is empty on success; it carries the SimError text
+     * when the point's config says sweep_on_error=skip and the point
+     * threw (the result is then default-constructed). Under the
+     * default sweep_on_error=abort a throwing point aborts the whole
+     * sweep instead -- identical to the pre-journal behaviour.
+     */
+    std::function<void(std::size_t, const RunResult &,
+                       const std::string &)>
+        onResult;
+};
+
 /** Deterministic thread-pool executor for sweeps. */
 class SweepRunner
 {
@@ -101,6 +132,18 @@ class SweepRunner
      */
     std::vector<RunResult>
     run(const std::vector<SweepPoint> &points,
+        const std::function<void(std::size_t, std::size_t,
+                                 std::size_t)> &progress = {}) const;
+
+    /**
+     * run() with @ref SweepOptions: skip mask and per-point result
+     * hook. progress receives the *executed* point count as its
+     * total (skipped points are not announced). Executed slots are
+     * bit-identical to the plain overload's.
+     */
+    std::vector<RunResult>
+    run(const std::vector<SweepPoint> &points,
+        const SweepOptions &options,
         const std::function<void(std::size_t, std::size_t,
                                  std::size_t)> &progress = {}) const;
 

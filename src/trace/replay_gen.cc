@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/error.hh"
 #include "common/log.hh"
 #include "trace/trace_format.hh"
 
@@ -62,8 +63,10 @@ ReplayGen::nextInstr(WarpInstr &out, Cycle)
     const std::uint8_t *p = buf_.data() + pos_;
     const std::uint8_t *end = buf_.data() + avail_;
     if (!decodeInstr(p, end, out, prev_))
-        fatal("trace: corrupt warp payload in '%s'",
-              reader_->path().c_str());
+        throw FormatError(
+            reader_->path(),
+            fileOffset_ - (avail_ - pos_),
+            "corrupt warp payload");
     pos_ = static_cast<std::size_t>(p - buf_.data());
     --instrsLeft_;
     return true;

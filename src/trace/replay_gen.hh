@@ -42,6 +42,30 @@ class ReplayGen : public WarpTraceGen
 
     bool nextInstr(WarpInstr &out, Cycle now) override;
 
+    void
+    saveCkpt(CkptWriter &w) const override
+    {
+        // Collapse the read-ahead buffer into an effective file
+        // position: bytes decoded == fileOffset_ minus the buffered
+        // tail (avail_ - pos_). Restore re-reads from there.
+        const std::uint64_t buffered = avail_ - pos_;
+        w.varint(instrsLeft_);
+        w.varint(fileOffset_ - buffered);
+        w.varint(fileBytesLeft_ + buffered);
+        w.u64(prev_);
+    }
+
+    void
+    loadCkpt(CkptReader &r) override
+    {
+        instrsLeft_ = r.varint();
+        fileOffset_ = r.varint();
+        fileBytesLeft_ = r.varint();
+        prev_ = r.u64();
+        pos_ = 0;
+        avail_ = 0;
+    }
+
   private:
     void refill();
 

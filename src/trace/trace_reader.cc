@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/error.hh"
 #include "common/log.hh"
 #include "trace/trace_format.hh"
 
@@ -62,34 +63,34 @@ TraceReader::TraceReader(const std::string &path) : path_(path)
 {
     in_.open(path, std::ios::binary);
     if (!in_)
-        fatal("trace: cannot open '%s'", path.c_str());
+        throw IoError(path, "cannot open trace");
     in_.seekg(0, std::ios::end);
     fileSize_ = static_cast<std::uint64_t>(in_.tellg());
     if (fileSize_ < kTraceHeaderBytes)
-        fatal("trace: '%s' shorter than the file header",
-              path.c_str());
+        throw FormatError(path, fileSize_,
+                          "shorter than the file header");
 
     std::uint8_t hdr[kTraceHeaderBytes];
     readAt(0, hdr, sizeof(hdr));
     if (std::memcmp(hdr, kTraceMagic, 8) != 0)
-        fatal("trace: '%s' is not a warp-trace file (bad magic)",
-              path.c_str());
+        throw FormatError(path, 0,
+                          "not a warp-trace file (bad magic)");
     version_ = readU32(hdr + 8);
     if (version_ != kTraceVersion)
-        fatal("trace: '%s' has unsupported version %u (reader "
-              "supports %u)",
-              path.c_str(), version_, kTraceVersion);
+        throw FormatError(
+            path, 8,
+            strfmt("unsupported version %u (reader supports %u)",
+                   version_, kTraceVersion));
     const std::uint32_t header_bytes = readU32(hdr + 12);
     const std::uint64_t index_offset = readU64(hdr + 16);
     if (header_bytes < kTraceHeaderBytes)
-        fatal("trace: '%s' has a malformed header", path.c_str());
+        throw FormatError(path, 12, "malformed header");
     if (index_offset == 0)
-        fatal("trace: '%s' was never finalized (recording "
-              "interrupted?)",
-              path.c_str());
+        throw FormatError(path, 16,
+                          "never finalized (recording interrupted?)");
     if (index_offset + 8 > fileSize_)
-        fatal("trace: '%s' is truncated (index offset beyond EOF)",
-              path.c_str());
+        throw FormatError(path, 16,
+                          "truncated (index offset beyond EOF)");
 
     std::vector<std::uint8_t> index(
         static_cast<std::size_t>(fileSize_ - index_offset));
@@ -97,20 +98,25 @@ TraceReader::TraceReader(const std::string &path) : path_(path)
     if (index.size() < 8 ||
         std::memcmp(index.data() + index.size() - 8, kTraceEndMagic,
                     8) != 0)
-        fatal("trace: '%s' is truncated (index end marker missing)",
-              path.c_str());
+        throw FormatError(path, index_offset,
+                          "truncated (index end marker missing)");
     index.resize(index.size() - 8);
-    parseIndex(index);
+    parseIndex(index, index_offset);
 }
 
 void
-TraceReader::parseIndex(const std::vector<std::uint8_t> &index)
+TraceReader::parseIndex(const std::vector<std::uint8_t> &index,
+                        std::uint64_t index_offset)
 {
     const std::uint8_t *p = index.data();
     const std::uint8_t *end = p + index.size();
-    auto need = [this](bool ok) {
+    auto need = [this, &p, &index, index_offset](bool ok) {
         if (!ok)
-            fatal("trace: '%s' has a corrupt index", path_.c_str());
+            throw FormatError(
+                path_,
+                index_offset +
+                    static_cast<std::uint64_t>(p - index.data()),
+                "corrupt index");
     };
 
     std::uint64_t num_kernels = 0;
@@ -179,8 +185,8 @@ TraceReader::readAt(std::uint64_t offset, std::uint8_t *dst,
     in_.read(reinterpret_cast<char *>(dst),
              static_cast<std::streamsize>(n));
     if (static_cast<std::size_t>(in_.gcount()) != n)
-        fatal("trace: short read in '%s' (file truncated?)",
-              path_.c_str());
+        throw FormatError(path_, offset,
+                          "short read (file truncated?)");
 }
 
 } // namespace amsc

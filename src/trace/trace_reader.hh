@@ -10,9 +10,10 @@
  * length.
  *
  * Any structural damage -- bad magic, unknown version, missing or
- * truncated index, directory entries pointing past EOF -- is a
- * fatal() at open time: a corrupt trace is a user-input error, not a
- * simulator bug.
+ * truncated index, directory entries pointing past EOF -- throws a
+ * FormatError carrying the offending byte offset at open time (an
+ * unopenable file throws IoError), so a corrupt trace fails one
+ * sweep point instead of the process (docs/robustness.md).
  */
 
 #ifndef AMSC_TRACE_TRACE_READER_HH
@@ -57,7 +58,10 @@ struct TraceKernel
 class TraceReader
 {
   public:
-    /** Open and validate @p path; fatal() on any corruption. */
+    /**
+     * Open and validate @p path; throws FormatError/IoError on any
+     * corruption.
+     */
     explicit TraceReader(const std::string &path);
 
     TraceReader(const TraceReader &) = delete;
@@ -81,13 +85,15 @@ class TraceReader
 
     /**
      * Read @p n bytes at absolute file @p offset into @p dst;
-     * fatal() on a short read (the directory guarantees bounds).
+     * throws FormatError on a short read (the directory guarantees
+     * bounds).
      */
     void readAt(std::uint64_t offset, std::uint8_t *dst,
                 std::size_t n) const;
 
   private:
-    void parseIndex(const std::vector<std::uint8_t> &index);
+    void parseIndex(const std::vector<std::uint8_t> &index,
+                    std::uint64_t index_offset);
 
     std::string path_;
     mutable std::ifstream in_;

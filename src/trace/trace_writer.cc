@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/error.hh"
 #include "common/log.hh"
 #include "sim/gpu_system.hh"
 #include "trace/trace_format.hh"
@@ -54,7 +55,7 @@ TraceWriter::TraceWriter(const std::string &path) : path_(path)
 {
     out_.open(path, std::ios::binary | std::ios::trunc);
     if (!out_)
-        fatal("trace: cannot open '%s' for writing", path.c_str());
+        throw IoError(path, "cannot open trace for writing");
 
     // Header with a zero index offset; patched by finalize(). A
     // reader seeing offset 0 knows the recording was cut short.
@@ -169,7 +170,7 @@ TraceWriter::finalize()
                static_cast<std::streamsize>(patch.size()));
     out_.close();
     if (!out_)
-        fatal("trace: error finalizing '%s'", path_.c_str());
+        throw IoError(path_, "error finalizing trace");
 }
 
 void
@@ -178,7 +179,7 @@ TraceWriter::writeRaw(const void *data, std::size_t n)
     out_.write(static_cast<const char *>(data),
                static_cast<std::streamsize>(n));
     if (!out_)
-        fatal("trace: write error on '%s'", path_.c_str());
+        throw IoError(path_, "trace write error");
     offset_ += n;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/log.hh"
 #include "trace/recording_gen.hh"
 #include "trace/replay_gen.hh"
@@ -183,7 +184,7 @@ WorkloadSuite::byName(const std::string &abbr)
         if (s.abbr == abbr)
             return s;
     }
-    fatal("unknown workload '%s'", abbr.c_str());
+    throw ConfigError(strfmt("unknown workload '%s'", abbr.c_str()));
 }
 
 std::vector<WorkloadSpec>

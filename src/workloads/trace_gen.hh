@@ -126,6 +126,28 @@ class SyntheticGen : public WarpTraceGen
 
     bool nextInstr(WarpInstr &out, Cycle now) override;
 
+    void
+    saveCkpt(CkptWriter &w) const override
+    {
+        const auto st = rng_.state();
+        w.u64(st.first);
+        w.u64(st.second);
+        w.varint(issued_);
+        w.varint(streamPos_);
+        w.varint(privatePos_);
+    }
+
+    void
+    loadCkpt(CkptReader &r) override
+    {
+        const std::uint64_t s0 = r.u64();
+        const std::uint64_t s1 = r.u64();
+        rng_.setState(s0, s1);
+        issued_ = r.varint();
+        streamPos_ = r.varint();
+        privatePos_ = r.varint();
+    }
+
   private:
     Addr sharedAddr(Cycle now);
     Addr privateAddr();

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Atomic-write protocol + I/O fault injector unit tests: every
+ * injector mode, and the invariant the whole robustness layer leans
+ * on -- a failed writeFileAtomic() never disturbs the destination
+ * (docs/robustness.md). The kill_after_rename mode is exercised
+ * end-to-end (it _Exit()s the process) in test_crash_recovery.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/atomic_io.hh"
+#include "common/error.hh"
+#include "throw_util.hh"
+
+namespace amsc
+{
+
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "amsc_aio_" + name;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+/** Re-arms the global injector and always disarms on exit. */
+class InjectorGuard
+{
+  public:
+    explicit InjectorGuard(const std::string &spec)
+    {
+        IoFaultInjector::instance().configure(spec);
+    }
+    ~InjectorGuard() { IoFaultInjector::instance().configure(""); }
+};
+
+} // namespace
+
+TEST(AtomicIo, WriteAndAppendRoundTrip)
+{
+    const std::string path = tmpPath("roundtrip.txt");
+    std::remove(path.c_str());
+    writeFileAtomic(path, "hello ");
+    appendFileDurable(path, "world");
+    EXPECT_EQ(readFile(path), "hello world");
+    writeFileAtomic(path, "replaced");
+    EXPECT_EQ(readFile(path), "replaced");
+    std::remove(path.c_str());
+}
+
+TEST(AtomicIo, FailedWriteLeavesDestinationUntouched)
+{
+    const std::string path = tmpPath("untouched.txt");
+    writeFileAtomic(path, "old contents");
+    {
+        InjectorGuard guard("fail_write=1");
+        EXPECT_THROW(writeFileAtomic(path, "new contents"), IoError);
+    }
+    EXPECT_EQ(readFile(path), "old contents")
+        << "a failed atomic write must not disturb the destination";
+    std::remove(path.c_str());
+}
+
+TEST(AtomicIo, ShortWriteThrowsNotTruncates)
+{
+    const std::string path = tmpPath("short.txt");
+    writeFileAtomic(path, "old");
+    {
+        InjectorGuard guard("short_write=1");
+        // The prefix lands in the temp file, never in the target:
+        // the error must surface instead of a silent truncation.
+        EXPECT_THROW(
+            writeFileAtomic(path, std::string(4096, 'x')), IoError);
+    }
+    EXPECT_EQ(readFile(path), "old");
+    std::remove(path.c_str());
+}
+
+TEST(AtomicIo, EnospcReportsTheCondition)
+{
+    const std::string path = tmpPath("enospc.txt");
+    std::remove(path.c_str());
+    InjectorGuard guard("enospc=1");
+    AMSC_EXPECT_THROW_MSG(writeFileAtomic(path, "data"), IoError,
+                          "space");
+}
+
+TEST(AtomicIo, NthWriteCountingIsOneBased)
+{
+    const std::string a = tmpPath("count_a.txt");
+    const std::string b = tmpPath("count_b.txt");
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+    InjectorGuard guard("fail_write=2");
+    writeFileAtomic(a, "first is fine");
+    EXPECT_THROW(writeFileAtomic(b, "second dies"), IoError);
+    EXPECT_EQ(readFile(a), "first is fine");
+    std::remove(a.c_str());
+}
+
+TEST(AtomicIo, CheckedStreamWriteFlagsStreamFailure)
+{
+    std::ostringstream ok;
+    checkedStreamWrite(ok, "payload", "<mem>");
+    EXPECT_EQ(ok.str(), "payload");
+
+    std::ostringstream bad;
+    bad.setstate(std::ios::badbit);
+    EXPECT_THROW(checkedStreamWrite(bad, "payload", "<mem>"),
+                 IoError);
+}
+
+TEST(AtomicIo, InjectorSpecValidation)
+{
+    InjectorGuard guard("");
+    EXPECT_FALSE(IoFaultInjector::instance().armed());
+    IoFaultInjector::instance().configure("fail_write=3");
+    EXPECT_TRUE(IoFaultInjector::instance().armed());
+    IoFaultInjector::instance().configure("");
+    EXPECT_FALSE(IoFaultInjector::instance().armed());
+    EXPECT_THROW(IoFaultInjector::instance().configure("bogus=1"),
+                 ConfigError);
+    EXPECT_THROW(
+        IoFaultInjector::instance().configure("fail_write=zero"),
+        ConfigError);
+    EXPECT_THROW(IoFaultInjector::instance().configure("fail_write"),
+                 ConfigError);
+}
+
+} // namespace amsc

@@ -81,7 +81,7 @@ TEST(Docs, RegistryCoversEverySimConfigField)
     // the struct's size on the reference platform -- adding a field
     // changes it, and the test text tells the author what to update.
 #if defined(__x86_64__) && defined(__linux__) && defined(__GLIBCXX__)
-    EXPECT_EQ(sizeof(SimConfig), 544u)
+    EXPECT_EQ(sizeof(SimConfig), 592u)
         << "SimConfig changed. If you added or resized a field: add "
            "a ConfigRegistry entry for it in src/sim/sim_config.cc, "
            "regenerate docs/configuration.md (build/amsc describe "
@@ -167,7 +167,8 @@ TEST(Docs, ReferencedDocsExist)
     for (const char *doc :
          {"docs/DESIGN.md", "docs/configuration.md",
           "docs/architecture.md", "docs/trace_format.md",
-          "docs/performance.md", "docs/observability.md"}) {
+          "docs/performance.md", "docs/observability.md",
+          "docs/robustness.md"}) {
         const std::string text = readFile(kSourceDir + "/" + doc);
         EXPECT_GT(text.size(), 500u) << doc;
     }

@@ -20,6 +20,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
+#include "throw_util.hh"
+
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -67,10 +70,12 @@ TEST(ReplacementPolicyNames, ParseAndNameRoundTrip)
         EXPECT_EQ(parseBypassPolicy(bypassPolicyName(b)), b);
 }
 
-TEST(ReplacementPolicyNamesDeathTest, UnknownNamesAreFatal)
+TEST(ReplacementPolicyNames, UnknownNamesThrowConfigError)
 {
-    EXPECT_DEATH(parseReplPolicy("plru"), "srrip");
-    EXPECT_DEATH(parseBypassPolicy("always"), "stream");
+    AMSC_EXPECT_THROW_MSG(parseReplPolicy("plru"), ConfigError,
+                          "srrip");
+    AMSC_EXPECT_THROW_MSG(parseBypassPolicy("always"), ConfigError,
+                          "stream");
 }
 
 // ------------------------------------------------- generic properties
@@ -577,8 +582,9 @@ TEST(DifferentialOracle, SrripMatchesIndependentRripReference)
         const Addr expect_victim = target->addr;
         tags.insert(a, static_cast<Cycle>(i), ev);
         ASSERT_EQ(ev.valid, expect_evict) << "step " << i;
-        if (ev.valid)
+        if (ev.valid) {
             ASSERT_EQ(ev.lineAddr, expect_victim) << "step " << i;
+        }
         target->addr = a;
         target->valid = true;
         target->rrpv = 2;
@@ -705,14 +711,16 @@ TEST(AblationReplacement, BypassAppOverridesAreNeverSilentlyInert)
     EXPECT_TRUE(lp.slice.bypassApp.empty());
 }
 
-TEST(AblationReplacementDeathTest, MalformedBypassAppsAreFatal)
+TEST(AblationReplacement, MalformedBypassAppsThrow)
 {
     SimConfig cfg;
     cfg.llcBypassApps = "on+off"; // 2 entries, 1 app
-    EXPECT_DEATH(cfg.validate(), "llc_bypass_apps");
+    AMSC_EXPECT_THROW_MSG(cfg.validate(), ConfigError,
+                          "llc_bypass_apps");
     SimConfig cfg2;
     cfg2.llcBypassApps = "maybe";
-    EXPECT_DEATH(cfg2.validate(), "on|off|inherit");
+    AMSC_EXPECT_THROW_MSG(cfg2.validate(), ConfigError,
+                          "on|off|inherit");
 }
 
 TEST(AblationReplacement, LruPointRunsBitIdenticalToDefaultPath)

@@ -13,6 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
+#include "throw_util.hh"
+
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -137,13 +140,15 @@ TEST(ScenarioKv, ListsAndInsertionOrder)
     EXPECT_EQ(keys[1], "sweep.llc_policy");
 }
 
-TEST(ScenarioKvDeathTest, SyntaxErrorsNameTheLine)
+TEST(ScenarioKvErrors, SyntaxErrorsNameTheLine)
 {
-    EXPECT_DEATH(KvArgs::parseText("config {\n", "f.scn"),
-                 "unterminated");
-    EXPECT_DEATH(KvArgs::parseText("}\n", "f.scn"), "f.scn:1");
-    EXPECT_DEATH(KvArgs::parseText("not an assignment\n", "f.scn"),
-                 "key = value");
+    AMSC_EXPECT_THROW_MSG(KvArgs::parseText("config {\n", "f.scn"),
+                          FormatError, "unterminated");
+    AMSC_EXPECT_THROW_MSG(KvArgs::parseText("}\n", "f.scn"),
+                          FormatError, "line 1: unmatched");
+    AMSC_EXPECT_THROW_MSG(
+        KvArgs::parseText("not an assignment\n", "f.scn"),
+        FormatError, "key = value");
 }
 
 // ------------------------------------------- shipped .scn files
@@ -431,49 +436,49 @@ TEST(Scenario, SharingScenariosCollectBucketsViaPostHook)
 
 // ------------------------------------------- unknown-key messages
 
-TEST(ScenarioDeathTest, UnknownKeysNameTheNearestValidKey)
+TEST(ScenarioErrors, UnknownKeysNameTheNearestValidKey)
 {
     SimConfig cfg;
-    EXPECT_DEATH(ConfigRegistry::apply(cfg, "nmu_sms", "80"),
-                 "num_sms");
-    EXPECT_DEATH(
+    AMSC_EXPECT_THROW_MSG(ConfigRegistry::apply(cfg, "nmu_sms", "80"),
+                          ConfigError, "num_sms");
+    AMSC_EXPECT_THROW_MSG(
         Scenario::fromKv(Scenario::parseScnText("config {\n"
                                            "  lin_bytes = 64\n"
                                            "}\n"),
                          "f.scn"),
-        "config.line_bytes");
-    EXPECT_DEATH(
+        ConfigError, "config.line_bytes");
+    AMSC_EXPECT_THROW_MSG(
         Scenario::fromKv(Scenario::parseScnText("workload = VA\n"
                                            "sweep {\n"
                                            "  llc_polcy = shared\n"
                                            "}\n"),
                          "f.scn"),
-        "llc_policy");
-    EXPECT_DEATH(
+        ConfigError, "llc_policy");
+    AMSC_EXPECT_THROW_MSG(
         Scenario::fromKv(Scenario::parseScnText("worklod = AN\n"),
                          "f.scn"),
-        "workload");
-    EXPECT_DEATH(
+        ConfigError, "workload");
+    AMSC_EXPECT_THROW_MSG(
         Scenario::fromKv(Scenario::parseScnText("workload = ANX\n"),
                          "f.scn"),
-        "nearest is 'AN'");
-    EXPECT_DEATH(
+        ConfigError, "nearest is 'AN'");
+    AMSC_EXPECT_THROW_MSG(
         Scenario::fromKv(Scenario::parseScnText("app {\n"
                                            "  pattern = zipf\n"
                                            "  zipf_alpa = 0.7\n"
                                            "}\n"),
                          "f.scn"),
-        "zipf_alpha");
+        ConfigError, "zipf_alpha");
     // A block name used as a scalar key must produce a suggestion,
     // not a crash.
-    EXPECT_DEATH(
+    AMSC_EXPECT_THROW_MSG(
         Scenario::fromKv(Scenario::parseScnText("app = AN\n"),
                          "f.scn"),
-        "app.workload");
-    EXPECT_DEATH(
+        ConfigError, "app.workload");
+    AMSC_EXPECT_THROW_MSG(
         Scenario::fromKv(Scenario::parseScnText("grid = x\n"),
                          "f.scn"),
-        "grid.sweep");
+        ConfigError, "grid.sweep");
 }
 
 // ------------------------------------------- emitter golden files

@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
+#include "throw_util.hh"
+
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -356,7 +359,8 @@ TEST(TraceErrors, RejectsBadMagic)
     std::vector<std::uint8_t> bytes(64, 0);
     bytes[0] = 'X';
     spit(path, bytes);
-    EXPECT_DEATH(TraceReader reader(path), "bad magic");
+    AMSC_EXPECT_THROW_MSG(TraceReader reader(path), FormatError,
+                          "bad magic");
     std::remove(path.c_str());
 }
 
@@ -384,7 +388,8 @@ TEST(TraceErrors, RejectsUnfinalizedFile)
     for (int i = 0; i < 8; ++i)
         bytes[16 + i] = 0; // zero the index offset
     spit(path, bytes);
-    EXPECT_DEATH(TraceReader reader(path), "never finalized");
+    AMSC_EXPECT_THROW_MSG(TraceReader reader(path), FormatError,
+                          "never finalized");
     std::remove(path.c_str());
 }
 
@@ -399,7 +404,8 @@ TEST(TraceErrors, RejectsTruncatedIndex)
     std::vector<std::uint8_t> bytes = slurp(path);
     bytes.resize(bytes.size() - 4); // clip the end marker
     spit(path, bytes);
-    EXPECT_DEATH(TraceReader reader(path), "truncated|corrupt");
+    AMSC_EXPECT_THROW_MSG(TraceReader reader(path), FormatError,
+                          "truncated");
     std::remove(path.c_str());
 }
 
@@ -407,14 +413,15 @@ TEST(TraceErrors, RejectsShortFile)
 {
     const std::string path = tmpPath("short.trc");
     spit(path, std::vector<std::uint8_t>(10, 0));
-    EXPECT_DEATH(TraceReader reader(path), "shorter");
+    AMSC_EXPECT_THROW_MSG(TraceReader reader(path), FormatError,
+                          "shorter");
     std::remove(path.c_str());
 }
 
 TEST(TraceErrors, RejectsMissingFile)
 {
-    EXPECT_DEATH(TraceReader reader(tmpPath("nonexistent.trc")),
-                 "cannot open");
+    AMSC_EXPECT_THROW_MSG(TraceReader reader(tmpPath("nonexistent.trc")),
+                          IoError, "cannot open");
 }
 
 // ------------------------------------------- determinism (RNG seeding)

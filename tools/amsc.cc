@@ -9,6 +9,17 @@
  *   amsc sweep <scenario.scn> [sweep.key=v1,v2 ...] [key=value ...]
  *       Like run, but defaults to CSV output and reports the grid
  *       expansion; extra sweep axes can be added on the command line.
+ *       With --journal=DIR [--shard=i/N] the run is crash-safe: each
+ *       finished point is appended to a per-shard journal and
+ *       nothing is emitted (that is merge's job).
+ *
+ *   amsc resume <scenario.scn> --journal=DIR [--shard=i/N]
+ *       Re-open a journaled sweep after a crash or kill and run only
+ *       the points that are not journaled yet.
+ *
+ *   amsc merge <scenario.scn> --journal=DIR [format=csv|json]
+ *       Fold the shard journals back into the byte-identical CSV or
+ *       JSON a single uninterrupted process would have emitted.
  *
  *   amsc list [workloads|scenarios [dir=DIR]]
  *       The Table-2 workload suite, or the .scn files of a directory.
@@ -25,8 +36,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,6 +53,7 @@
 #define AMSC_FILENO fileno
 #endif
 
+#include "common/error.hh"
 #include "common/kvargs.hh"
 #include "common/log.hh"
 #include "common/strutil.hh"
@@ -47,6 +61,7 @@
 #include "scenario/emit.hh"
 #include "scenario/scenario.hh"
 #include "scenario/schema.hh"
+#include "sim/journal.hh"
 #include "sim/sweep.hh"
 #include "workloads/suite.hh"
 
@@ -58,8 +73,8 @@ namespace
 {
 
 /** Keys consumed by the CLI itself, not by the scenario. */
-const std::vector<std::string> kCliKeys = {"threads", "format", "out",
-                                           "smoke"};
+const std::vector<std::string> kCliKeys = {
+    "threads", "format", "out", "smoke", "--journal", "--shard"};
 
 int
 usage()
@@ -71,6 +86,10 @@ usage()
         "scenario\n"
         "  sweep <file.scn> [sweep.key=v1,v2 ...]     execute and "
         "emit CSV\n"
+        "  resume <file.scn> --journal=DIR            finish a "
+        "killed sweep\n"
+        "  merge <file.scn> --journal=DIR             fold shard "
+        "journals to CSV/JSON\n"
         "  list [workloads|scenarios [dir=DIR]]       what is "
         "available\n"
         "  describe [<key>] [--markdown]              configuration "
@@ -81,8 +100,10 @@ usage()
         "common keys: threads=N format=table|csv|json out=FILE\n"
         "run/sweep:   --timeline=FILE (Perfetto JSON per point), "
         "--progress\n"
+        "sweep/resume: --journal=DIR (crash-safe journaled run), "
+        "--shard=i/N\n"
         "full reference: docs/configuration.md, "
-        "docs/observability.md\n",
+        "docs/observability.md, docs/robustness.md\n",
         stderr);
     return 2;
 }
@@ -143,8 +164,29 @@ renderEta(double seconds)
     return strfmt("%lds", s);
 }
 
+/** Parse --shard=i/N (0-based); defaults to 0/1. */
+void
+parseShard(const KvArgs &args, std::uint32_t &shard,
+           std::uint32_t &shard_count)
+{
+    shard = 0;
+    shard_count = 1;
+    const std::string spec = args.getString("--shard", "");
+    if (spec.empty())
+        return;
+    unsigned i = 0, n = 0;
+    int consumed = 0;
+    if (std::sscanf(spec.c_str(), "%u/%u%n", &i, &n, &consumed) !=
+            2 ||
+        consumed != static_cast<int>(spec.size()) || n == 0 || i >= n)
+        fatal("bad --shard '%s' (expected i/N with 0 <= i < N)",
+              spec.c_str());
+    shard = i;
+    shard_count = n;
+}
+
 int
-cmdRunSweep(const KvArgs &args, bool is_sweep)
+cmdRunSweep(const KvArgs &args, bool is_sweep, bool is_resume)
 {
     if (args.positionals().size() < 2)
         return usage();
@@ -175,6 +217,48 @@ cmdRunSweep(const KvArgs &args, bool is_sweep)
         if (!points[0].cfg.timelineOut.empty())
             std::fprintf(stderr, "amsc: timeline per point: %s ...\n",
                          points[0].cfg.timelineOut.c_str());
+    }
+
+    // Journaled execution: open (or resume) this shard's journal
+    // and mask out foreign-shard and already-journaled points.
+    std::uint32_t shard = 0, shard_count = 1;
+    parseShard(args, shard, shard_count);
+    const std::string journal_dir = args.getString("--journal", "");
+    if (is_resume && journal_dir.empty())
+        fatal("amsc resume requires --journal=DIR");
+    if (journal_dir.empty() && shard_count != 1)
+        fatal("--shard requires --journal "
+              "(amsc merge reassembles the grid)");
+
+    std::unique_ptr<SweepJournal> journal;
+    std::vector<char> skip;
+    std::size_t shard_points = 0, already_done = 0;
+    if (!journal_dir.empty()) {
+        std::filesystem::create_directories(journal_dir);
+        const JournalHeader header{sweepIdentityHash(points), shard,
+                                   shard_count, points.size()};
+        const std::string jpath = journal_dir + "/" +
+            SweepJournal::shardFileName(shard, shard_count);
+        if (is_resume && !std::filesystem::exists(jpath))
+            fatal("nothing to resume: %s does not exist",
+                  jpath.c_str());
+        journal = std::make_unique<SweepJournal>(jpath, header);
+        skip.assign(points.size(), 0);
+        for (std::size_t j = 0; j < points.size(); ++j) {
+            if (j % shard_count != shard) {
+                skip[j] = 1;
+                continue;
+            }
+            ++shard_points;
+            if (journal->has(j)) {
+                skip[j] = 1;
+                ++already_done;
+            }
+        }
+        std::fprintf(stderr,
+                     "amsc: journal %s: %zu/%zu shard points "
+                     "already done\n",
+                     jpath.c_str(), already_done, shard_points);
     }
 
     const SweepRunner runner(
@@ -228,8 +312,30 @@ cmdRunSweep(const KvArgs &args, bool is_sweep)
                      renderEta(eta).c_str(),
                      points[index].label.c_str());
     };
+    std::vector<std::string> errors(points.size());
+    SweepOptions options;
+    options.skip = skip.empty() ? nullptr : &skip;
+    options.onResult = [&](std::size_t i, const RunResult &r,
+                           const std::string &err) {
+        errors[i] = err;
+        if (journal)
+            journal->append(
+                {i, !err.empty(), points[i].label, err, r});
+    };
     const std::vector<RunResult> results =
-        runner.run(points, progress);
+        runner.run(points, options, progress);
+
+    if (journal) {
+        // Emission is merge's job: a shard only sees its slice.
+        std::fprintf(stderr,
+                     "amsc: shard %u/%u complete: %zu/%zu points "
+                     "journaled; emit with `amsc merge %s "
+                     "--journal=%s`\n",
+                     shard, shard_count, journal->numDone(),
+                     shard_points, path.c_str(),
+                     journal_dir.c_str());
+        return 0;
+    }
 
     const std::string format =
         args.getString("format", is_sweep ? "csv" : "table");
@@ -238,10 +344,105 @@ cmdRunSweep(const KvArgs &args, bool is_sweep)
     if (format == "table")
         scenario::writeOut(scenario::renderTable(epts, results), out);
     else if (format == "csv")
-        scenario::writeOut(scenario::emitCsv(epts, results), out);
+        scenario::writeOut(
+            scenario::emitCsv(epts, results, errors), out);
     else if (format == "json")
         scenario::writeOut(
-            scenario::emitJson(scn.name(), epts, results), out);
+            scenario::emitJson(scn.name(), epts, results, errors),
+            out);
+    else
+        fatal("unknown format '%s' (table|csv|json)", format.c_str());
+    return 0;
+}
+
+/** amsc merge: fold shard journals into the single-process output. */
+int
+cmdMerge(const KvArgs &args)
+{
+    if (args.positionals().size() < 2)
+        return usage();
+    const std::string path = args.positionals()[1];
+    const std::string journal_dir = args.getString("--journal", "");
+    if (journal_dir.empty())
+        fatal("amsc merge requires --journal=DIR");
+
+    Scenario scn = loadWithOverrides(path, args);
+    scn.setSmoke(hasFlag(args, "--smoke") ||
+                 args.getBool("smoke", false));
+    const std::vector<ExpandedPoint> expanded = scn.expand();
+    std::vector<SweepPoint> points;
+    points.reserve(expanded.size());
+    for (const ExpandedPoint &ep : expanded)
+        points.push_back(ep.point);
+    const std::uint64_t sweep_hash = sweepIdentityHash(points);
+
+    // Discover the shard files; all must agree on the shard count.
+    std::vector<std::pair<std::uint32_t, std::string>> shards;
+    std::uint32_t shard_count = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(journal_dir)) {
+        const std::string name = entry.path().filename().string();
+        unsigned i = 0, n = 0;
+        int consumed = 0;
+        if (std::sscanf(name.c_str(), "shard-%u-of-%u.jnl%n", &i, &n,
+                        &consumed) != 2 ||
+            consumed != static_cast<int>(name.size()) || n == 0)
+            continue;
+        if (i >= n)
+            fatal("bad journal name %s (shard index out of range)",
+                  name.c_str());
+        if (shard_count == 0)
+            shard_count = n;
+        else if (n != shard_count)
+            fatal("journal dir mixes shard counts (%u and %u)",
+                  shard_count, n);
+        shards.emplace_back(i, entry.path().string());
+    }
+    if (shards.empty())
+        fatal("no shard journals (shard-*-of-*.jnl) in %s",
+              journal_dir.c_str());
+    std::sort(shards.begin(), shards.end());
+
+    std::vector<RunResult> results(points.size());
+    std::vector<std::string> errors(points.size());
+    std::vector<char> have(points.size(), 0);
+    for (const auto &[index, file] : shards) {
+        const JournalHeader expect{sweep_hash, index, shard_count,
+                                   points.size()};
+        for (const JournalRecord &rec :
+             SweepJournal::readAll(file, expect)) {
+            if (have[rec.pointIndex])
+                continue;
+            have[rec.pointIndex] = 1;
+            results[rec.pointIndex] = rec.result;
+            if (rec.failed) {
+                errors[rec.pointIndex] = rec.error.empty()
+                    ? "failed"
+                    : rec.error;
+            }
+        }
+    }
+    std::size_t missing = 0;
+    for (const char h : have)
+        missing += (h == 0);
+    if (missing != 0)
+        fatal("journal incomplete: %zu of %zu points missing "
+              "(finish with `amsc resume %s --journal=%s`)",
+              missing, points.size(), path.c_str(),
+              journal_dir.c_str());
+
+    const std::string format = args.getString("format", "csv");
+    const std::string out = args.getString("out", "");
+    const auto epts = scenario::emitPoints(expanded);
+    if (format == "table")
+        scenario::writeOut(scenario::renderTable(epts, results), out);
+    else if (format == "csv")
+        scenario::writeOut(
+            scenario::emitCsv(epts, results, errors), out);
+    else if (format == "json")
+        scenario::writeOut(
+            scenario::emitJson(scn.name(), epts, results, errors),
+            out);
     else
         fatal("unknown format '%s' (table|csv|json)", format.c_str());
     return 0;
@@ -346,16 +547,25 @@ main(int argc, char **argv)
     if (args.positionals().empty())
         return usage();
     const std::string &cmd = args.positionals()[0];
-    if (cmd == "run")
-        return cmdRunSweep(args, false);
-    if (cmd == "sweep")
-        return cmdRunSweep(args, true);
-    if (cmd == "list")
-        return cmdList(args);
-    if (cmd == "describe")
-        return cmdDescribe(args);
-    if (cmd == "validate-timeline")
-        return cmdValidateTimeline(args);
+    try {
+        if (cmd == "run")
+            return cmdRunSweep(args, false, false);
+        if (cmd == "sweep")
+            return cmdRunSweep(args, true, false);
+        if (cmd == "resume")
+            return cmdRunSweep(args, true, true);
+        if (cmd == "merge")
+            return cmdMerge(args);
+        if (cmd == "list")
+            return cmdList(args);
+        if (cmd == "describe")
+            return cmdDescribe(args);
+        if (cmd == "validate-timeline")
+            return cmdValidateTimeline(args);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "amsc: error: %s\n", e.what());
+        return 1;
+    }
     std::fprintf(stderr, "amsc: unknown command '%s'\n", cmd.c_str());
     return usage();
 }
