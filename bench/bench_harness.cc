@@ -15,6 +15,11 @@
  *      checkpointing off vs every ~1/8 horizon; results must stay
  *      bit-identical (crash-safety may not perturb the simulation)
  *      and the wall-clock delta is the tracked cost.
+ *   1e. event-core speedup -- an idle-heavy microbenchmark (one
+ *      resident CTA streaming all-miss lines through an ideal NoC
+ *      with long latencies) run under sim_mode=tick and sim_mode=
+ *      event; results must be bit-identical and the event driver
+ *      must not be slower than the tick loop (both hard gates).
  *   2. fig11 sweep scaling -- the Figure-11 grid (workloads x
  *      {shared, private, adaptive}) executed at 1/2/4/8 threads;
  *      reports wall clock per sweep and speedup vs 1 thread.
@@ -39,6 +44,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "workloads/trace_gen.hh"
 
 using namespace amsc;
 using namespace amsc::bench;
@@ -188,6 +194,55 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(ck_on.checkpointEvery),
                 ck_walls[1], ck_pct, ck_bit_exact ? "yes" : "NO");
 
+    // ---- phase 1e: event-core speedup (sim_mode tick vs event) ----
+    // The workload class the event driver exists for: one resident
+    // CTA whose private stream misses everywhere, an ideal NoC and
+    // long LLC/DRAM latencies, so the machine spends most cycles
+    // waiting on exact DelayQueue/DRAM events that the event core
+    // jumps across. Bit-identical results are a hard gate (the two
+    // drivers are contractually the same simulator), and the event
+    // run regressing below tick speed here fails the harness: that
+    // is the one scenario where the jump machinery must pay off.
+    SimConfig ev_cfg = cfg;
+    ev_cfg.topology = NocTopology::Ideal;
+    ev_cfg.idealNocLatency = 200;
+    ev_cfg.llcMissLatency = 100;
+    ev_cfg.l1Latency = 100;
+    ev_cfg.maxCycles = smoke ? 250000 : 2000000;
+    TraceParams ev_trace;
+    ev_trace.pattern = AccessPattern::PrivateStream;
+    ev_trace.privateLinesPerCta = 100000;
+    ev_trace.writeFraction = 0.0;
+    ev_trace.memInstrsPerWarp = smoke ? 500 : 2000;
+    ev_trace.computePerMem = 0;
+    ev_trace.seed = 3;
+    const std::vector<KernelInfo> ev_kernels{
+        makeSyntheticKernel("idle", ev_trace, 1, 1)};
+    RunResult ev_results[2];
+    double ev_walls[2];
+    for (int m = 0; m < 2; ++m) {
+        SimConfig c = ev_cfg;
+        c.simMode = m == 0 ? SimMode::Tick : SimMode::Event;
+        ev_walls[m] = wallSeconds([&]() {
+            GpuSystem gpu(c);
+            gpu.setWorkload(0, ev_kernels);
+            ev_results[m] = gpu.run();
+        });
+    }
+    const bool ev_bit_exact =
+        identicalResults(ev_results[0], ev_results[1]);
+    const double ev_speedup = ev_walls[0] / ev_walls[1];
+    const double ev_tick_cps =
+        static_cast<double>(ev_results[0].cycles) / ev_walls[0];
+    const double ev_event_cps =
+        static_cast<double>(ev_results[1].cycles) / ev_walls[1];
+    std::printf("event core (idle-heavy, %llu cycles): tick %.3f s "
+                "(%.0f cycles/s), event %.3f s (%.0f cycles/s), "
+                "%.1fx, bit-exact: %s\n",
+                static_cast<unsigned long long>(ev_results[0].cycles),
+                ev_walls[0], ev_tick_cps, ev_walls[1], ev_event_cps,
+                ev_speedup, ev_bit_exact ? "yes" : "NO");
+
     // ---- phase 2: fig11 sweep at 1/2/4/8 threads ------------------
     std::vector<SweepPoint> points;
     if (smoke) {
@@ -272,6 +327,17 @@ main(int argc, char **argv)
     out << "    \"bit_exact\": " << (ck_bit_exact ? "true" : "false")
         << "\n";
     out << "  },\n";
+    out << "  \"event_mode\": {\n";
+    out << "    \"simulated_cycles\": " << ev_results[0].cycles
+        << ",\n";
+    out << "    \"tick_seconds\": " << ev_walls[0] << ",\n";
+    out << "    \"event_seconds\": " << ev_walls[1] << ",\n";
+    out << "    \"tick_cycles_per_sec\": " << ev_tick_cps << ",\n";
+    out << "    \"event_cycles_per_sec\": " << ev_event_cps << ",\n";
+    out << "    \"speedup\": " << ev_speedup << ",\n";
+    out << "    \"bit_exact\": " << (ev_bit_exact ? "true" : "false")
+        << "\n";
+    out << "  },\n";
     out << "  \"fig11_sweep\": {\n";
     out << "    \"points\": " << points.size() << ",\n";
     out << "    \"wall_seconds\": {";
@@ -311,6 +377,19 @@ main(int argc, char **argv)
                      "FAIL: periodic checkpointing perturbed the "
                      "simulation (results differ with "
                      "checkpoint_every on)\n");
+        return 1;
+    }
+    if (!ev_bit_exact) {
+        std::fprintf(stderr,
+                     "FAIL: sim_mode=event diverged from the tick "
+                     "loop on the idle-heavy microbenchmark\n");
+        return 1;
+    }
+    if (ev_speedup < 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: sim_mode=event is slower than the tick "
+                     "loop on the idle-heavy microbenchmark "
+                     "(%.2fx)\n", ev_speedup);
         return 1;
     }
     return 0;

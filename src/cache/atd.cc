@@ -147,7 +147,7 @@ Atd::hardwareCostBytes(std::uint32_t tag_bits) const
 void
 Atd::saveCkpt(CkptWriter &w) const
 {
-    w.podVec(entries_);
+    ckptValue(w, entries_);
     repl_->saveCkpt(w);
     w.u64(samples_);
     w.u64(sharedHits_);
@@ -158,7 +158,7 @@ void
 Atd::loadCkpt(CkptReader &r)
 {
     std::vector<CacheLine> entries;
-    r.podVec(entries);
+    ckptValue(r, entries);
     if (entries.size() != entries_.size())
         r.fail("ATD geometry mismatch");
     entries_ = std::move(entries);

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "common/ckpt.hh"
 #include "common/types.hh"
 
 namespace amsc
@@ -78,6 +79,26 @@ struct CacheLine
     /** True once the line was hit after its install (reuse signal). */
     bool reused = false;
 };
+
+/*
+ * CacheLine has padding holes, so raw pod() serialization would leak
+ * indeterminate bytes into checkpoints; encode field-wise.
+ */
+inline void
+ckptValue(CkptWriter &w, const CacheLine &l)
+{
+    ckptFields(w, l.lineAddr, l.valid, l.dirty, l.replState,
+               l.insertCycle, l.accessorMask, l.lastAccessor,
+               l.fillSrc, l.reused);
+}
+
+inline void
+ckptValue(CkptReader &r, CacheLine &l)
+{
+    ckptFields(r, l.lineAddr, l.valid, l.dirty, l.replState,
+               l.insertCycle, l.accessorMask, l.lastAccessor,
+               l.fillSrc, l.reused);
+}
 
 } // namespace amsc
 

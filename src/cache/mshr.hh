@@ -145,7 +145,6 @@ class MshrFile
     void
     saveCkpt(CkptWriter &w) const
     {
-        static_assert(std::is_trivially_copyable_v<Target>);
         std::vector<Addr> keys;
         keys.reserve(entries_.size());
         for (const auto &[addr, targets] : entries_)
@@ -157,7 +156,7 @@ class MshrFile
             const auto &targets = entries_.at(addr);
             w.varint(targets.size());
             for (const Target &t : targets)
-                w.pod(t);
+                ckptValue(w, t);
         }
     }
 
@@ -174,7 +173,7 @@ class MshrFile
             targets.reserve(static_cast<std::size_t>(m));
             for (std::uint64_t j = 0; j < m; ++j) {
                 Target t{};
-                r.pod(t);
+                ckptValue(r, t);
                 targets.push_back(std::move(t));
             }
         }

@@ -190,7 +190,7 @@ TagArray::numValidLines() const
 void
 TagArray::saveCkpt(CkptWriter &w) const
 {
-    w.podVec(lines_);
+    ckptValue(w, lines_);
     repl_->saveCkpt(w);
     if (bypass_)
         bypass_->saveCkpt(w);
@@ -200,7 +200,7 @@ void
 TagArray::loadCkpt(CkptReader &r)
 {
     std::vector<CacheLine> lines;
-    r.podVec(lines);
+    ckptValue(r, lines);
     if (lines.size() != lines_.size())
         r.fail("tag array geometry mismatch");
     lines_ = std::move(lines);

@@ -24,6 +24,7 @@
 #ifndef AMSC_COMMON_CKPT_HH
 #define AMSC_COMMON_CKPT_HH
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <deque>
@@ -112,6 +113,14 @@ class CkptWriter
     pod(const T &v)
     {
         static_assert(std::is_trivially_copyable_v<T>);
+        // A padded struct would serialize indeterminate padding
+        // bytes, making two checkpoints of identical machine state
+        // compare unequal (the diff-fuzz harness byte-compares
+        // checkpoint files across runs). Such types must be encoded
+        // field-wise instead.
+        static_assert(std::has_unique_object_representations_v<T>,
+                      "type has padding or non-canonical "
+                      "representations; serialize field-wise");
         bytes(&v, sizeof(T));
     }
 
@@ -120,6 +129,9 @@ class CkptWriter
     podVec(const std::vector<T> &v)
     {
         static_assert(std::is_trivially_copyable_v<T>);
+        static_assert(std::has_unique_object_representations_v<T>,
+                      "type has padding or non-canonical "
+                      "representations; serialize field-wise");
         varint(v.size());
         if (!v.empty())
             bytes(v.data(), v.size() * sizeof(T));
@@ -366,6 +378,22 @@ ckptValue(CkptReader &r, std::optional<T> &v)
     } else {
         v.reset();
     }
+}
+
+template <typename T, std::size_t N>
+void
+ckptValue(CkptWriter &w, const std::array<T, N> &v)
+{
+    for (const T &item : v)
+        ckptValue(w, item);
+}
+
+template <typename T, std::size_t N>
+void
+ckptValue(CkptReader &r, std::array<T, N> &v)
+{
+    for (T &item : v)
+        ckptValue(r, item);
 }
 
 template <typename T>

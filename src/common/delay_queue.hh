@@ -129,9 +129,10 @@ class DelayQueue
     void clear() { q_.clear(); }
 
     /**
-     * Serialize (ready cycle, payload) entries. Trivially copyable
-     * payloads are written verbatim; the rest (e.g. std::pair, which
-     * has a non-trivial assignment operator) go through ckptValue().
+     * Serialize (ready cycle, payload) entries. Padding-free
+     * trivially copyable payloads are written verbatim; the rest
+     * (padded structs, std::pair, ...) go through ckptValue() so the
+     * byte stream never contains indeterminate padding.
      */
     void
     saveCkpt(CkptWriter &w) const
@@ -139,7 +140,7 @@ class DelayQueue
         w.varint(q_.size());
         for (const auto &e : q_) {
             w.u64(e.first);
-            if constexpr (std::is_trivially_copyable_v<T>)
+            if constexpr (std::has_unique_object_representations_v<T>)
                 w.pod(e.second);
             else
                 ckptValue(w, e.second);
@@ -155,7 +156,7 @@ class DelayQueue
         for (std::uint64_t i = 0; i < n; ++i) {
             const Cycle ready = r.u64();
             T item{};
-            if constexpr (std::is_trivially_copyable_v<T>)
+            if constexpr (std::has_unique_object_representations_v<T>)
                 r.pod(item);
             else
                 ckptValue(r, item);

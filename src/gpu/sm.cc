@@ -373,7 +373,7 @@ Sm::saveCkpt(CkptWriter &w) const
     w.varint(warps_.size());
     for (const Warp &warp : warps_) {
         w.u8(static_cast<std::uint8_t>(warp.state));
-        w.pod(warp.cur);
+        ckptValue(w, warp.cur);
         w.u32(warp.computeLeft);
         w.u32(warp.nextAccess);
         w.u32(warp.outstanding);
@@ -431,7 +431,7 @@ Sm::loadCkpt(CkptReader &r, const KernelInfo *kernel)
         if (st > static_cast<std::uint8_t>(WarpState::Done))
             r.fail("bad warp state");
         warp.state = static_cast<WarpState>(st);
-        r.pod(warp.cur);
+        ckptValue(r, warp.cur);
         warp.computeLeft = r.u32();
         warp.nextAccess = r.u32();
         warp.outstanding = r.u32();

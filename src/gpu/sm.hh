@@ -125,6 +125,38 @@ class Sm
     /** True while L1-hit completions are still in flight. */
     bool hasPendingCompletions() const { return !hitQueue_.empty(); }
 
+    /**
+     * Earliest cycle >= @p now whose tick() is not a no-op beyond
+     * the per-cycle counters advanceIdleCycles() compensates: `now`
+     * while a scheduler could issue, the first hit-queue completion
+     * while issue-starved or stalled, kNoCycle when nothing can
+     * happen without external input (a reply or an unstall).
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        if (!stalled_ && issueCandidates_ > 0)
+            return now;
+        if (!hitQueue_.empty()) {
+            const Cycle e = hitQueue_.frontReadyCycle();
+            return e > now ? e : now;
+        }
+        return kNoCycle;
+    }
+
+    /**
+     * Account @p n externally skipped idle cycles (sim_mode=event):
+     * tick() counts each as an issue stall while unfinished warps
+     * exist but none is in an issueable state and the SM is not
+     * reconfiguration-stalled (a stalled tick returns uncounted).
+     */
+    void
+    advanceIdleCycles(Cycle n)
+    {
+        if (!stalled_ && issueCandidates_ == 0 && !done())
+            stats_.issueStallCycles += n;
+    }
+
     /** Stall/unstall instruction issue (LLC reconfiguration). */
     void setStalled(bool stalled) { stalled_ = stalled; }
 

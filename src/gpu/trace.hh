@@ -46,6 +46,24 @@ struct WarpInstr
     bool isAtomic = false;
 };
 
+/*
+ * WarpInstr has padding holes, so raw pod() serialization would leak
+ * indeterminate bytes into checkpoints; encode field-wise.
+ */
+inline void
+ckptValue(CkptWriter &w, const WarpInstr &i)
+{
+    ckptFields(w, i.computeCycles, i.addrs, i.numAccesses, i.isWrite,
+               i.isAtomic);
+}
+
+inline void
+ckptValue(CkptReader &r, WarpInstr &i)
+{
+    ckptFields(r, i.computeCycles, i.addrs, i.numAccesses, i.isWrite,
+               i.isAtomic);
+}
+
 /** Per-warp instruction stream generator. */
 class WarpTraceGen
 {

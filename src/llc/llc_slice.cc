@@ -184,6 +184,28 @@ LlcSlice::tick(Cycle now)
     }
 }
 
+Cycle
+LlcSlice::nextEventCycle(Cycle now) const
+{
+    // Live paths that run (and may mutate state) every single cycle:
+    // the stalled-request retry, the write-back issue probe and the
+    // network pop. A ready miss-queue front also re-probes (and its
+    // refusal is counted) per cycle, but its ready cycle is exact
+    // and by construction >= the last ticked cycle, so returning it
+    // clamps to `now` below.
+    if (stalledReq_.has_value() || !writebackQueue_.empty() ||
+        net_->hasRequestFor(params_.id))
+        return now;
+    Cycle e = kNoCycle;
+    if (!replyQueue_.empty())
+        e = std::min(e, replyQueue_.frontReadyCycle());
+    if (!missQueue_.empty())
+        e = std::min(e, missQueue_.frontReadyCycle());
+    if (e == kNoCycle)
+        return kNoCycle;
+    return e > now ? e : now;
+}
+
 void
 LlcSlice::onDramReply(Addr line_addr, Cycle now)
 {
@@ -294,7 +316,7 @@ LlcSlice::saveCkpt(CkptWriter &w) const
     mshrs_.saveCkpt(w);
     w.b(stalledReq_.has_value());
     if (stalledReq_)
-        w.pod(*stalledReq_);
+        ckptValue(w, *stalledReq_);
     missQueue_.saveCkpt(w);
     replyQueue_.saveCkpt(w);
     w.varint(writebackQueue_.size());
@@ -310,7 +332,7 @@ LlcSlice::loadCkpt(CkptReader &r)
     mshrs_.loadCkpt(r);
     if (r.b()) {
         NocMessage msg{};
-        r.pod(msg);
+        ckptValue(r, msg);
         stalledReq_ = msg;
     } else {
         stalledReq_.reset();

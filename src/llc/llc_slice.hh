@@ -135,6 +135,16 @@ class LlcSlice
     /** True when no request, miss, reply or writeback is in flight. */
     bool drained() const;
 
+    /**
+     * Earliest cycle >= @p now whose tick() is not a no-op. A
+     * stalled request (its retry touches tag recency), a pending
+     * write-back and a waiting network request (both probe
+     * reject-counting canAccept paths) pin the slice to `now`;
+     * otherwise the delay queues' front ready cycles are exact.
+     * kNoCycle when fully drained with nothing queued in the NoC.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     const LlcSliceStats &stats() const { return stats_; }
     void clearStats() { stats_ = LlcSliceStats{}; }
     SliceId id() const { return params_.id; }
@@ -160,6 +170,9 @@ class LlcSlice
         SmId sm;
         bool atomic = false;
     };
+
+    friend void ckptValue(CkptWriter &w, const ReadTarget &t);
+    friend void ckptValue(CkptReader &r, ReadTarget &t);
 
     /** Handle one incoming request; @return false to retry later. */
     bool process(const NocMessage &msg, Cycle now);
@@ -199,6 +212,23 @@ class LlcSlice
 
     LlcSliceStats stats_;
 };
+
+/*
+ * ReadTarget has tail padding after the bool, so raw pod()
+ * serialization would leak indeterminate bytes into checkpoints;
+ * encode field-wise.
+ */
+inline void
+ckptValue(CkptWriter &w, const LlcSlice::ReadTarget &t)
+{
+    ckptFields(w, t.sm, t.atomic);
+}
+
+inline void
+ckptValue(CkptReader &r, LlcSlice::ReadTarget &t)
+{
+    ckptFields(r, t.sm, t.atomic);
+}
 
 } // namespace amsc
 

@@ -395,6 +395,62 @@ LlcSystem::tick(Cycle now)
     }
 }
 
+Cycle
+LlcSystem::nextCtrlEventCycle(Cycle now) const
+{
+    switch (state_) {
+      case CtrlState::Disabled:
+        return kNoCycle;
+
+      case CtrlState::Profiling: {
+        if (reprofileRequested_)
+            return now;
+        const Cycle e = midMarked_
+            ? stateDeadline_
+            : std::min(windowMid_, stateDeadline_);
+        return e > now ? e : now;
+      }
+
+      case CtrlState::SharedRun:
+        if (reprofileRequested_)
+            return now;
+        return epochEnd_ > now ? epochEnd_ : now;
+
+      case CtrlState::DrainToPrivate:
+      case CtrlState::DrainToShared:
+        return (quiescent_() && drained()) ? now : kNoCycle;
+
+      case CtrlState::Writeback:
+        return (drained() && mem_->drained()) ? now : kNoCycle;
+
+      case CtrlState::GateWait:
+      case CtrlState::UngateWait:
+        return stateDeadline_ > now ? stateDeadline_ : now;
+
+      case CtrlState::PrivateRun:
+        if (reprofileRequested_ ||
+            totalAtomics() > atomicsBaseline_)
+            return now;
+        return epochEnd_ > now ? epochEnd_ : now;
+    }
+    return kNoCycle;
+}
+
+Cycle
+LlcSystem::nextEventCycle(Cycle now) const
+{
+    Cycle e = nextCtrlEventCycle(now);
+    if (e <= now)
+        return now;
+    for (const auto &s : slices_) {
+        const Cycle se = s->nextEventCycle(now);
+        if (se <= now)
+            return now;
+        e = std::min(e, se);
+    }
+    return e;
+}
+
 void
 LlcSystem::onDramReply(Addr line_addr, std::uint64_t token, Cycle now)
 {
@@ -550,7 +606,7 @@ LlcSystem::saveCkpt(CkptWriter &w) const
     w.b(reprofileRequested_);
     w.b(profilingActive_);
     w.u64(atomicsBaseline_);
-    w.pod(lastSnap_);
+    ckptValue(w, lastSnap_);
     w.pod(stats_);
 }
 
@@ -574,7 +630,7 @@ LlcSystem::loadCkpt(CkptReader &r)
     reprofileRequested_ = r.b();
     profilingActive_ = r.b();
     atomicsBaseline_ = r.u64();
-    r.pod(lastSnap_);
+    ckptValue(r, lastSnap_);
     r.pod(stats_);
 }
 

@@ -208,6 +208,20 @@ class LlcSystem
     }
 
     /**
+     * Earliest cycle >= @p now whose tick() is not a no-op beyond
+     * the per-cycle mode counters advanceIdleCycles() compensates:
+     * the minimum over every slice's next event and the controller
+     * FSM's next action (profile window marks and deadlines, epoch
+     * ends, gate/ungate countdowns, pending reprofiles and atomic
+     * vetoes, and `now` in a quiescence-poll state whose condition
+     * already holds). The poll states return kNoCycle while their
+     * condition is false: the components being waited on then
+     * advertise finite events themselves, and the global minimum is
+     * recomputed after every live tick.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
      * Account @p n externally skipped idle cycles in the per-cycle
      * mode counters (tick() increments one of them every cycle).
      * Only legal while the whole system is quiescent and no FSM
@@ -277,6 +291,9 @@ class LlcSystem
 
     /** True if any app uses the adaptive policy. */
     bool adaptiveEnabled() const;
+
+    /** Controller-FSM part of nextEventCycle(). */
+    Cycle nextCtrlEventCycle(Cycle now) const;
 
     /** Display name of @p s (timeline phase vocabulary). */
     static const char *ctrlStateName(CtrlState s);

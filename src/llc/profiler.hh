@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "cache/atd.hh"
+#include "common/ckpt.hh"
 #include "common/types.hh"
 
 namespace amsc
@@ -65,6 +66,27 @@ struct ProfileSnapshot
      */
     bool warming = false;
 };
+
+/*
+ * ProfileSnapshot mixes doubles and a bool (tail padding), so raw
+ * pod() serialization would leak indeterminate bytes into
+ * checkpoints; encode field-wise.
+ */
+inline void
+ckptValue(CkptWriter &w, const ProfileSnapshot &s)
+{
+    ckptFields(w, s.sampledAccesses, s.sharedMissRate,
+               s.privateMissRate, s.sharedLsp, s.privateLsp,
+               s.sharedBw, s.privateBw, s.warming);
+}
+
+inline void
+ckptValue(CkptReader &r, ProfileSnapshot &s)
+{
+    ckptFields(r, s.sampledAccesses, s.sharedMissRate,
+               s.privateMissRate, s.sharedLsp, s.privateLsp,
+               s.sharedBw, s.privateBw, s.warming);
+}
 
 /** Shared-mode execution profiler. */
 class LlcProfiler

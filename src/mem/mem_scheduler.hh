@@ -72,6 +72,24 @@ struct DramRequest
     Cycle enqueueCycle = 0;
 };
 
+/*
+ * DramRequest has padding holes, so raw pod() serialization would
+ * leak indeterminate bytes into checkpoints; encode field-wise.
+ */
+inline void
+ckptValue(CkptWriter &w, const DramRequest &q)
+{
+    ckptFields(w, q.lineAddr, q.bank, q.row, q.isWrite, q.token,
+               q.enqueueCycle);
+}
+
+inline void
+ckptValue(CkptReader &r, DramRequest &q)
+{
+    ckptFields(r, q.lineAddr, q.bank, q.row, q.isWrite, q.token,
+               q.enqueueCycle);
+}
+
 /** Read-only controller view handed to a policy's pick(). */
 struct McPickView
 {

@@ -251,11 +251,12 @@ MemoryController::registerStats(StatSet &set) const
 void
 MemoryController::saveCkpt(CkptWriter &w) const
 {
-    w.podVec(queue_);
-    static_assert(std::is_trivially_copyable_v<InFlight>);
+    ckptValue(w, queue_);
     w.varint(inFlight_.size());
-    for (const InFlight &f : inFlight_)
-        w.pod(f);
+    for (const InFlight &f : inFlight_) {
+        ckptValue(w, f.req);
+        w.u64(f.completeAt);
+    }
     for (const DramBank &b : banks_)
         b.saveCkpt(w);
     w.u64(busFreeAt_);
@@ -277,14 +278,15 @@ MemoryController::saveCkpt(CkptWriter &w) const
 void
 MemoryController::loadCkpt(CkptReader &r)
 {
-    r.podVec(queue_);
+    ckptValue(r, queue_);
     if (queue_.size() > params_.queueCapacity)
         r.fail("memory controller queue overflow");
     inFlight_.clear();
     const std::uint64_t n = r.varint();
     for (std::uint64_t i = 0; i < n; ++i) {
         InFlight f{};
-        r.pod(f);
+        ckptValue(r, f.req);
+        f.completeAt = r.u64();
         inFlight_.push_back(f);
     }
     for (DramBank &b : banks_)

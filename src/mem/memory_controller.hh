@@ -157,6 +157,33 @@ class MemoryController
     /** True when no request is queued or in flight. */
     bool drained() const { return pendingRequests() == 0; }
 
+    /**
+     * Earliest cycle >= @p now whose tick() is not a no-op. A
+     * non-empty queue pins the controller to `now` (the scheduler
+     * re-evaluates, and mutates its drain state, every cycle); with
+     * only in-flight requests the earliest completion -- bounded by
+     * the next due refresh -- is exact; kNoCycle when drained.
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        if (!queue_.empty())
+            return now;
+        if (inFlight_.empty())
+            return kNoCycle;
+        const Cycle refi = params_.timings.tREFI;
+        if (refi != 0 && now >= nextRefreshAt_)
+            return now;
+        Cycle e = kNoCycle;
+        for (const InFlight &f : inFlight_) {
+            if (f.completeAt < e)
+                e = f.completeAt;
+        }
+        if (refi != 0 && nextRefreshAt_ < e)
+            e = nextRefreshAt_;
+        return e > now ? e : now;
+    }
+
     const McStats &stats() const { return stats_; }
     void clearStats() { stats_ = McStats{}; }
     McId id() const { return id_; }

@@ -78,15 +78,24 @@ class MemorySystem
     bool drained() const;
 
     /**
-     * Earliest future cycle at which the DRAM subsystem can make
-     * progress, assuming no further requests; kNoCycle when drained.
-     * Conservatively now + 1 while any request is queued or in
-     * flight (FR-FCFS issue eligibility changes cycle by cycle).
+     * Earliest cycle >= @p now at which any controller's tick() is
+     * not a no-op; kNoCycle when all are drained. Queued requests
+     * pin their controller to `now` (issue eligibility changes
+     * cycle by cycle); in-flight-only controllers report their
+     * exact next completion, bounded by a due refresh.
      */
     Cycle
     nextEventCycle(Cycle now) const
     {
-        return drained() ? kNoCycle : now + 1;
+        Cycle e = kNoCycle;
+        for (const auto &mc : mcs_) {
+            const Cycle me = mc->nextEventCycle(now);
+            if (me <= now)
+                return now;
+            if (me < e)
+                e = me;
+        }
+        return e;
     }
 
     std::uint32_t numMcs() const

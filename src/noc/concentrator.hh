@@ -110,7 +110,7 @@ class ConcentratorAdapter
         for (const auto &q : queues_) {
             w.varint(q.size());
             for (const NocMessage &m : q)
-                w.pod(m);
+                ckptValue(w, m);
         }
         arb_.saveCkpt(w);
         w.u32(current_);
@@ -126,7 +126,7 @@ class ConcentratorAdapter
             const std::uint64_t n = r.varint();
             for (std::uint64_t i = 0; i < n; ++i) {
                 NocMessage m{};
-                r.pod(m);
+                ckptValue(r, m);
                 q.push_back(m);
             }
         }
@@ -238,9 +238,9 @@ class DistributorAdapter
         for (const auto &q : queues_) {
             w.varint(q.size());
             for (const NocMessage &m : q)
-                w.pod(m);
+                ckptValue(w, m);
         }
-        w.pod(pending_);
+        ckptValue(w, pending_);
         w.u32(pendingLocal_);
         w.b(havePending_);
     }
@@ -254,11 +254,11 @@ class DistributorAdapter
             const std::uint64_t n = r.varint();
             for (std::uint64_t i = 0; i < n; ++i) {
                 NocMessage m{};
-                r.pod(m);
+                ckptValue(r, m);
                 q.push_back(m);
             }
         }
-        r.pod(pending_);
+        ckptValue(r, pending_);
         pendingLocal_ = r.u32();
         havePending_ = r.b();
         if (havePending_ && pendingLocal_ >= queues_.size())

@@ -91,7 +91,7 @@ class InjectionAdapter
     {
         w.varint(queue_.size());
         for (const NocMessage &m : queue_)
-            w.pod(m);
+            ckptValue(w, m);
         w.u32(flitsSent_);
     }
 
@@ -103,7 +103,7 @@ class InjectionAdapter
         const std::uint64_t n = r.varint();
         for (std::uint64_t i = 0; i < n; ++i) {
             NocMessage m{};
-            r.pod(m);
+            ckptValue(r, m);
             queue_.push_back(m);
         }
         flitsSent_ = r.u32();
@@ -171,8 +171,8 @@ class EjectionAdapter
     {
         w.varint(msgs_.size());
         for (const NocMessage &m : msgs_)
-            w.pod(m);
-        w.pod(pending_);
+            ckptValue(w, m);
+        ckptValue(w, pending_);
     }
 
     /** Restore state written by saveCkpt(). */
@@ -183,10 +183,10 @@ class EjectionAdapter
         const std::uint64_t n = r.varint();
         for (std::uint64_t i = 0; i < n; ++i) {
             NocMessage m{};
-            r.pod(m);
+            ckptValue(r, m);
             msgs_.push_back(m);
         }
-        r.pod(pending_);
+        ckptValue(r, pending_);
     }
 
   private:

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/bitutils.hh"
+#include "common/ckpt.hh"
 #include "common/types.hh"
 
 namespace amsc
@@ -56,6 +57,24 @@ struct NocMessage
     }
 };
 
+/*
+ * NocMessage and Flit contain padding, so raw pod() serialization
+ * would leak indeterminate bytes into checkpoints; encode field-wise.
+ */
+inline void
+ckptValue(CkptWriter &w, const NocMessage &m)
+{
+    ckptFields(w, m.kind, m.lineAddr, m.src, m.dst, m.sizeBytes,
+               m.injectCycle, m.token);
+}
+
+inline void
+ckptValue(CkptReader &r, NocMessage &m)
+{
+    ckptFields(r, m.kind, m.lineAddr, m.src, m.dst, m.sizeBytes,
+               m.injectCycle, m.token);
+}
+
 /** Packet sizing rules shared by all networks. */
 struct PacketFormat
 {
@@ -86,6 +105,18 @@ struct Flit
     NocMessage msg{};
 };
 
+inline void
+ckptValue(CkptWriter &w, const Flit &f)
+{
+    ckptFields(w, f.head, f.tail, f.msg);
+}
+
+inline void
+ckptValue(CkptReader &r, Flit &f)
+{
+    ckptFields(r, f.head, f.tail, f.msg);
+}
+
 /** Geometry and activity of one router, consumed by the power model. */
 struct RouterActivity
 {
@@ -106,6 +137,26 @@ struct RouterActivity
     std::uint64_t bypassTraversals = 0;
 };
 
+inline void
+ckptValue(CkptWriter &w, const RouterActivity &a)
+{
+    ckptFields(w, a.numInPorts, a.numOutPorts, a.numVcs,
+               a.vcDepthFlits, a.channelWidthBytes, a.gateable,
+               a.bufferWrites, a.bufferReads, a.xbarTraversals,
+               a.allocRounds, a.activeCycles, a.gatedCycles,
+               a.bypassTraversals);
+}
+
+inline void
+ckptValue(CkptReader &r, RouterActivity &a)
+{
+    ckptFields(r, a.numInPorts, a.numOutPorts, a.numVcs,
+               a.vcDepthFlits, a.channelWidthBytes, a.gateable,
+               a.bufferWrites, a.bufferReads, a.xbarTraversals,
+               a.allocRounds, a.activeCycles, a.gatedCycles,
+               a.bypassTraversals);
+}
+
 /** Geometry and activity of one link, consumed by the power model. */
 struct LinkActivity
 {
@@ -113,6 +164,18 @@ struct LinkActivity
     std::uint32_t widthBytes = 32;
     std::uint64_t flitTraversals = 0;
 };
+
+inline void
+ckptValue(CkptWriter &w, const LinkActivity &a)
+{
+    ckptFields(w, a.lengthMm, a.widthBytes, a.flitTraversals);
+}
+
+inline void
+ckptValue(CkptReader &r, LinkActivity &a)
+{
+    ckptFields(r, a.lengthMm, a.widthBytes, a.flitTraversals);
+}
 
 /** Whole-network activity snapshot. */
 struct NocActivity

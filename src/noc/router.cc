@@ -205,7 +205,7 @@ Router::saveCkpt(CkptWriter &w) const
         w.varint(in.buffer.size());
         for (const auto &e : in.buffer) {
             w.u64(e.first);
-            w.pod(e.second);
+            ckptValue(w, e.second);
         }
         w.u32(in.currentOut);
     }
@@ -213,7 +213,7 @@ Router::saveCkpt(CkptWriter &w) const
         out.arb.saveCkpt(w);
         w.u32(out.lockedBy);
     }
-    w.pod(activity_);
+    ckptValue(w, activity_);
 }
 
 void
@@ -229,7 +229,7 @@ Router::loadCkpt(CkptReader &r)
         for (std::uint64_t i = 0; i < n; ++i) {
             const Cycle eligible = r.u64();
             Flit flit{};
-            r.pod(flit);
+            ckptValue(r, flit);
             in.buffer.emplace_back(eligible, flit);
         }
         bufferedFlits_ += static_cast<std::uint32_t>(n);
@@ -245,7 +245,7 @@ Router::loadCkpt(CkptReader &r)
             out.lockedBy >= params_.numInPorts)
             r.fail("router output lock out of range");
     }
-    r.pod(activity_);
+    ckptValue(r, activity_);
 }
 
 void

@@ -22,6 +22,8 @@
 
 #include <cstdint>
 
+#include "common/ckpt.hh"
+
 namespace amsc
 {
 
@@ -36,6 +38,24 @@ struct GpuActivity
     /** NoC energy over the same interval, uJ (from NocPowerModel). */
     double nocEnergyUj = 0.0;
 };
+
+/*
+ * The double member disqualifies GpuActivity from raw pod()
+ * serialization (no unique object representation); encode field-wise.
+ */
+inline void
+ckptValue(CkptWriter &w, const GpuActivity &a)
+{
+    ckptFields(w, a.cycles, a.instructions, a.l1Accesses,
+               a.llcAccesses, a.dramAccesses, a.nocEnergyUj);
+}
+
+inline void
+ckptValue(CkptReader &r, GpuActivity &a)
+{
+    ckptFields(r, a.cycles, a.instructions, a.l1Accesses,
+               a.llcAccesses, a.dramAccesses, a.nocEnergyUj);
+}
 
 /**
  * Energy coefficients (ISCA-2019-era discrete GPU, 16 nm-ish SMs).

@@ -21,7 +21,12 @@ identityExcluded(const std::string &name)
         name == "checkpoint_every" || name == "checkpoint_path" ||
         name == "sweep_on_error" || name == "timeline" ||
         name == "timeline_out" || name == "stats_stream_out" ||
-        name == "stats_stream_period" || name == "trace_record";
+        name == "stats_stream_period" || name == "trace_record" ||
+        // The two cycle-core drivers are bit-identical by contract
+        // (tests/test_event_core.cc): a checkpoint written under
+        // sim_mode=tick restores under sim_mode=event and vice
+        // versa.
+        name == "sim_mode";
 }
 
 void

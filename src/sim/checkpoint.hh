@@ -11,9 +11,10 @@
  * all fixed-width fields little-endian. The config hash is an FNV-1a
  * digest over the ConfigRegistry key=value rendering of the
  * *simulation-relevant* keys: run-length limits (max_cycles,
- * max_instructions), the checkpoint/observability output knobs and
- * the sweep failure policy are excluded, because they cannot alter
- * the simulated state trajectory -- so a checkpoint may be restored
+ * max_instructions), the checkpoint/observability output knobs, the
+ * sweep failure policy and the cycle-core driver (sim_mode, whose
+ * two drivers are bit-identical by contract) are excluded, because
+ * they cannot alter the simulated state trajectory -- so a checkpoint may be restored
  * with a longer horizon or different output paths, but never into a
  * differently-shaped machine. Every validation failure throws
  * FormatError carrying the offending byte offset; an interrupted

@@ -336,7 +336,7 @@ GpuSystem::maybeFastForward()
         if (sm->hasPendingCompletions())
             return;
     }
-    const Cycle target = std::min({llc_->nextTimedEventCycle(),
+    const Cycle target = std::min({llc_->nextEventCycle(now_),
                                    net_->nextEventCycle(now_),
                                    mem_->nextEventCycle(now_)});
     if (target == kNoCycle)
@@ -349,6 +349,76 @@ GpuSystem::maybeFastForward()
     const Cycle skipped = to - now_;
     llc_->advanceIdleCycles(skipped);
     net_->advanceIdleCycles(skipped);
+    now_ = to;
+}
+
+Cycle
+GpuSystem::eventNextCycle() const
+{
+    // SMs first: while any scheduler can issue the minimum is `now`,
+    // and the early exit keeps the busy-phase overhead near one
+    // inlined compare per call.
+    Cycle e = kNoCycle;
+    for (const auto &sm : sms_) {
+        const Cycle se = sm->nextEventCycle(now_);
+        if (se <= now_)
+            return now_;
+        e = std::min(e, se);
+    }
+    const Cycle me = mem_->nextEventCycle(now_);
+    if (me <= now_)
+        return now_;
+    e = std::min(e, me);
+    const Cycle ne = net_->nextEventCycle(now_);
+    if (ne <= now_)
+        return now_;
+    e = std::min(e, ne);
+    const Cycle le = llc_->nextEventCycle(now_);
+    if (le <= now_)
+        return now_;
+    return std::min(e, le);
+}
+
+void
+GpuSystem::jumpToNextEvent()
+{
+    // The next tick is never skippable while kernel management is
+    // pending, and the loop exits on the next tick once all work is
+    // done (the empty-workload run must still tick exactly once).
+    if (manageDirty_ || unfinishedApps_ == 0)
+        return;
+    if (config_.fastForward && smsStalled_) {
+        // Replicate the tick-mode fast-forward jump bit for bit --
+        // including its deferral of observer samples and checkpoints
+        // to the first live tick past the jump. If it declines, the
+        // grid-clamped generic jump below still applies.
+        const Cycle before = now_;
+        maybeFastForward();
+        if (now_ != before)
+            return;
+    }
+    Cycle to = std::min(eventNextCycle(), config_.maxCycles);
+    // Land one cycle short of each grid point the tick loop honors:
+    // the live tick there brings now_ onto the grid with identical
+    // state, so the observer fires, the checkpoint is written and
+    // the instruction-budget check breaks on exactly the tick-mode
+    // cycles. (Both grids hold nextAt > now_ outside a tick.)
+    if (nextObsAt_ != kNoCycle)
+        to = std::min(to, nextObsAt_ - 1);
+    if (nextCkptAt_ != kNoCycle)
+        to = std::min(to, nextCkptAt_ - 1);
+    if (config_.maxInstructions != 0 &&
+        instrRetired_ >= config_.maxInstructions)
+        to = std::min(to, (((now_ >> 7) + 1) << 7) - 1);
+    if (to <= now_ + 1)
+        return;
+    // Ticks in [now_, to) are no-ops apart from per-cycle activity
+    // counters; account those and jump. The tick at `to` runs live.
+    const Cycle skipped = to - now_;
+    llc_->advanceIdleCycles(skipped);
+    net_->advanceIdleCycles(skipped);
+    for (auto &sm : sms_)
+        sm->advanceIdleCycles(skipped);
     now_ = to;
 }
 
@@ -367,8 +437,13 @@ GpuSystem::run()
         nextCkptAt_ = (now_ / config_.checkpointEvery + 1) *
             config_.checkpointEvery;
     }
+    const bool event_mode = config_.simMode == SimMode::Event;
     while (now_ < config_.maxCycles) {
-        if (smsStalled_) {
+        if (event_mode) {
+            jumpToNextEvent();
+            if (now_ >= config_.maxCycles)
+                break;
+        } else if (smsStalled_) {
             maybeFastForward();
             if (now_ >= config_.maxCycles)
                 break;
@@ -471,8 +546,9 @@ GpuSystem::savePayload(CkptWriter &w) const
     w.varint(workloads_.size());
     for (const auto &ws : workloads_)
         w.varint(ws.size());
-    for (const auto &sm : sms_)
+    for (const auto &sm : sms_) {
         sm->saveCkpt(w);
+    }
     net_->saveCkpt(w);
     mem_->saveCkpt(w);
     llc_->saveCkpt(w);

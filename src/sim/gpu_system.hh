@@ -146,6 +146,17 @@ class GpuSystem
     /** Total instructions retired so far (running counter, O(1)). */
     std::uint64_t totalInstructions() const { return instrRetired_; }
 
+    /**
+     * Earliest cycle >= now() at which any component's tick() is
+     * not a no-op beyond the compensated per-cycle counters: the
+     * global minimum over the LLC (slices + controller FSM), DRAM,
+     * NoC and every SM. This is the sim_mode=event jump target; it
+     * is exposed publicly so the event-contract tests can assert
+     * that no component mutates observable state at a cycle the
+     * minimum skipped (tests/test_event_core.cc).
+     */
+    Cycle eventNextCycle() const;
+
     /** Periodic pull-only observer (obs/recorder.hh). */
     using CycleObserver = std::function<void(Cycle now)>;
 
@@ -206,6 +217,18 @@ class GpuSystem
      * which anything can happen instead of empty-ticking towards it.
      */
     void maybeFastForward();
+
+    /**
+     * sim_mode=event core: jump now_ to the earliest component
+     * event, compensating every per-cycle counter for the skipped
+     * no-op ticks and landing on (one cycle before) each observer,
+     * checkpoint and instruction-budget grid point the tick loop
+     * would honor. Inside a fast-forward-eligible stall it defers
+     * to maybeFastForward() verbatim -- including that path's
+     * deferral of grid samples to the first live tick past the
+     * jump -- so both modes emit byte-identical streams.
+     */
+    void jumpToNextEvent();
 
     SimConfig config_;
     std::unique_ptr<AddressMapping> mapping_;

@@ -226,10 +226,10 @@ saveRunResult(CkptWriter &w, const RunResult &r)
     w.d(r.avgReplyLatency);
     ckptValue(w, r.finalMode);
     w.pod(r.llcCtrl);
-    w.pod(r.sharingBuckets);
-    w.podVec(r.nocActivity.routers);
-    w.podVec(r.nocActivity.links);
-    w.pod(r.gpuActivity);
+    ckptValue(w, r.sharingBuckets);
+    ckptValue(w, r.nocActivity.routers);
+    ckptValue(w, r.nocActivity.links);
+    ckptValue(w, r.gpuActivity);
 }
 
 void
@@ -254,10 +254,10 @@ loadRunResult(CkptReader &r, RunResult &out)
     out.avgReplyLatency = r.d();
     ckptValue(r, out.finalMode);
     r.pod(out.llcCtrl);
-    r.pod(out.sharingBuckets);
-    r.podVec(out.nocActivity.routers);
-    r.podVec(out.nocActivity.links);
-    r.pod(out.gpuActivity);
+    ckptValue(r, out.sharingBuckets);
+    ckptValue(r, out.nocActivity.routers);
+    ckptValue(r, out.nocActivity.links);
+    ckptValue(r, out.gpuActivity);
 }
 
 std::uint64_t

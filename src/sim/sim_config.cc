@@ -210,6 +210,23 @@ sweepOnErrorName(SweepOnError v)
     return v == SweepOnError::Abort ? "abort" : "skip";
 }
 
+SimMode
+parseSimMode(const std::string &name)
+{
+    if (name == "tick")
+        return SimMode::Tick;
+    if (name == "event")
+        return SimMode::Event;
+    throw ConfigError(
+        strfmt("unknown sim_mode '%s' (tick|event)", name.c_str()));
+}
+
+std::string
+simModeName(SimMode v)
+{
+    return v == SimMode::Tick ? "tick" : "event";
+}
+
 namespace
 {
 
@@ -543,6 +560,15 @@ buildRegistry()
         AMSC_BOOL_KEY("fast_forward", fastForward,
                       "Skip fully-quiescent reconfiguration stalls "
                       "(bit-exact; see docs/performance.md)."),
+        {"sim_mode", "enum", "tick|event",
+         "Cycle-core driver: per-cycle tick loop, or event-driven "
+         "clock jumps to the earliest advertised component event. "
+         "Bit-identical results and streams either way "
+         "(docs/performance.md).",
+         [](const SimConfig &c) { return simModeName(c.simMode); },
+         [](SimConfig &c, const std::string &v) {
+             c.simMode = parseSimMode(v);
+         }},
         AMSC_U64_KEY("checkpoint_every", checkpointEvery,
                      "Write a crash-recovery checkpoint every N "
                      "cycles (0 = off; requires checkpoint_path; "

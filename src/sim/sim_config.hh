@@ -44,6 +44,19 @@ SweepOnError parseSweepOnError(const std::string &name);
 /** Key spelling of @p v ("abort" | "skip"). */
 std::string sweepOnErrorName(SweepOnError v);
 
+/** Cycle-core driver (GpuSystem::run). */
+enum class SimMode
+{
+    Tick,  ///< advance the clock one cycle at a time (seed default)
+    Event, ///< jump the clock to min(component nextEventCycle)
+};
+
+/** Parse "tick" | "event". */
+SimMode parseSimMode(const std::string &name);
+
+/** Key spelling of @p v ("tick" | "event"). */
+std::string simModeName(SimMode v);
+
 /** Complete system configuration. */
 struct SimConfig
 {
@@ -141,6 +154,14 @@ struct SimConfig
      * tests can prove that.
      */
     bool fastForward = true;
+    /**
+     * Cycle-core driver: the per-cycle tick loop, or event-driven
+     * jumps of the global clock to the earliest advertised
+     * component event. Bit-identical results and emitted streams
+     * either way (tests/test_event_core.cc); event mode is faster
+     * the more idle cycles a run has (docs/performance.md).
+     */
+    SimMode simMode = SimMode::Tick;
     /**
      * Write a crash-recovery checkpoint every N cycles during run()
      * (0 = off; requires checkpoint_path). The grid is aligned to

@@ -291,6 +291,84 @@ TEST(Obs, FastForwardWithTimelineIsBitExact)
     EXPECT_TRUE(identicalResults(slow, fast));
 }
 
+TEST(Obs, EventModeOutputsAreByteIdentical)
+{
+    // The sim_mode=event driver jumps the clock between events, yet
+    // every stats-stream window and every timeline sample must land
+    // on exactly the cycles the tick driver produces: both output
+    // files are compared byte for byte, not "close enough". Runs
+    // with fast_forward on so the jump paths compose.
+    SimConfig cfg = adaptiveConfig();
+    cfg.fastForward = true;
+    std::string traces[2], streams[2];
+    RunResult results[2];
+    for (int m = 0; m < 2; ++m) {
+        const char *tag = m == 0 ? "tick" : "event";
+        SimConfig c = cfg;
+        c.simMode = m == 0 ? SimMode::Tick : SimMode::Event;
+        c.timelineOut = traces[m] =
+            tmpPath(std::string("mode_") + tag + ".json");
+        c.statsStreamOut = streams[m] =
+            tmpPath(std::string("mode_") + tag + ".jsonl");
+        results[m] = runObserved(c);
+    }
+    ASSERT_TRUE(results[0].finishedWork);
+    ASSERT_GT(results[0].llcCtrl.transitionsToPrivate, 0u);
+    EXPECT_TRUE(identicalResults(results[0], results[1]));
+    EXPECT_EQ(readFile(traces[0]), readFile(traces[1]))
+        << "timeline bytes differ between tick and event";
+    EXPECT_EQ(readFile(streams[0]), readFile(streams[1]))
+        << "stats-stream bytes differ between tick and event";
+    const obs::TraceCheckResult c =
+        obs::checkPerfettoTraceFile(traces[1]);
+    EXPECT_TRUE(c.ok) << c.error;
+    for (int m = 0; m < 2; ++m) {
+        std::remove(traces[m].c_str());
+        std::remove(streams[m].c_str());
+    }
+}
+
+TEST(Obs, EventModeStatsStreamPeriodsLandOnGrid)
+{
+    // Observer samples must fire on exact stats_stream_period
+    // multiples under the event driver even when the period does not
+    // divide any natural event cycle.
+    SimConfig cfg = adaptiveConfig();
+    cfg.statsStreamPeriod = 777; // deliberately off every power of 2
+    std::string streams[2];
+    for (int m = 0; m < 2; ++m) {
+        SimConfig c = cfg;
+        c.simMode = m == 0 ? SimMode::Tick : SimMode::Event;
+        c.statsStreamOut = streams[m] =
+            tmpPath(std::string("grid777_") + (m ? "e" : "t") +
+                    ".jsonl");
+        runObserved(c);
+    }
+    const std::string tick = readFile(streams[0]);
+    EXPECT_EQ(tick, readFile(streams[1]));
+
+    // Every window boundary is a multiple of the period (the final
+    // flush may land off-grid at the end of the run).
+    std::istringstream is(tick);
+    std::string line;
+    std::size_t on_grid = 0, lines = 0;
+    while (std::getline(is, line)) {
+        ++lines;
+        obs::JsonValue v;
+        std::string err;
+        ASSERT_TRUE(obs::parseJson(line, v, err)) << err;
+        const auto cycle =
+            static_cast<std::uint64_t>(v.find("cycle")->number);
+        if (cycle % cfg.statsStreamPeriod == 0)
+            ++on_grid;
+    }
+    EXPECT_GT(lines, 2u);
+    EXPECT_GE(on_grid + 1, lines) << "at most the final flush may "
+                                     "fall off the period grid";
+    for (int m = 0; m < 2; ++m)
+        std::remove(streams[m].c_str());
+}
+
 // ------------------------------------------------ fig11 quick grid sweep
 
 TEST(Obs, Fig11QuickGridIsBitExactAndTracesValidate)

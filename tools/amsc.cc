@@ -21,6 +21,13 @@
  *       Fold the shard journals back into the byte-identical CSV or
  *       JSON a single uninterrupted process would have emitted.
  *
+ *   amsc fuzz [--points=N] [--seed=S] [out=DIR]
+ *       Differential fuzz of the cycle-core drivers: N random
+ *       scenarios run under sim_mode=tick and sim_mode=event and
+ *       compared bit-for-bit (results, CSV bytes, observer samples,
+ *       checkpoint files). A mismatch dumps the failing case as a
+ *       reproducible .scn and exits 1.
+ *
  *   amsc list [workloads|scenarios [dir=DIR]]
  *       The Table-2 workload suite, or the .scn files of a directory.
  *
@@ -58,6 +65,7 @@
 #include "common/log.hh"
 #include "common/strutil.hh"
 #include "obs/trace_check.hh"
+#include "scenario/diff_fuzz.hh"
 #include "scenario/emit.hh"
 #include "scenario/scenario.hh"
 #include "scenario/schema.hh"
@@ -90,6 +98,8 @@ usage()
         "killed sweep\n"
         "  merge <file.scn> --journal=DIR             fold shard "
         "journals to CSV/JSON\n"
+        "  fuzz [--points=N] [--seed=S] [out=DIR]     differential "
+        "sim_mode fuzz\n"
         "  list [workloads|scenarios [dir=DIR]]       what is "
         "available\n"
         "  describe [<key>] [--markdown]              configuration "
@@ -521,6 +531,52 @@ cmdValidateTimeline(const KvArgs &args)
     return rc;
 }
 
+/** amsc fuzz: differential tick/event fuzz campaign. */
+int
+cmdFuzz(const KvArgs &args)
+{
+    const std::uint32_t points = static_cast<std::uint32_t>(
+        args.getUint("--points", args.getUint("points", 200)));
+    const std::uint64_t seed =
+        args.getUint("--seed", args.getUint("seed", 1));
+    const unsigned threads =
+        static_cast<unsigned>(args.getUint("threads", 0));
+    const std::string out_dir = args.getString("out", ".");
+    if (points == 0)
+        fatal("--points must be non-zero");
+
+    std::fprintf(stderr,
+                 "amsc: fuzz: %u differential case%s, seed %llu\n",
+                 points, points == 1 ? "" : "s",
+                 static_cast<unsigned long long>(seed));
+    const scenario::FuzzReport report = scenario::runDiffFuzz(
+        seed, points, threads,
+        [&](const scenario::FuzzCase &c,
+            const scenario::FuzzOutcome &o) {
+            if (o.ok)
+                return;
+            const std::string path = out_dir + "/" +
+                strfmt("fuzz-fail-%llu-%u.scn",
+                       static_cast<unsigned long long>(c.seed),
+                       c.index);
+            scenario::writeOut(c.scn, path);
+            std::fprintf(stderr,
+                         "amsc: fuzz case %u FAILED: %s\n"
+                         "amsc:   reproduce: amsc run %s\n",
+                         c.index, o.detail.c_str(), path.c_str());
+        });
+    if (report.failures != 0) {
+        std::fprintf(stderr, "amsc: fuzz: %u/%u cases FAILED\n",
+                     report.failures, report.points);
+        return 1;
+    }
+    std::printf("fuzz: %u cases, seed %llu: tick and event "
+                "bit-identical on all\n",
+                report.points,
+                static_cast<unsigned long long>(seed));
+    return 0;
+}
+
 int
 cmdDescribe(const KvArgs &args)
 {
@@ -556,6 +612,8 @@ main(int argc, char **argv)
             return cmdRunSweep(args, true, true);
         if (cmd == "merge")
             return cmdMerge(args);
+        if (cmd == "fuzz")
+            return cmdFuzz(args);
         if (cmd == "list")
             return cmdList(args);
         if (cmd == "describe")
