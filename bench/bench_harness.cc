@@ -16,13 +16,17 @@
  *      bit-identical (crash-safety may not perturb the simulation)
  *      and the wall-clock delta is the tracked cost.
  *   1e. event-core speedup -- an idle-heavy microbenchmark (one
- *      resident CTA streaming all-miss lines through an ideal NoC
- *      with long latencies) run under sim_mode=tick and sim_mode=
- *      event; results must be bit-identical and the event driver
- *      must not be slower than the tick loop (both hard gates).
+ *      resident CTA streaming all-miss lines with long latencies)
+ *      run under sim_mode=tick and sim_mode=event, once per NoC
+ *      topology (smoke: ideal + hxbar; full: all four). Per
+ *      topology, results must be bit-identical and the event driver
+ *      must not be slower than the tick loop (both hard gates) --
+ *      a flit crossbar whose event advertisement degenerates to
+ *      `now + 1` fails the speedup gate here.
  *   2. fig11 sweep scaling -- the Figure-11 grid (workloads x
  *      {shared, private, adaptive}) executed at 1/2/4/8 threads;
- *      reports wall clock per sweep and speedup vs 1 thread.
+ *      reports wall clock per sweep and speedup vs 1 thread
+ *      (ratios are skipped when the host has 1 hardware thread).
  *
  * Every multi-threaded sweep is compared field-by-field against the
  * single-threaded reference (identicalResults); any mismatch is
@@ -44,6 +48,7 @@
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "noc/network_factory.hh"
 #include "workloads/trace_gen.hh"
 
 using namespace amsc;
@@ -196,19 +201,38 @@ main(int argc, char **argv)
 
     // ---- phase 1e: event-core speedup (sim_mode tick vs event) ----
     // The workload class the event driver exists for: one resident
-    // CTA whose private stream misses everywhere, an ideal NoC and
-    // long LLC/DRAM latencies, so the machine spends most cycles
-    // waiting on exact DelayQueue/DRAM events that the event core
-    // jumps across. Bit-identical results are a hard gate (the two
-    // drivers are contractually the same simulator), and the event
-    // run regressing below tick speed here fails the harness: that
-    // is the one scenario where the jump machinery must pay off.
-    SimConfig ev_cfg = cfg;
-    ev_cfg.topology = NocTopology::Ideal;
-    ev_cfg.idealNocLatency = 200;
-    ev_cfg.llcMissLatency = 100;
-    ev_cfg.l1Latency = 100;
-    ev_cfg.maxCycles = smoke ? 250000 : 2000000;
+    // CTA whose private stream misses everywhere plus long LLC/DRAM
+    // latencies, so the machine spends most cycles waiting on exact
+    // component events that the event core jumps across. Measured
+    // once per NoC topology: the ideal network and the flit-level
+    // crossbars each advertise their own exact events (router
+    // head-of-line flits, channel flit/credit fronts -- see
+    // docs/performance.md), and a topology whose advertisement
+    // silently degenerates to `now + 1` shows up here as a speedup
+    // collapse. Per topology, bit-identical results are a hard gate
+    // (the two drivers are contractually the same simulator) and the
+    // event run regressing below tick speed fails the harness: the
+    // idle-heavy point is exactly where the jump machinery must pay
+    // off. Smoke keeps one flit crossbar (hxbar, the paper's
+    // baseline); the full run covers all four topologies.
+    struct EventTopoRow
+    {
+        NocTopology topo = NocTopology::Ideal;
+        std::uint64_t cycles = 0;
+        double tick_seconds = 0.0;
+        double event_seconds = 0.0;
+        double tick_cps = 0.0;
+        double event_cps = 0.0;
+        double speedup = 0.0;
+        bool bit_exact = false;
+    };
+    const std::vector<NocTopology> ev_topos =
+        smoke ? std::vector<NocTopology>{NocTopology::Ideal,
+                                         NocTopology::Hierarchical}
+              : std::vector<NocTopology>{NocTopology::Ideal,
+                                         NocTopology::FullXbar,
+                                         NocTopology::Concentrated,
+                                         NocTopology::Hierarchical};
     TraceParams ev_trace;
     ev_trace.pattern = AccessPattern::PrivateStream;
     ev_trace.privateLinesPerCta = 100000;
@@ -218,30 +242,46 @@ main(int argc, char **argv)
     ev_trace.seed = 3;
     const std::vector<KernelInfo> ev_kernels{
         makeSyntheticKernel("idle", ev_trace, 1, 1)};
-    RunResult ev_results[2];
-    double ev_walls[2];
-    for (int m = 0; m < 2; ++m) {
-        SimConfig c = ev_cfg;
-        c.simMode = m == 0 ? SimMode::Tick : SimMode::Event;
-        ev_walls[m] = wallSeconds([&]() {
-            GpuSystem gpu(c);
-            gpu.setWorkload(0, ev_kernels);
-            ev_results[m] = gpu.run();
-        });
+    std::vector<EventTopoRow> ev_rows;
+    for (const NocTopology topo : ev_topos) {
+        SimConfig ev_cfg = cfg;
+        ev_cfg.topology = topo;
+        ev_cfg.idealNocLatency = 200;
+        ev_cfg.llcMissLatency = 100;
+        ev_cfg.l1Latency = 100;
+        ev_cfg.maxCycles = smoke ? 250000 : 2000000;
+        RunResult ev_results[2];
+        double ev_walls[2];
+        for (int m = 0; m < 2; ++m) {
+            SimConfig c = ev_cfg;
+            c.simMode = m == 0 ? SimMode::Tick : SimMode::Event;
+            ev_walls[m] = wallSeconds([&]() {
+                GpuSystem gpu(c);
+                gpu.setWorkload(0, ev_kernels);
+                ev_results[m] = gpu.run();
+            });
+        }
+        EventTopoRow row;
+        row.topo = topo;
+        row.cycles = ev_results[0].cycles;
+        row.tick_seconds = ev_walls[0];
+        row.event_seconds = ev_walls[1];
+        row.tick_cps =
+            static_cast<double>(ev_results[0].cycles) / ev_walls[0];
+        row.event_cps =
+            static_cast<double>(ev_results[1].cycles) / ev_walls[1];
+        row.speedup = ev_walls[0] / ev_walls[1];
+        row.bit_exact = identicalResults(ev_results[0], ev_results[1]);
+        ev_rows.push_back(row);
+        std::printf("event core (idle-heavy, noc=%s, %llu cycles): "
+                    "tick %.3f s (%.0f cycles/s), event %.3f s "
+                    "(%.0f cycles/s), %.1fx, bit-exact: %s\n",
+                    topologyName(topo).c_str(),
+                    static_cast<unsigned long long>(row.cycles),
+                    row.tick_seconds, row.tick_cps, row.event_seconds,
+                    row.event_cps, row.speedup,
+                    row.bit_exact ? "yes" : "NO");
     }
-    const bool ev_bit_exact =
-        identicalResults(ev_results[0], ev_results[1]);
-    const double ev_speedup = ev_walls[0] / ev_walls[1];
-    const double ev_tick_cps =
-        static_cast<double>(ev_results[0].cycles) / ev_walls[0];
-    const double ev_event_cps =
-        static_cast<double>(ev_results[1].cycles) / ev_walls[1];
-    std::printf("event core (idle-heavy, %llu cycles): tick %.3f s "
-                "(%.0f cycles/s), event %.3f s (%.0f cycles/s), "
-                "%.1fx, bit-exact: %s\n",
-                static_cast<unsigned long long>(ev_results[0].cycles),
-                ev_walls[0], ev_tick_cps, ev_walls[1], ev_event_cps,
-                ev_speedup, ev_bit_exact ? "yes" : "NO");
 
     // ---- phase 2: fig11 sweep at 1/2/4/8 threads ------------------
     std::vector<SweepPoint> points;
@@ -263,6 +303,12 @@ main(int argc, char **argv)
                   extra) == thread_counts.end())
         thread_counts.push_back(extra);
 
+    // Thread-scaling ratios are only meaningful when the host can
+    // actually run workers in parallel: on a single-hardware-thread
+    // box every count > 1 measures oversubscription, not scaling, so
+    // the ratios are annotated here and skipped in the JSON.
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+    const bool scaling_meaningful = hw_threads > 1;
     std::vector<double> walls;
     std::vector<RunResult> reference;
     bool deterministic = true;
@@ -285,9 +331,15 @@ main(int argc, char **argv)
                 }
             }
         }
-        std::printf("fig11 sweep (%zu points) @ %u threads: %.2f s "
-                    "(%.2fx vs 1 thread)\n",
-                    points.size(), t, wall, walls.front() / wall);
+        if (scaling_meaningful)
+            std::printf("fig11 sweep (%zu points) @ %u threads: "
+                        "%.2f s (%.2fx vs 1 thread)\n",
+                        points.size(), t, wall,
+                        walls.front() / wall);
+        else
+            std::printf("fig11 sweep (%zu points) @ %u threads: "
+                        "%.2f s (scaling n/a: 1 hardware thread)\n",
+                        points.size(), t, wall);
     }
 
     // ---- emit JSON ------------------------------------------------
@@ -295,8 +347,7 @@ main(int argc, char **argv)
     out << "{\n";
     out << "  \"bench\": \"core\",\n";
     out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
-    out << "  \"hardware_threads\": "
-        << std::thread::hardware_concurrency() << ",\n";
+    out << "  \"hardware_threads\": " << hw_threads << ",\n";
     out << "  \"core\": {\n";
     out << "    \"simulated_cycles\": " << core_cycles << ",\n";
     out << "    \"instructions\": " << core_instrs << ",\n";
@@ -328,30 +379,46 @@ main(int argc, char **argv)
         << "\n";
     out << "  },\n";
     out << "  \"event_mode\": {\n";
-    out << "    \"simulated_cycles\": " << ev_results[0].cycles
-        << ",\n";
-    out << "    \"tick_seconds\": " << ev_walls[0] << ",\n";
-    out << "    \"event_seconds\": " << ev_walls[1] << ",\n";
-    out << "    \"tick_cycles_per_sec\": " << ev_tick_cps << ",\n";
-    out << "    \"event_cycles_per_sec\": " << ev_event_cps << ",\n";
-    out << "    \"speedup\": " << ev_speedup << ",\n";
-    out << "    \"bit_exact\": " << (ev_bit_exact ? "true" : "false")
-        << "\n";
+    for (std::size_t i = 0; i < ev_rows.size(); ++i) {
+        const EventTopoRow &r = ev_rows[i];
+        out << "    \"" << topologyName(r.topo) << "\": {\n";
+        out << "      \"simulated_cycles\": " << r.cycles << ",\n";
+        out << "      \"tick_seconds\": " << r.tick_seconds << ",\n";
+        out << "      \"event_seconds\": " << r.event_seconds
+            << ",\n";
+        out << "      \"tick_cycles_per_sec\": " << r.tick_cps
+            << ",\n";
+        out << "      \"event_cycles_per_sec\": " << r.event_cps
+            << ",\n";
+        out << "      \"speedup\": " << r.speedup << ",\n";
+        out << "      \"bit_exact\": "
+            << (r.bit_exact ? "true" : "false") << "\n";
+        out << "    }" << (i + 1 < ev_rows.size() ? "," : "")
+            << "\n";
+    }
     out << "  },\n";
     out << "  \"fig11_sweep\": {\n";
     out << "    \"points\": " << points.size() << ",\n";
+    out << "    \"hardware_threads\": " << hw_threads << ",\n";
     out << "    \"wall_seconds\": {";
     for (std::size_t i = 0; i < thread_counts.size(); ++i) {
         out << (i == 0 ? "" : ", ") << "\"" << thread_counts[i]
             << "\": " << walls[i];
     }
     out << "},\n";
-    out << "    \"speedup\": {";
-    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
-        out << (i == 0 ? "" : ", ") << "\"" << thread_counts[i]
-            << "\": " << walls.front() / walls[i];
+    if (scaling_meaningful) {
+        out << "    \"speedup\": {";
+        for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+            out << (i == 0 ? "" : ", ") << "\"" << thread_counts[i]
+                << "\": " << walls.front() / walls[i];
+        }
+        out << "},\n";
+    } else {
+        out << "    \"speedup\": null,\n";
+        out << "    \"speedup_note\": \"skipped: 1 hardware thread; "
+               "multi-thread wall-clock ratios would measure "
+               "oversubscription, not scaling\",\n";
     }
-    out << "},\n";
     out << "    \"deterministic\": "
         << (deterministic ? "true" : "false") << "\n";
     out << "  }\n";
@@ -379,18 +446,22 @@ main(int argc, char **argv)
                      "checkpoint_every on)\n");
         return 1;
     }
-    if (!ev_bit_exact) {
-        std::fprintf(stderr,
-                     "FAIL: sim_mode=event diverged from the tick "
-                     "loop on the idle-heavy microbenchmark\n");
-        return 1;
-    }
-    if (ev_speedup < 1.0) {
-        std::fprintf(stderr,
-                     "FAIL: sim_mode=event is slower than the tick "
-                     "loop on the idle-heavy microbenchmark "
-                     "(%.2fx)\n", ev_speedup);
-        return 1;
+    for (const EventTopoRow &r : ev_rows) {
+        if (!r.bit_exact) {
+            std::fprintf(stderr,
+                         "FAIL: sim_mode=event diverged from the "
+                         "tick loop on the idle-heavy microbenchmark "
+                         "(noc=%s)\n", topologyName(r.topo).c_str());
+            return 1;
+        }
+        if (r.speedup < 1.0) {
+            std::fprintf(stderr,
+                         "FAIL: sim_mode=event is slower than the "
+                         "tick loop on the idle-heavy microbenchmark "
+                         "(noc=%s, %.2fx)\n",
+                         topologyName(r.topo).c_str(), r.speedup);
+            return 1;
+        }
     }
     return 0;
 }

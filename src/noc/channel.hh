@@ -81,6 +81,49 @@ class FlitChannel
     /** Credits currently available to the sender. */
     std::uint32_t senderCredits() const { return senderCredits_; }
 
+    /**
+     * Cycle the oldest in-flight flit completes the wire traversal;
+     * kNoCycle when none is in flight. Exact: `DelayQueue`'s monotone
+     * ready-cycle clamp makes frontReadyCycle() the precise cycle
+     * hasArrival() first turns true.
+     */
+    Cycle
+    nextArrivalCycle() const
+    {
+        return flits_.empty() ? kNoCycle : flits_.frontReadyCycle();
+    }
+
+    /**
+     * Cycle the oldest in-flight credit completes the return trip
+     * (tickSender() absorbs it then); kNoCycle when none is in
+     * flight. Credit absorption mutates checkpointed state
+     * (senderCredits_/creditReturns_) and flips quiescent(), which
+     * the LLC reconfiguration FSM polls through Network::drained(),
+     * so it is a first-class event, not bookkeeping.
+     */
+    Cycle
+    nextCreditCycle() const
+    {
+        return creditReturns_.empty() ? kNoCycle
+                                      : creditReturns_.frontReadyCycle();
+    }
+
+    /**
+     * Earliest cycle a sender could transmit on this link: 0 (i.e.
+     * "now") while credits are banked, else the oldest in-flight
+     * credit's return cycle, else kNoCycle -- with every credit spent
+     * and none in flight, sending becomes possible only after the
+     * downstream buffer pops, which is the downstream component's own
+     * advertised event.
+     */
+    Cycle
+    nextSendableCycle() const
+    {
+        if (senderCredits_ > 0)
+            return 0;
+        return nextCreditCycle();
+    }
+
     /** True when no flit or credit is in flight on the wire. */
     bool
     quiescent() const

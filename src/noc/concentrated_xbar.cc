@@ -176,6 +176,17 @@ ConcentratedXbarNetwork::tick(Cycle now)
     }
 }
 
+Cycle
+ConcentratedXbarNetwork::nextEventCycle(Cycle now) const
+{
+    Cycle next = CrossbarBase::nextEventCycle(now);
+    for (const auto &a : reqConc_)
+        next = std::min(next, a->nextEventCycle());
+    for (const auto &a : repConc_)
+        next = std::min(next, a->nextEventCycle());
+    return next;
+}
+
 bool
 ConcentratedXbarNetwork::drained() const
 {

@@ -40,6 +40,14 @@ class ConcentratedXbarNetwork : public CrossbarBase
     NocMessage popReplyFor(SmId sm, Cycle now) override;
     void tick(Cycle now) override;
     bool drained() const override;
+
+    /**
+     * Base events (routers + channels; the base endpoint vectors are
+     * empty here) plus the concentrators' earliest sendable cycles.
+     * Distributors need no term: they act only on channel arrivals,
+     * which the base channel scan already advertises.
+     */
+    Cycle nextEventCycle(Cycle now) const override;
     void saveCkpt(CkptWriter &w) const override;
     void loadCkpt(CkptReader &r) override;
 

@@ -103,6 +103,18 @@ class ConcentratorAdapter
         return true;
     }
 
+    /**
+     * Earliest cycle tick() could stream a flit: kNoCycle while every
+     * source queue is empty (a mid-packet cursor implies a non-empty
+     * queue, so drained() covers it), otherwise the shared channel's
+     * next sendable cycle.
+     */
+    Cycle
+    nextEventCycle() const
+    {
+        return drained() ? kNoCycle : out_->nextSendableCycle();
+    }
+
     /** Serialize per-source queues, arbiter and streaming cursor. */
     void
     saveCkpt(CkptWriter &w) const

@@ -120,6 +120,24 @@ CrossbarBase::deliverReplies(Cycle now)
     }
 }
 
+Cycle
+CrossbarBase::nextEventCycle(Cycle now) const
+{
+    (void)now;
+    Cycle next = kNoCycle;
+    for (const auto &inj : reqInj_)
+        next = std::min(next, inj->nextEventCycle());
+    for (const auto &inj : repInj_)
+        next = std::min(next, inj->nextEventCycle());
+    for (const auto &r : routers_)
+        next = std::min(next, r->nextEventCycle());
+    for (const auto &ch : channels_) {
+        next = std::min(next, ch->nextArrivalCycle());
+        next = std::min(next, ch->nextCreditCycle());
+    }
+    return next;
+}
+
 void
 CrossbarBase::advanceIdleCycles(Cycle n)
 {

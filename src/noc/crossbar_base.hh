@@ -40,6 +40,18 @@ class CrossbarBase : public Network
     NocMessage popReplyFor(SmId sm, Cycle now) override;
     void tick(Cycle now) override;
     bool drained() const override;
+
+    /**
+     * Exact event advertisement: the min over every sub-component's
+     * earliest possible state change -- injection adapters (earliest
+     * sendable cycle while a message is queued), routers (earliest
+     * movable head-of-line flit), and every channel's in-flight flit
+     * and credit fronts. Channel arrivals cover the ejection side:
+     * an ejection/distributor adapter acts only when a flit arrives,
+     * and messages already reassembled are the consumer's event
+     * (the LLC/SM advertises `now` while input is pending).
+     */
+    Cycle nextEventCycle(Cycle now) const override;
     void advanceIdleCycles(Cycle n) override;
     NocActivity activity() const override;
     void saveCkpt(CkptWriter &w) const override;

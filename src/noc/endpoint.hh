@@ -83,6 +83,20 @@ class InjectionAdapter
     /** True when nothing is queued or partially sent. */
     bool drained() const { return queue_.empty(); }
 
+    /**
+     * Earliest cycle tick() could transmit a flit: kNoCycle while the
+     * queue is empty (an injection is an externally driven event),
+     * otherwise the channel's next sendable cycle. Never late: with
+     * the queue non-empty, credits appear only through a returned
+     * credit (advertised by the channel) or a downstream pop (the
+     * downstream component's own event).
+     */
+    Cycle
+    nextEventCycle() const
+    {
+        return queue_.empty() ? kNoCycle : out_->nextSendableCycle();
+    }
+
     std::size_t queueSize() const { return queue_.size(); }
 
     /** Serialize queued messages and the partial-packet cursor. */

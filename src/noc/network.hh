@@ -115,10 +115,20 @@ class Network
     virtual bool drained() const = 0;
 
     /**
-     * Earliest future cycle at which the network can deliver or move
-     * anything, assuming no further injections; kNoCycle when empty.
-     * Conservative implementations return now + 1 while non-drained.
-     * Used by the quiescence fast-forward (see docs/performance.md).
+     * Earliest cycle at which tick() can change observable state,
+     * assuming no further injections; kNoCycle when nothing can ever
+     * happen without external input. Drives both `sim_mode=event`
+     * jumps and tick-mode quiescence fast-forward, so the contract is
+     * *never late*: advertising a cycle after the first real state
+     * change diverges the simulation. Advertising early (down to the
+     * conservative `now + 1` of this default) is always safe, only
+     * slow. Every shipped topology is exact: the ideal NoC advertises
+     * its delay-queue fronts, and the crossbars take the min over
+     * per-component events -- router head-of-line flits, endpoint
+     * sendable cycles, and every channel's in-flight flit *and*
+     * credit fronts (credit absorption mutates checkpointed state and
+     * flips drained(), which the LLC reconfiguration FSM polls).
+     * See docs/performance.md ("The event core") for the full rules.
      */
     virtual Cycle
     nextEventCycle(Cycle now) const

@@ -64,6 +64,41 @@ Router::setBypass(bool enable)
     bypass_ = enable;
 }
 
+Cycle
+Router::nextEventCycle() const
+{
+    Cycle next = kNoCycle;
+    for (std::uint32_t i = 0; i < params_.numInPorts; ++i) {
+        const InputPort &in = inputs_[i];
+        if (in.buffer.empty())
+            continue;
+        const auto &front = in.buffer.front();
+        std::uint32_t out_port;
+        if (bypass_) {
+            // Bypass hard-wires input i to output i.
+            out_port = i;
+        } else if (front.second.head) {
+            out_port = routeFn_(front.second.msg);
+            if (out_port >= params_.numOutPorts)
+                return 0; // tick() will panic; force the live tick
+            if (outputs_[out_port].lockedBy != kInvalidId)
+                continue; // unlock is the lock holder's event
+        } else {
+            out_port = in.currentOut;
+            if (out_port == kInvalidId)
+                return 0; // tick() will panic; force the live tick
+        }
+        const OutputPort &out = outputs_[out_port];
+        if (out.out == nullptr)
+            continue;
+        const Cycle sendable = out.out->nextSendableCycle();
+        if (sendable == kNoCycle)
+            continue; // credits reappear only after a downstream pop
+        next = std::min(next, std::max(front.first, sendable));
+    }
+    return next;
+}
+
 bool
 Router::drained() const
 {

@@ -93,6 +93,25 @@ class Router
     bool drained() const;
 
     /**
+     * Earliest cycle a tick() could move a flit out of an input
+     * buffer; kNoCycle when no buffered flit can ever move without an
+     * external event first. Exact per input: a head-of-line flit
+     * moves at max(pipeline eligibility, downstream sendable cycle).
+     * Inputs whose movement is gated on someone else's event are
+     * skipped soundly:
+     *  - a head flit facing a locked output (the lock releases only
+     *    when the holder's tail traverses -- that input's own event --
+     *    and the request phase sees the lock before the grant phase
+     *    clears it, so same-cycle unlock-and-move cannot happen);
+     *  - an output with zero banked credits and none in flight
+     *    (credits reappear only after a downstream buffer pop).
+     * Channel flit arrivals are NOT included here -- the owning
+     * network takes the min over every channel's nextArrivalCycle()
+     * directly, which covers acceptArrivals() for all inputs.
+     */
+    Cycle nextEventCycle() const;
+
+    /**
      * Account @p n skipped idle ticks: tick() unconditionally counts
      * one active (or gated, under bypass) cycle, so an external
      * fast-forward over drained cycles must add the same amount.

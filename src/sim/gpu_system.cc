@@ -350,6 +350,8 @@ GpuSystem::maybeFastForward()
     llc_->advanceIdleCycles(skipped);
     net_->advanceIdleCycles(skipped);
     now_ = to;
+    ++jumpCount_;
+    jumpedCycles_ += skipped;
 }
 
 Cycle
@@ -420,6 +422,8 @@ GpuSystem::jumpToNextEvent()
     for (auto &sm : sms_)
         sm->advanceIdleCycles(skipped);
     now_ = to;
+    ++jumpCount_;
+    jumpedCycles_ += skipped;
 }
 
 RunResult

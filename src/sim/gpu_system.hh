@@ -157,6 +157,18 @@ class GpuSystem
      */
     Cycle eventNextCycle() const;
 
+    /**
+     * Multi-cycle clock jumps taken so far (event-mode jumps and
+     * tick-mode quiescence fast-forwards) and the total number of
+     * no-op ticks they elided. Wall-clock diagnostics only: neither
+     * value enters RunResult or the checkpoint payload, so they never
+     * perturb bit-exactness -- but a flit NoC whose nextEventCycle()
+     * degenerates to `now + 1` shows up as zero jumps on an
+     * idle-heavy run, which tests/test_event_core.cc pins.
+     */
+    std::uint64_t eventJumps() const { return jumpCount_; }
+    Cycle jumpedCycles() const { return jumpedCycles_; }
+
     /** Periodic pull-only observer (obs/recorder.hh). */
     using CycleObserver = std::function<void(Cycle now)>;
 
@@ -252,6 +264,9 @@ class GpuSystem
     bool started_ = false;
     /** Next periodic-checkpoint grid point; kNoCycle = off. */
     Cycle nextCkptAt_ = kNoCycle;
+    /** Diagnostic jump counters (see eventJumps()); not serialized. */
+    std::uint64_t jumpCount_ = 0;
+    Cycle jumpedCycles_ = 0;
     /** Kernel state changed; manageKernels() must run this cycle. */
     bool manageDirty_ = true;
     /** Apps that still have kernels to launch or finish. */
