@@ -23,6 +23,13 @@
  *      must not be slower than the tick loop (both hard gates) --
  *      a flit crossbar whose event advertisement degenerates to
  *      `now + 1` fails the speedup gate here.
+ *   1f. serving throughput -- a decode-heavy open-loop llm_inference
+ *      run (Poisson arrivals, runtime-materialized phase chains)
+ *      under sim_mode=tick and sim_mode=event. Bit-identical results
+ *      are a hard gate: the request driver advertises exact
+ *      next-arrival cycles and any event-core drift past one shows
+ *      up here. Tracks the simulator's cost on agitated,
+ *      arrival-driven workloads next to the closed-workload phases.
  *   2. fig11 sweep scaling -- the Figure-11 grid (workloads x
  *      {shared, private, adaptive}) executed at 1/2/4/8 threads;
  *      reports wall clock per sweep and speedup vs 1 thread
@@ -49,6 +56,7 @@
 
 #include "bench/bench_util.hh"
 #include "noc/network_factory.hh"
+#include "workloads/llm_inference.hh"
 #include "workloads/trace_gen.hh"
 
 using namespace amsc;
@@ -283,6 +291,54 @@ main(int argc, char **argv)
                     row.bit_exact ? "yes" : "NO");
     }
 
+    // ---- phase 1f: serving throughput (tick vs event) -------------
+    // The open-loop request driver appends work at runtime, so this
+    // phase is the harness's only arrival-driven cost point: a
+    // decode-heavy llm_inference mix (short prefill, long decode
+    // chains hitting the Zipf-shared KV space) under both cycle
+    // drivers. The drivers must agree bit for bit -- the driver
+    // advertises exact next-arrival cycles and an event core that
+    // lands anywhere else diverges here -- and the wall-clock pair
+    // tracks what serving simulation costs relative to phase 1.
+    LlmServingParams sv_params;
+    sv_params.ratePerKCycle = 6.0;
+    sv_params.tenants = 4;
+    sv_params.maxBatch = 4;
+    sv_params.totalRequests = smoke ? 8 : 24;
+    sv_params.ctxTokens = 32;
+    sv_params.decodeTokens = 32;
+    sv_params.dModel = smoke ? 256 : 512;
+    sv_params.layers = smoke ? 2 : 4;
+    sv_params.seed = 9;
+    SimConfig sv_cfg = cfg;
+    sv_cfg.maxCycles = smoke ? 120000 : 400000;
+    RunResult sv_results[2];
+    double sv_walls[2];
+    for (int m = 0; m < 2; ++m) {
+        SimConfig c = sv_cfg;
+        c.simMode = m == 0 ? SimMode::Tick : SimMode::Event;
+        sv_walls[m] = wallSeconds([&]() {
+            GpuSystem gpu(c);
+            gpu.setProgram(0, makeLlmInferenceProgram(sv_params));
+            sv_results[m] = gpu.run();
+        });
+    }
+    const bool sv_bit_exact =
+        identicalResults(sv_results[0], sv_results[1]);
+    const double sv_tick_cps =
+        static_cast<double>(sv_results[0].cycles) / sv_walls[0];
+    const double sv_event_cps =
+        static_cast<double>(sv_results[1].cycles) / sv_walls[1];
+    std::printf("serving (decode-heavy, %llu/%u requests, %llu "
+                "cycles): tick %.3f s (%.0f cycles/s), event %.3f s "
+                "(%.0f cycles/s), bit-exact: %s\n",
+                static_cast<unsigned long long>(
+                    sv_results[0].requestsCompleted),
+                sv_params.totalRequests,
+                static_cast<unsigned long long>(sv_results[0].cycles),
+                sv_walls[0], sv_tick_cps, sv_walls[1], sv_event_cps,
+                sv_bit_exact ? "yes" : "NO");
+
     // ---- phase 2: fig11 sweep at 1/2/4/8 threads ------------------
     std::vector<SweepPoint> points;
     if (smoke) {
@@ -397,6 +453,20 @@ main(int argc, char **argv)
             << "\n";
     }
     out << "  },\n";
+    out << "  \"serving\": {\n";
+    out << "    \"simulated_cycles\": " << sv_results[0].cycles
+        << ",\n";
+    out << "    \"requests_completed\": "
+        << sv_results[0].requestsCompleted << ",\n";
+    out << "    \"req_lat_p50\": " << sv_results[0].reqLatencyP50
+        << ",\n";
+    out << "    \"tick_seconds\": " << sv_walls[0] << ",\n";
+    out << "    \"event_seconds\": " << sv_walls[1] << ",\n";
+    out << "    \"tick_cycles_per_sec\": " << sv_tick_cps << ",\n";
+    out << "    \"event_cycles_per_sec\": " << sv_event_cps << ",\n";
+    out << "    \"bit_exact\": " << (sv_bit_exact ? "true" : "false")
+        << "\n";
+    out << "  },\n";
     out << "  \"fig11_sweep\": {\n";
     out << "    \"points\": " << points.size() << ",\n";
     out << "    \"hardware_threads\": " << hw_threads << ",\n";
@@ -444,6 +514,13 @@ main(int argc, char **argv)
                      "FAIL: periodic checkpointing perturbed the "
                      "simulation (results differ with "
                      "checkpoint_every on)\n");
+        return 1;
+    }
+    if (!sv_bit_exact) {
+        std::fprintf(stderr,
+                     "FAIL: sim_mode=event diverged from the tick "
+                     "loop on the open-loop serving run (request "
+                     "driver arrival advertisement)\n");
         return 1;
     }
     for (const EventTopoRow &r : ev_rows) {

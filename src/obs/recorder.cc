@@ -55,6 +55,28 @@ TimelineRecorder::TimelineRecorder(GpuSystem &gpu,
     // could attach; open that phase explicitly.
     sink_->phaseBegin(ctrlTrack_, llc.phaseName(), gpu_.now());
 
+    // Request-driver programs (open-loop serving): two tracks per
+    // serving app. Arrival instants are emitted at the next
+    // kernel-management point but carry the true (earlier) arrival
+    // cycle, so they live on their own track -- per-track timestamps
+    // stay monotonic (trace_check) because arrivals drain in arrival
+    // order while launches/completions are stamped at emission time.
+    for (AppId a = 0; a < gpu_.config().numApps(); ++a) {
+        WorkloadProgram *prog = gpu_.program(a);
+        if (!prog || !prog->servingStats())
+            continue;
+        const int arrivals =
+            sink_->registerTrack(strfmt("app%u serving", a),
+                                 "request arrivals");
+        const int requests = sink_->registerTrack(
+            strfmt("app%u serving", a), "batches");
+        servingApps_.push_back(a);
+        prog->setServingObserver(
+            [this, arrivals, requests](const ServingEvent &e) {
+                onServingEvent(arrivals, requests, e);
+            });
+    }
+
     llc.setEventObserver(
         [this](const LlcCtrlEvent &e) { onCtrlEvent(e); });
     gpu_.memory().setCommandObserver(
@@ -75,6 +97,10 @@ TimelineRecorder::~TimelineRecorder()
     gpu_.setCycleObserver(0, nullptr);
     gpu_.llc().setEventObserver(nullptr);
     gpu_.memory().setCommandObserver(nullptr);
+    for (const AppId a : servingApps_) {
+        if (WorkloadProgram *prog = gpu_.program(a))
+            prog->setServingObserver({});
+    }
 }
 
 std::uint64_t
@@ -112,6 +138,36 @@ TimelineRecorder::onCtrlEvent(const LlcCtrlEvent &e)
             ctrlTrack_, "reprofile", e.at,
             {numArg("rule", "3"), strArg("reason", e.reason),
              numArg("atomic_veto", e.atomicVeto ? "1" : "0")});
+        break;
+    }
+}
+
+void
+TimelineRecorder::onServingEvent(int arrival_track, int request_track,
+                                 const ServingEvent &e)
+{
+    switch (e.kind) {
+      case ServingEvent::Kind::Arrival:
+        sink_->instant(arrival_track, "arrival", e.cycle,
+                       {numArg("request", u64s(e.requestId)),
+                        numArg("tenant", u64s(e.tenant)),
+                        numArg("queue_depth", u64s(e.queueDepth))});
+        break;
+
+      case ServingEvent::Kind::BatchLaunch:
+        sink_->instant(request_track, "batch_launch", e.cycle,
+                       {numArg("request", u64s(e.requestId)),
+                        numArg("tenant", u64s(e.tenant)),
+                        numArg("batch_size", u64s(e.batchSize)),
+                        numArg("queue_depth", u64s(e.queueDepth))});
+        break;
+
+      case ServingEvent::Kind::Completion:
+        sink_->instant(request_track, "completion", e.cycle,
+                       {numArg("request", u64s(e.requestId)),
+                        numArg("tenant", u64s(e.tenant)),
+                        numArg("batch_size", u64s(e.batchSize)),
+                        numArg("queue_depth", u64s(e.queueDepth))});
         break;
     }
 }

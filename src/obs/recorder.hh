@@ -78,6 +78,8 @@ class TimelineRecorder
 
   private:
     void onCtrlEvent(const LlcCtrlEvent &e);
+    void onServingEvent(int arrival_track, int request_track,
+                        const ServingEvent &e);
     void sample(Cycle now);
     void emitCounters(Cycle now);
     void emitStreamRecord(Cycle now);
@@ -92,6 +94,8 @@ class TimelineRecorder
     int sliceTrack_ = -1;
     int dramTrack_ = -1;
     int nocTrack_ = -1;
+    /** Apps whose request driver this recorder observes (detach). */
+    std::vector<AppId> servingApps_;
 
     // ---- previous-window snapshots (delta computation) -----------
     struct SliceWindow

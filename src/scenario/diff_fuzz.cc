@@ -135,6 +135,13 @@ makeFuzzCase(std::uint64_t seed, std::uint32_t index)
     rng.next();
 
     const bool multi_app = rng.chance(0.25);
+    // Serving stratum, stratified like the NoC axis below: every
+    // third case drives app 0 with the open-loop llm_inference
+    // request driver instead of a static synthetic app, so any
+    // fixed-seed campaign of >= 3 points provably covers the
+    // runtime-appended-work paths (queue wake-ups, event-core arrival
+    // jumps, mid-queue checkpoints) under both cycle cores.
+    const bool serving = index % 3 == 2;
     // The NoC-topology axis is stratified by case index, not sampled:
     // any campaign of >= 4 points provably covers all four topologies
     // (and every flit-level router/channel/concentrator event path),
@@ -215,6 +222,18 @@ makeFuzzCase(std::uint64_t seed, std::uint32_t index)
         kvLine(os, "timeline", std::string("true"));
     kvLine(os, "stats_stream_period",
            rng.pick<std::uint64_t>({256, 1024, 4096, 10000}));
+    if (serving) {
+        kvLine(os, "serving_rate", rng.pick({1.0, 4.0, 12.0}));
+        kvLine(os, "serving_tenants",
+               rng.pick<std::uint64_t>({1, 2, 8}));
+        kvLine(os, "serving_zipf_alpha", rng.pick({0.0, 0.8}));
+        kvLine(os, "serving_batch", rng.pick<std::uint64_t>({1, 2, 8}));
+        kvLine(os, "serving_requests", rng.range(4, 24));
+        kvLine(os, "serving_ctx", rng.pick<std::uint64_t>({32, 128}));
+        kvLine(os, "serving_decode", rng.pick<std::uint64_t>({4, 16}));
+        kvLine(os, "llm_d_model", rng.pick<std::uint64_t>({256, 512}));
+        kvLine(os, "llm_layers", rng.pick<std::uint64_t>({2, 4}));
+    }
     if (rng.chance(0.2)) {
         kvLine(os, "checkpoint_every",
                rng.pick<std::uint64_t>({1024, 2048, 4096}));
@@ -224,7 +243,16 @@ makeFuzzCase(std::uint64_t seed, std::uint32_t index)
     }
     os << "}\n";
 
-    emitApp(os, rng, 0, multi_app);
+    if (serving) {
+        os << "app {\n";
+        kvLine(os, "class", std::string("llm_inference"));
+        if (multi_app && rng.chance(0.5))
+            kvLine(os, "policy",
+                   std::string(rng.pick({"shared", "private"})));
+        os << "}\n";
+    } else {
+        emitApp(os, rng, 0, multi_app);
+    }
     if (multi_app)
         emitApp(os, rng, 1, multi_app);
 

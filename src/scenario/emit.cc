@@ -107,6 +107,35 @@ metricCells(const RunResult &r)
     };
 }
 
+/**
+ * Serving columns, appended only when some point actually ran a
+ * request-driver program (RunResult::servingActive), so the emitted
+ * schema -- and every pre-serving golden file -- is unchanged for
+ * purely static sweeps. Mirrors the conditional "error" column.
+ */
+std::vector<Cell>
+servingCells(const RunResult &r)
+{
+    return {
+        {"requests_completed", std::to_string(r.requestsCompleted),
+         false},
+        {"req_lat_p50", d17(r.reqLatencyP50), false},
+        {"req_lat_p99", d17(r.reqLatencyP99), false},
+        {"batch_occupancy", d17(r.batchOccupancy), false},
+        {"queue_depth_mean", d17(r.queueDepthMean), false},
+    };
+}
+
+bool
+anyServing(const std::vector<RunResult> &results)
+{
+    for (const RunResult &r : results) {
+        if (r.servingActive)
+            return true;
+    }
+    return false;
+}
+
 std::string
 jsonEscape(const std::string &s)
 {
@@ -143,6 +172,18 @@ metricColumns()
     static const std::vector<std::string> cols = [] {
         std::vector<std::string> out;
         for (const Cell &c : metricCells(RunResult{}))
+            out.push_back(c.name);
+        return out;
+    }();
+    return cols;
+}
+
+const std::vector<std::string> &
+servingColumns()
+{
+    static const std::vector<std::string> cols = [] {
+        std::vector<std::string> out;
+        for (const Cell &c : servingCells(RunResult{}))
             out.push_back(c.name);
         return out;
     }();
@@ -203,6 +244,7 @@ emitCsvImpl(const std::vector<EmitPoint> &points,
             const std::vector<std::string> *errors)
 {
     const bool with_errors = anyError(errors);
+    const bool with_serving = anyServing(results);
     const std::vector<std::string> axes = axisColumns(points);
     std::ostringstream os;
     os << "label";
@@ -210,6 +252,10 @@ emitCsvImpl(const std::vector<EmitPoint> &points,
         os << "," << a;
     for (const std::string &m : metricColumns())
         os << "," << m;
+    if (with_serving) {
+        for (const std::string &m : servingColumns())
+            os << "," << m;
+    }
     if (with_errors)
         os << ",error";
     os << "\n";
@@ -226,6 +272,10 @@ emitCsvImpl(const std::vector<EmitPoint> &points,
         }
         for (const Cell &c : metricCells(results[i]))
             os << "," << c.value;
+        if (with_serving) {
+            for (const Cell &c : servingCells(results[i]))
+                os << "," << c.value;
+        }
         if (with_errors)
             os << "," << csvField((*errors)[i]);
         os << "\n";
@@ -260,6 +310,7 @@ emitJsonImpl(const std::string &scenario,
              const std::vector<std::string> *errors)
 {
     const bool with_errors = anyError(errors);
+    const bool with_serving = anyServing(results);
     std::ostringstream os;
     os << "{\n  \"scenario\": \"" << jsonEscape(scenario)
        << "\",\n  \"points\": [\n";
@@ -272,7 +323,11 @@ emitJsonImpl(const std::string &scenario,
                << jsonEscape(points[i].coords[a].second) << "\"";
         }
         os << "}, \"metrics\": {";
-        const auto cells = metricCells(results[i]);
+        auto cells = metricCells(results[i]);
+        if (with_serving) {
+            const auto serving = servingCells(results[i]);
+            cells.insert(cells.end(), serving.begin(), serving.end());
+        }
         for (std::size_t c = 0; c < cells.size(); ++c) {
             os << (c ? ", " : "") << "\"" << cells[c].name << "\": ";
             if (cells[c].quoted)

@@ -47,6 +47,14 @@ axisColumns(const std::vector<EmitPoint> &points);
 /** Metric column names, stable emission order. */
 const std::vector<std::string> &metricColumns();
 
+/**
+ * Names of the serving columns appended -- after the metric columns,
+ * before any "error" column -- when at least one emitted point ran a
+ * request-driver workload (RunResult::servingActive). Purely static
+ * sweeps keep the historical schema byte-for-byte.
+ */
+const std::vector<std::string> &servingColumns();
+
 /** CSV: header plus one row per point. */
 std::string emitCsv(const std::vector<EmitPoint> &points,
                     const std::vector<RunResult> &results);

@@ -8,6 +8,7 @@
 #include "common/strutil.hh"
 #include "scenario/schema.hh"
 #include "trace/trace_reader.hh"
+#include "workloads/llm_inference.hh"
 #include "workloads/suite.hh"
 
 namespace amsc::scenario
@@ -136,17 +137,27 @@ parseApp(const KvArgs &kv, const std::string &prefix,
     AppSpec a;
     a.workload = kv.getString(K("workload"), "");
     a.replay = kv.getString(K("replay"), "");
+    a.klass = kv.getString(K("class"), "");
     const std::string pattern = kv.getString(K("pattern"), "");
     const int modes = (a.workload.empty() ? 0 : 1) +
-        (a.replay.empty() ? 0 : 1) + (pattern.empty() ? 0 : 1);
+        (a.replay.empty() ? 0 : 1) + (pattern.empty() ? 0 : 1) +
+        (a.klass.empty() ? 0 : 1);
     if (modes != 1)
         throw ConfigError(strfmt("%s: block '%s' needs exactly one of workload=, "
-              "pattern= or replay=",
+              "pattern=, replay= or class=",
               origin.c_str(), prefix.c_str()));
+    if (!a.klass.empty() && a.klass != "llm_inference")
+        throw ConfigError(strfmt("%s: unknown workload class '%s' "
+              "(llm_inference)",
+              origin.c_str(), a.klass.c_str()));
     if (!a.workload.empty())
         suiteByName(a.workload, origin);
     a.ctas = static_cast<std::uint32_t>(kv.getUint(K("ctas"), 0));
     a.warps = static_cast<std::uint32_t>(kv.getUint(K("warps"), 0));
+    if (!a.klass.empty() && (a.ctas != 0 || a.warps != 0))
+        throw ConfigError(strfmt("%s: block '%s': ctas/warps are derived by the "
+              "request driver for class= apps",
+              origin.c_str(), prefix.c_str()));
     a.policy = kv.getString(K("policy"), "");
     if (!a.policy.empty())
         parseLlcPolicy(a.policy); // validate early
@@ -395,6 +406,9 @@ Scenario::buildPoint(
     ExpandedPoint ep;
     SweepPoint &p = ep.point;
     p.cfg = cfg;
+    const bool any_class = std::any_of(
+        apps.begin(), apps.end(),
+        [](const AppSpec &a) { return !a.klass.empty(); });
     for (const AppSpec &a : apps) {
         if (!a.replay.empty()) {
             if (apps.size() != 1)
@@ -410,7 +424,15 @@ Scenario::buildPoint(
             break;
         }
         WorkloadSpec spec;
-        if (a.synthetic) {
+        if (!a.klass.empty()) {
+            // Placeholder spec: installation happens through the
+            // setup closure below (request drivers are programs, not
+            // kernel lists), but the slot keeps app indices aligned
+            // for the per-app policy mapping and sweep labels.
+            spec.abbr = a.klass;
+            spec.fullName = "open-loop serving (" + a.klass + ")";
+            spec.paperKernels = spec.simKernels = 0;
+        } else if (a.synthetic) {
             spec.abbr = a.synName;
             spec.fullName =
                 std::string("synthetic ") + patternName(a.trace.pattern);
@@ -426,6 +448,30 @@ Scenario::buildPoint(
         if (a.warps != 0)
             spec.warpsPerCta = a.warps;
         p.apps.push_back(std::move(spec));
+    }
+    if (any_class && !p.setup) {
+        // Any class= app switches the whole point to program
+        // installation: class apps get the request driver, static
+        // co-runners keep their usual suite/synthetic kernel build.
+        std::vector<char> is_class;
+        for (const AppSpec &a : apps)
+            is_class.push_back(a.klass.empty() ? 0 : 1);
+        const std::vector<WorkloadSpec> specs = p.apps;
+        p.setup = [is_class, specs](GpuSystem &gpu) {
+            for (AppId a = 0;
+                 a < static_cast<AppId>(specs.size()); ++a) {
+                if (is_class[a]) {
+                    gpu.setProgram(
+                        a, makeLlmInferenceProgram(
+                               llmServingParamsFromConfig(
+                                   gpu.config(), a)));
+                } else {
+                    gpu.setWorkload(
+                        a, WorkloadSuite::buildKernels(
+                               specs[a], gpu.config().seed, a));
+                }
+            }
+        };
     }
 
     // Label: axis coordinates ("LUD/shared"), or the scenario name
@@ -540,6 +586,8 @@ dumpApp(std::ostringstream &os, const AppSpec &a)
         os << "  workload = " << a.workload << "\n";
     if (!a.replay.empty())
         os << "  replay = " << dumpValue(a.replay) << "\n";
+    if (!a.klass.empty())
+        os << "  class = " << a.klass << "\n";
     if (a.synthetic) {
         const TraceParams &t = a.trace;
         os << "  pattern = " << patternName(t.pattern) << "\n";

@@ -32,6 +32,8 @@ struct AppSpec
 {
     std::string workload; ///< Table-2 abbreviation ("" if not a suite app)
     std::string replay;   ///< trace file to replay ("" if none)
+    /** Dynamic workload class ("llm_inference", "" if static). */
+    std::string klass;
     bool synthetic = false;
     std::string synName = "syn"; ///< display name of a synthetic app
     TraceParams trace{};         ///< synthetic parameters

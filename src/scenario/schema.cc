@@ -33,6 +33,9 @@ appKeys()
         {"pattern",
          "Synthetic access pattern: broadcast, zipf, tiled or "
          "stream."},
+        {"class",
+         "Dynamic workload class: llm_inference runs the open-loop "
+         "request driver (serving_* config keys, docs/workloads.md)."},
         {"name", "Display name of a synthetic app (default 'syn')."},
         {"shared_mb", "Synthetic shared-region size, MB."},
         {"shared_lines",

@@ -1,6 +1,7 @@
 #include "sim/gpu_system.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/atomic_io.hh"
@@ -99,6 +100,13 @@ identicalResults(const RunResult &a, const RunResult &b)
         if (!sameLink(a.nocActivity.links[i], b.nocActivity.links[i]))
             return false;
     }
+    if (a.servingActive != b.servingActive ||
+        a.requestsCompleted != b.requestsCompleted ||
+        a.reqLatencyP50 != b.reqLatencyP50 ||
+        a.reqLatencyP99 != b.reqLatencyP99 ||
+        a.batchOccupancy != b.batchOccupancy ||
+        a.queueDepthMean != b.queueDepthMean)
+        return false;
     return a.gpuActivity.cycles == b.gpuActivity.cycles &&
         a.gpuActivity.instructions == b.gpuActivity.instructions &&
         a.gpuActivity.l1Accesses == b.gpuActivity.l1Accesses &&
@@ -173,9 +181,10 @@ GpuSystem::GpuSystem(const SimConfig &config) : config_(config)
         sms_[msg.dst]->onReply(msg, now);
     });
 
-    workloads_.resize(apps);
-    nextKernel_.assign(apps, 0);
+    programs_.resize(apps);
     appRunning_.assign(apps, false);
+    appRetired_.assign(apps, true);
+    launchedEver_.assign(apps, false);
 }
 
 GpuSystem::~GpuSystem() = default;
@@ -183,23 +192,35 @@ GpuSystem::~GpuSystem() = default;
 void
 GpuSystem::setWorkload(AppId app, std::vector<KernelInfo> kernels)
 {
-    if (app >= workloads_.size())
-        fatal("setWorkload: app %u out of range", app);
-    workloads_[app] = std::move(kernels);
+    setProgram(app,
+               kernels.empty()
+                   ? nullptr
+                   : std::make_unique<StaticProgram>(
+                         std::move(kernels)));
+}
+
+void
+GpuSystem::setProgram(AppId app,
+                      std::unique_ptr<WorkloadProgram> prog)
+{
+    if (app >= programs_.size())
+        fatal("setProgram: app %u out of range", app);
+    programs_[app] = std::move(prog);
+    launchedEver_[app] = false;
     unfinishedApps_ = 0;
-    for (AppId a = 0; a < workloads_.size(); ++a) {
-        if (workloads_[a].empty())
-            continue;
-        if (appRunning_[a] || nextKernel_[a] < workloads_[a].size())
+    for (AppId a = 0; a < programs_.size(); ++a) {
+        const bool unfinished = programs_[a] &&
+            (appRunning_[a] || !programs_[a]->finished());
+        if (unfinished)
             ++unfinishedApps_;
+        appRetired_[a] = !unfinished;
     }
     manageDirty_ = true;
 }
 
 void
-GpuSystem::launchKernel(AppId app, std::size_t kernel_index)
+GpuSystem::launchKernel(AppId app, const KernelInfo &kernel)
 {
-    const KernelInfo &kernel = workloads_[app][kernel_index];
     const std::vector<SmId> &app_sms = appSms_[app];
     // The app's SM list is cluster-major; its per-cluster width is
     // its share of each cluster (all of it for single-program runs).
@@ -213,6 +234,7 @@ GpuSystem::launchKernel(AppId app, std::size_t kernel_index)
     for (std::size_t i = 0; i < app_sms.size(); ++i)
         sms_[app_sms[i]]->launchKernel(&kernel, assignment[i], now_);
     appRunning_[app] = true;
+    launchedEver_[app] = true;
     // A kernel that assigns no work (or whose streams are all empty)
     // produces no SM completion event; re-arm kernel management so
     // the next cycle advances past it, as the per-cycle scan did.
@@ -226,39 +248,48 @@ GpuSystem::launchKernel(AppId app, std::size_t kernel_index)
 void
 GpuSystem::manageKernels()
 {
-    for (AppId app = 0; app < workloads_.size(); ++app) {
-        if (workloads_[app].empty())
+    programWakeAt_ = kNoCycle;
+    for (AppId app = 0; app < programs_.size(); ++app) {
+        WorkloadProgram *prog = programs_[app].get();
+        if (!prog || appRetired_[app])
             continue;
 
-        if (!appRunning_[app]) {
-            // First launch of this application.
-            if (nextKernel_[app] == 0 &&
-                nextKernel_[app] < workloads_[app].size())
-                launchKernel(app, nextKernel_[app]++);
-            continue;
-        }
-
-        // Check whether the running kernel finished on all its SMs.
-        bool done = true;
-        for (const SmId sm : appSms_[app]) {
-            if (!sms_[sm]->done()) {
-                done = false;
-                break;
+        if (appRunning_[app]) {
+            // Check whether the running kernel finished on all SMs.
+            bool done = true;
+            for (const SmId sm : appSms_[app]) {
+                if (!sms_[sm]->done()) {
+                    done = false;
+                    break;
+                }
             }
-        }
-        if (!done)
-            continue;
-
-        if (nextKernel_[app] < workloads_[app].size()) {
-            // Kernel boundary: software coherence flushes the L1s and
-            // (if private) the LLC; the controller re-profiles.
-            for (const SmId sm : appSms_[app])
-                sms_[sm]->flushL1();
-            llc_->onKernelLaunch(now_);
-            launchKernel(app, nextKernel_[app]++);
-        } else {
+            if (!done)
+                continue;
             appRunning_[app] = false;
+            prog->onKernelDone(now_);
+        }
+
+        const KernelInfo *kernel = prog->nextKernel(now_);
+        if (kernel) {
+            if (launchedEver_[app]) {
+                // Kernel boundary: software coherence flushes the
+                // L1s and (if private) the LLC; the controller
+                // re-profiles. The very first launch of an app skips
+                // it, exactly like the former fixed-list path.
+                for (const SmId sm : appSms_[app])
+                    sms_[sm]->flushL1();
+                llc_->onKernelLaunch(now_);
+            }
+            launchKernel(app, *kernel);
+        } else if (prog->finished()) {
+            appRetired_[app] = true;
             --unfinishedApps_;
+        } else {
+            // Idle but not finished: the program is waiting on a
+            // future arrival. Arm the wake clamp so both cycle-core
+            // drivers re-run kernel management at exactly that cycle.
+            programWakeAt_ =
+                std::min(programWakeAt_, prog->nextEventCycle(now_));
         }
     }
 }
@@ -266,11 +297,10 @@ GpuSystem::manageKernels()
 bool
 GpuSystem::allWorkDone() const
 {
-    for (AppId app = 0; app < workloads_.size(); ++app) {
-        if (workloads_[app].empty())
+    for (AppId app = 0; app < programs_.size(); ++app) {
+        if (!programs_[app])
             continue;
-        if (appRunning_[app] ||
-            nextKernel_[app] < workloads_[app].size())
+        if (appRunning_[app] || !programs_[app]->finished())
             return false;
     }
     return true;
@@ -288,6 +318,13 @@ GpuSystem::setCycleObserver(Cycle period, CycleObserver obs)
 void
 GpuSystem::tickOnce()
 {
+    // A program arrival due this cycle re-runs kernel management in
+    // this very tick; with no driver waiting the cost is one compare
+    // against kNoCycle (the observer idiom below).
+    if (now_ >= programWakeAt_) {
+        programWakeAt_ = kNoCycle;
+        manageDirty_ = true;
+    }
     llc_->tick(now_);
     mem_->tick(now_);
     net_->tick(now_); // pushes delivered replies into the SMs
@@ -336,9 +373,12 @@ GpuSystem::maybeFastForward()
         if (sm->hasPendingCompletions())
             return;
     }
+    // A pending program arrival bounds the jump: the tick at the wake
+    // cycle must run live so kernel management fires on schedule.
     const Cycle target = std::min({llc_->nextEventCycle(now_),
                                    net_->nextEventCycle(now_),
-                                   mem_->nextEventCycle(now_)});
+                                   mem_->nextEventCycle(now_),
+                                   programWakeAt_});
     if (target == kNoCycle)
         return;
     const Cycle to = std::min(target, config_.maxCycles);
@@ -400,6 +440,10 @@ GpuSystem::jumpToNextEvent()
             return;
     }
     Cycle to = std::min(eventNextCycle(), config_.maxCycles);
+    // A waiting request driver's next arrival is an exact event: the
+    // tick at the wake cycle runs live (tickOnce re-arms kernel
+    // management at its top), so landing *on* it matches tick mode.
+    to = std::min(to, programWakeAt_);
     // Land one cycle short of each grid point the tick loop honors:
     // the live tick there brings now_ onto the grid with identical
     // state, so the observer fires, the checkpoint is written and
@@ -522,15 +566,58 @@ GpuSystem::collect() const
     r.gpuActivity.l1Accesses = l1_accesses;
     r.gpuActivity.llcAccesses = r.llcAccesses;
     r.gpuActivity.dramAccesses = r.dramAccesses;
+
+    // Open-loop serving metrics, merged across request-driver apps.
+    std::vector<std::uint64_t> lat;
+    std::uint64_t completed = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t occ_sum = 0;
+    std::uint64_t qdepth_sum = 0;
+    for (const auto &prog : programs_) {
+        const ServingStats *s =
+            prog ? prog->servingStats() : nullptr;
+        if (!s)
+            continue;
+        r.servingActive = true;
+        completed += s->requestsCompleted;
+        batches += s->batchesLaunched;
+        occ_sum += s->batchOccupancySum;
+        qdepth_sum += s->queueDepthSum;
+        lat.insert(lat.end(), s->latencies.begin(),
+                   s->latencies.end());
+    }
+    if (r.servingActive) {
+        r.requestsCompleted = completed;
+        std::sort(lat.begin(), lat.end());
+        // Nearest-rank percentile: deterministic, no interpolation.
+        const auto pct = [&lat](double p) {
+            if (lat.empty())
+                return 0.0;
+            std::size_t idx = static_cast<std::size_t>(std::ceil(
+                p * static_cast<double>(lat.size())));
+            idx = idx == 0 ? 0 : idx - 1;
+            if (idx >= lat.size())
+                idx = lat.size() - 1;
+            return static_cast<double>(lat[idx]);
+        };
+        r.reqLatencyP50 = pct(0.50);
+        r.reqLatencyP99 = pct(0.99);
+        r.batchOccupancy = batches == 0
+            ? 0.0
+            : static_cast<double>(occ_sum) /
+                static_cast<double>(batches);
+        r.queueDepthMean = batches == 0
+            ? 0.0
+            : static_cast<double>(qdepth_sum) /
+                static_cast<double>(batches);
+    }
     return r;
 }
 
 const KernelInfo *
 GpuSystem::activeKernelOf(AppId app) const
 {
-    if (workloads_[app].empty() || nextKernel_[app] == 0)
-        return nullptr;
-    return &workloads_[app][nextKernel_[app] - 1];
+    return programs_[app] ? programs_[app]->currentKernel() : nullptr;
 }
 
 void
@@ -542,14 +629,20 @@ GpuSystem::savePayload(CkptWriter &w) const
     w.b(manageDirty_);
     w.u32(unfinishedApps_);
     w.u64(instrRetired_);
-    ckptValue(w, nextKernel_);
+    w.u64(programWakeAt_);
     ckptValue(w, appRunning_);
-    // Workload shape rides along purely as a restore-time guard: the
-    // kernels themselves (factories) must be re-supplied through
-    // setWorkload().
-    w.varint(workloads_.size());
-    for (const auto &ws : workloads_)
-        w.varint(ws.size());
+    ckptValue(w, appRetired_);
+    ckptValue(w, launchedEver_);
+    // Program state (chain position, driver queues/RNG). The
+    // programs themselves -- the kernel factories -- must be
+    // re-supplied through setWorkload()/setProgram() before restore;
+    // presence flags guard against a mismatched workload description.
+    w.varint(programs_.size());
+    for (const auto &prog : programs_) {
+        w.b(prog != nullptr);
+        if (prog)
+            prog->saveCkpt(w);
+    }
     for (const auto &sm : sms_) {
         sm->saveCkpt(w);
     }
@@ -589,19 +682,22 @@ GpuSystem::restore(std::istream &is)
     manageDirty_ = r.b();
     unfinishedApps_ = r.u32();
     instrRetired_ = r.u64();
-    ckptValue(r, nextKernel_);
+    programWakeAt_ = r.u64();
     ckptValue(r, appRunning_);
-    if (nextKernel_.size() != workloads_.size() ||
-        appRunning_.size() != workloads_.size())
+    ckptValue(r, appRetired_);
+    ckptValue(r, launchedEver_);
+    if (appRunning_.size() != programs_.size() ||
+        appRetired_.size() != programs_.size() ||
+        launchedEver_.size() != programs_.size())
         r.fail("application count mismatch");
-    if (r.varint() != workloads_.size())
+    if (r.varint() != programs_.size())
         r.fail("workload count mismatch");
-    for (std::size_t a = 0; a < workloads_.size(); ++a) {
-        if (r.varint() != workloads_[a].size())
-            r.fail("kernel sequence mismatch: apply the recorded "
-                   "setWorkload() calls before restore");
-        if (nextKernel_[a] > workloads_[a].size())
-            r.fail("kernel index out of range");
+    for (std::size_t a = 0; a < programs_.size(); ++a) {
+        if (r.b() != (programs_[a] != nullptr))
+            r.fail("workload program mismatch: apply the recorded "
+                   "setWorkload()/setProgram() calls before restore");
+        if (programs_[a])
+            programs_[a]->loadCkpt(r);
     }
     for (const auto &sm : sms_)
         sm->loadCkpt(r, activeKernelOf(smApp_[sm->id()]));

@@ -32,6 +32,7 @@
 #include "noc/network.hh"
 #include "power/gpu_energy.hh"
 #include "sim/sim_config.hh"
+#include "workloads/program.hh"
 
 namespace amsc
 {
@@ -82,6 +83,19 @@ struct RunResult
     NocActivity nocActivity{};
     /** System activity (energy model input, NoC energy not filled). */
     GpuActivity gpuActivity{};
+
+    // ---- open-loop serving metrics (request-driver programs) ------
+    /** True when any app ran under a request-driver program; the
+     *  serving emitter columns appear only for such runs. */
+    bool servingActive = false;
+    std::uint64_t requestsCompleted = 0;
+    /** Request latency percentiles, cycles (nearest-rank). */
+    double reqLatencyP50 = 0.0;
+    double reqLatencyP99 = 0.0;
+    /** Mean requests per launched batch. */
+    double batchOccupancy = 0.0;
+    /** Mean queue depth sampled at batch launches. */
+    double queueDepthMean = 0.0;
 };
 
 /**
@@ -106,8 +120,26 @@ class GpuSystem
      * Assign the kernel sequence of application @p app. Kernels run
      * back to back; each boundary flushes the L1s (software
      * coherence) and notifies the adaptive controller (Rule #3).
+     * Wraps the list into a StaticProgram -- bit-identical to the
+     * former fixed-list path.
      */
     void setWorkload(AppId app, std::vector<KernelInfo> kernels);
+
+    /**
+     * Assign the workload program of application @p app (nullptr =
+     * no work). Kernel management pulls phases from the program
+     * whenever the app is idle; a waiting program's next-arrival
+     * cycle clamps the event-mode jumps, so dynamic (request-driven)
+     * programs stay bit-identical between tick and event drivers.
+     */
+    void setProgram(AppId app, std::unique_ptr<WorkloadProgram> prog);
+
+    /** Program of application @p app; nullptr if none assigned. */
+    WorkloadProgram *
+    program(AppId app)
+    {
+        return app < programs_.size() ? programs_[app].get() : nullptr;
+    }
 
     /**
      * Run until all applications finish their kernels, maxCycles
@@ -221,7 +253,7 @@ class GpuSystem
 
     void tickOnce();
     void manageKernels();
-    void launchKernel(AppId app, std::size_t kernel_index);
+    void launchKernel(AppId app, const KernelInfo &kernel);
     bool allWorkDone() const;
     /**
      * While every SM is stalled for an LLC reconfiguration and NoC,
@@ -252,10 +284,16 @@ class GpuSystem
     /** Per-app SM lists (cluster-major), built once at construction. */
     std::vector<std::vector<SmId>> appSms_;
 
-    /** Kernel sequences per application. */
-    std::vector<std::vector<KernelInfo>> workloads_;
-    std::vector<std::size_t> nextKernel_;
+    /** Workload programs per application (nullptr = no work). */
+    std::vector<std::unique_ptr<WorkloadProgram>> programs_;
+    /** A kernel of the app is launched on its SMs. */
     std::vector<bool> appRunning_;
+    /** App no longer counts toward unfinishedApps_. */
+    std::vector<bool> appRetired_;
+    /** App has launched at least one kernel (boundary-flush gate). */
+    std::vector<bool> launchedEver_;
+    /** Earliest pending program arrival; kNoCycle = none waiting. */
+    Cycle programWakeAt_ = kNoCycle;
 
     Cycle now_ = 0;
     bool smsStalled_ = false;

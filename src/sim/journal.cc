@@ -230,6 +230,12 @@ saveRunResult(CkptWriter &w, const RunResult &r)
     ckptValue(w, r.nocActivity.routers);
     ckptValue(w, r.nocActivity.links);
     ckptValue(w, r.gpuActivity);
+    w.b(r.servingActive);
+    w.varint(r.requestsCompleted);
+    w.d(r.reqLatencyP50);
+    w.d(r.reqLatencyP99);
+    w.d(r.batchOccupancy);
+    w.d(r.queueDepthMean);
 }
 
 void
@@ -258,6 +264,12 @@ loadRunResult(CkptReader &r, RunResult &out)
     ckptValue(r, out.nocActivity.routers);
     ckptValue(r, out.nocActivity.links);
     ckptValue(r, out.gpuActivity);
+    out.servingActive = r.b();
+    out.requestsCompleted = r.varint();
+    out.reqLatencyP50 = r.d();
+    out.reqLatencyP99 = r.d();
+    out.batchOccupancy = r.d();
+    out.queueDepthMean = r.d();
 }
 
 std::uint64_t

@@ -47,8 +47,8 @@ namespace amsc
 /** Journal file magic (8 bytes, no NUL). */
 inline constexpr char kJournalMagic[] = "AMSCJNL1";
 
-/** Journal format version. */
-inline constexpr std::uint32_t kJournalVersion = 1;
+/** Journal format version (2: RunResult serving fields). */
+inline constexpr std::uint32_t kJournalVersion = 2;
 
 /** Identity of one shard journal (first frame of the file). */
 struct JournalHeader

@@ -630,6 +630,35 @@ buildRegistry()
                      "Counter-sampling and stats-window period in "
                      "cycles; inert unless timeline or "
                      "stats_stream_out enables an observer."),
+        // ---- open-loop serving ----------------------------------------
+        AMSC_F64_KEY("serving_rate", servingRate,
+                     "Mean request arrivals per 1000 cycles of the "
+                     "open-loop Poisson driver (docs/workloads.md)."),
+        AMSC_U32_KEY("serving_tenants", servingTenants,
+                     "Tenant (model instance) population of the "
+                     "request driver, Zipf-distributed."),
+        AMSC_F64_KEY("serving_zipf_alpha", servingZipfAlpha,
+                     "Zipf skew of the tenant popularity "
+                     "distribution (0 = uniform)."),
+        AMSC_U32_KEY("serving_batch", servingBatch,
+                     "Maximum requests batched into one "
+                     "prefill/decode/kv-append phase chain."),
+        AMSC_U32_KEY("serving_requests", servingRequests,
+                     "Total requests the driver admits before "
+                     "finishing (0 = open-ended, run to the cycle "
+                     "horizon)."),
+        AMSC_U32_KEY("serving_ctx", servingCtx,
+                     "Prompt (context) length in tokens; scales the "
+                     "prefill phase and the KV footprint."),
+        AMSC_U32_KEY("serving_decode", servingDecode,
+                     "Generated tokens per request; scales the "
+                     "decode phase."),
+        AMSC_U32_KEY("llm_d_model", llmDModel,
+                     "Model hidden dimension of the llm_inference "
+                     "workload class (weight/KV footprint)."),
+        AMSC_U32_KEY("llm_layers", llmLayers,
+                     "Transformer layer count of the llm_inference "
+                     "workload class (weight/KV footprint)."),
     };
 }
 
@@ -733,6 +762,15 @@ SimConfig::validate() const
         fatal("config: stats_stream_period must be non-zero");
     if (llcDuelSets == 0)
         fatal("config: llc_duel_sets must be non-zero");
+    if (!(servingRate > 0.0))
+        fatal("config: serving_rate must be positive");
+    if (servingZipfAlpha < 0.0)
+        fatal("config: serving_zipf_alpha must be non-negative");
+    if (servingTenants == 0 || servingBatch == 0 || servingCtx == 0 ||
+        servingDecode == 0 || llmDModel == 0 || llmLayers == 0)
+        fatal("config: serving/llm parameters must be non-zero "
+              "(serving_tenants, serving_batch, serving_ctx, "
+              "serving_decode, llm_d_model, llm_layers)");
     buildBypassAppMask(); // throws on malformed llc_bypass_apps
 }
 

@@ -201,6 +201,29 @@ struct SimConfig
     /** Counter-sampling and stats-window period, cycles. */
     Cycle statsStreamPeriod = 10000;
 
+    // ---- open-loop serving (workloads/llm_inference) ----------------
+    // Consumed by request-driver programs (`app { class = ... }` in
+    // scenario files); inert for static workloads. All of them enter
+    // the checkpoint identity hash like any structural key.
+    /** Mean request arrivals per 1000 cycles (Poisson process). */
+    double servingRate = 2.0;
+    /** Tenant (model instance) population, Zipf-distributed. */
+    std::uint32_t servingTenants = 4;
+    /** Zipf skew of the tenant popularity distribution. */
+    double servingZipfAlpha = 0.8;
+    /** Maximum requests batched into one phase chain. */
+    std::uint32_t servingBatch = 4;
+    /** Total requests the driver admits (0 = open-ended). */
+    std::uint32_t servingRequests = 32;
+    /** Prompt (context) length in tokens, drives prefill volume. */
+    std::uint32_t servingCtx = 256;
+    /** Generated tokens per request, drives decode volume. */
+    std::uint32_t servingDecode = 16;
+    /** Model hidden dimension (weight/KV footprint scaling). */
+    std::uint32_t llmDModel = 1024;
+    /** Transformer layer count (weight/KV footprint scaling). */
+    std::uint32_t llmLayers = 8;
+
     /** SMs per cluster. */
     std::uint32_t
     smsPerCluster() const

@@ -1,0 +1,416 @@
+#include "workloads/llm_inference.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/rng.hh"
+#include "sim/sim_config.hh"
+#include "workloads/trace_gen.hh"
+
+namespace amsc
+{
+
+namespace
+{
+
+/** One queued inference request. */
+struct Request
+{
+    std::uint64_t id = 0;
+    std::uint32_t tenant = 0;
+    Cycle arrival = 0;
+};
+
+void
+ckptValue(CkptWriter &w, const Request &v)
+{
+    ckptFields(w, v.id, v.tenant, v.arrival);
+}
+
+void
+ckptValue(CkptReader &r, Request &v)
+{
+    ckptFields(r, v.id, v.tenant, v.arrival);
+}
+
+/**
+ * The open-loop request driver. All arrival times and tenant draws
+ * come from one private xoshiro stream, so the schedule is a pure
+ * function of the seed: kernel management consumes it at identical
+ * cycles under the tick and event drivers (the program wake clamp in
+ * GpuSystem guarantees that), keeping both modes bit-identical.
+ */
+class LlmServingProgram : public WorkloadProgram
+{
+  public:
+    explicit LlmServingProgram(const LlmServingParams &p)
+        : p_(p), rng_(p.seed * 0x9e3779b97f4a7c15ULL + 0x5e47),
+          tenantZipf_(p.tenants, p.zipfAlpha)
+    {
+        // Model footprints in cache lines, 2 bytes/element: weights
+        // are the 12 d^2 matrices per layer (QKV + O + two MLP mats),
+        // KV is 2 * layers * d_model per token per request.
+        weightLines_ = std::max<std::uint64_t>(
+            1, 12ull * p_.layers * p_.dModel * p_.dModel * 2 /
+                p_.lineBytes);
+        kvLinesPerToken_ = std::max<std::uint64_t>(
+            1, 2ull * p_.layers * p_.dModel * 2 / p_.lineBytes);
+        kvOffset_ = static_cast<Addr>(p_.tenants) * weightLines_ *
+            p_.lineBytes;
+        nextArrival_ = drawGap(0);
+    }
+
+    const KernelInfo *
+    nextKernel(Cycle now) override
+    {
+        admitArrivals(now);
+        if (chainActive_) {
+            if (phaseIdx_ < chain_.size())
+                return &chain_[phaseIdx_];
+            return nullptr; // unreachable: onKernelDone retires first
+        }
+        if (queue_.empty())
+            return nullptr;
+        formBatch(now);
+        buildChain();
+        chainActive_ = true;
+        phaseIdx_ = 0;
+        return &chain_[0];
+    }
+
+    const KernelInfo *
+    currentKernel() const override
+    {
+        if (chain_.empty())
+            return nullptr;
+        if (chainActive_ && phaseIdx_ < chain_.size())
+            return &chain_[phaseIdx_];
+        return &chain_.back();
+    }
+
+    void
+    onKernelDone(Cycle now) override
+    {
+        if (!chainActive_)
+            return;
+        ++phaseIdx_;
+        if (phaseIdx_ < chain_.size())
+            return;
+        // Last phase retired: the whole batch completes here.
+        chainActive_ = false;
+        for (const Request &req : batch_) {
+            stats_.latencies.push_back(now - req.arrival);
+            ++stats_.requestsCompleted;
+            if (obs_) {
+                ServingEvent ev;
+                ev.kind = ServingEvent::Kind::Completion;
+                ev.cycle = now;
+                ev.requestId = req.id;
+                ev.tenant = req.tenant;
+                ev.batchSize =
+                    static_cast<std::uint32_t>(batch_.size());
+                ev.queueDepth = queue_.size();
+                obs_(ev);
+            }
+        }
+        // batch_ is kept: the chain is a pure function of it, which
+        // is how loadCkpt() rebuilds the kernels after a restore.
+    }
+
+    bool
+    finished() const override
+    {
+        return p_.totalRequests != 0 &&
+            arrivals_ >= p_.totalRequests && queue_.empty() &&
+            !chainActive_;
+    }
+
+    Cycle
+    nextEventCycle(Cycle now) const override
+    {
+        if (p_.totalRequests != 0 && arrivals_ >= p_.totalRequests)
+            return kNoCycle;
+        return std::max(nextArrival_, now + 1);
+    }
+
+    void
+    saveCkpt(CkptWriter &w) const override
+    {
+        const auto st = rng_.state();
+        w.u64(st.first);
+        w.u64(st.second);
+        w.u64(nextArrival_);
+        w.varint(arrivals_);
+        ckptValue(w, queue_);
+        ckptValue(w, batch_);
+        w.b(chainActive_);
+        w.varint(phaseIdx_);
+        w.varint(stats_.requestsArrived);
+        w.varint(stats_.requestsCompleted);
+        ::amsc::ckptValue(w, stats_.latencies);
+        w.varint(stats_.batchesLaunched);
+        w.varint(stats_.batchOccupancySum);
+        w.varint(stats_.queueDepthSum);
+    }
+
+    void
+    loadCkpt(CkptReader &r) override
+    {
+        const std::uint64_t s0 = r.u64();
+        const std::uint64_t s1 = r.u64();
+        rng_.setState(s0, s1);
+        nextArrival_ = r.u64();
+        arrivals_ = r.varint();
+        ckptValue(r, queue_);
+        ckptValue(r, batch_);
+        chainActive_ = r.b();
+        phaseIdx_ = static_cast<std::size_t>(r.varint());
+        stats_.requestsArrived = r.varint();
+        stats_.requestsCompleted = r.varint();
+        ::amsc::ckptValue(r, stats_.latencies);
+        stats_.batchesLaunched = r.varint();
+        stats_.batchOccupancySum = r.varint();
+        stats_.queueDepthSum = r.varint();
+        chain_.clear();
+        if (!batch_.empty())
+            buildChain();
+        if (phaseIdx_ > chain_.size())
+            r.fail("serving phase index out of range");
+    }
+
+    const ServingStats *servingStats() const override
+    {
+        return &stats_;
+    }
+
+    void
+    setServingObserver(ServingObserver obs) override
+    {
+        obs_ = std::move(obs);
+    }
+
+  private:
+    /** Next Poisson interarrival gap, cycles (>= 1). */
+    Cycle
+    drawGap(Cycle from)
+    {
+        const double u = rng_.uniform();
+        const double gap =
+            -std::log(1.0 - u) * (1000.0 / p_.ratePerKCycle);
+        const double clamped = std::min(gap, 1e15);
+        return from +
+            std::max<Cycle>(1, static_cast<Cycle>(std::llround(
+                                   clamped)));
+    }
+
+    /** Enqueue every request whose arrival cycle is <= @p now. */
+    void
+    admitArrivals(Cycle now)
+    {
+        while ((p_.totalRequests == 0 ||
+                arrivals_ < p_.totalRequests) &&
+               nextArrival_ <= now) {
+            Request req;
+            req.id = arrivals_++;
+            req.tenant = static_cast<std::uint32_t>(
+                tenantZipf_.sample(rng_));
+            req.arrival = nextArrival_;
+            queue_.push_back(req);
+            ++stats_.requestsArrived;
+            if (obs_) {
+                ServingEvent ev;
+                ev.kind = ServingEvent::Kind::Arrival;
+                ev.cycle = req.arrival;
+                ev.requestId = req.id;
+                ev.tenant = req.tenant;
+                ev.queueDepth = queue_.size();
+                obs_(ev);
+            }
+            nextArrival_ = drawGap(nextArrival_);
+        }
+    }
+
+    /**
+     * Dequeue up to maxBatch oldest requests of the front request's
+     * tenant (tenant-batched serving: one chain shares one weight
+     * image, the way per-model batching engines group work).
+     */
+    void
+    formBatch(Cycle now)
+    {
+        const std::uint32_t tenant = queue_.front().tenant;
+        stats_.queueDepthSum += queue_.size();
+        batch_.clear();
+        for (auto it = queue_.begin();
+             it != queue_.end() && batch_.size() < p_.maxBatch;) {
+            if (it->tenant == tenant) {
+                batch_.push_back(*it);
+                it = queue_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        ++stats_.batchesLaunched;
+        stats_.batchOccupancySum += batch_.size();
+        if (obs_) {
+            ServingEvent ev;
+            ev.kind = ServingEvent::Kind::BatchLaunch;
+            ev.cycle = now;
+            ev.requestId = batch_.front().id;
+            ev.tenant = tenant;
+            ev.batchSize = static_cast<std::uint32_t>(batch_.size());
+            ev.queueDepth = queue_.size();
+            obs_(ev);
+        }
+    }
+
+    Addr
+    weightBase(std::uint32_t tenant) const
+    {
+        return p_.baseAddr +
+            static_cast<Addr>(tenant) * weightLines_ * p_.lineBytes;
+    }
+
+    Addr
+    kvBase(std::uint64_t request_id) const
+    {
+        const std::uint64_t kv_lines_per_req =
+            kvLinesPerToken_ * (p_.ctxTokens + p_.decodeTokens);
+        return p_.baseAddr + kvOffset_ +
+            static_cast<Addr>(request_id) * kv_lines_per_req *
+            p_.lineBytes;
+    }
+
+    /**
+     * Build the batch's prefill -> decode -> kv-append chain. A pure
+     * function of (params, batch): restore rebuilds it bit-identically
+     * from the serialized batch composition.
+     */
+    void
+    buildChain()
+    {
+        chain_.clear();
+        const std::uint32_t batch =
+            static_cast<std::uint32_t>(batch_.size());
+        const std::uint32_t tenant = batch_.front().tenant;
+        const std::uint64_t first_id = batch_.front().id;
+        const std::uint64_t kv_lines_per_req =
+            kvLinesPerToken_ * (p_.ctxTokens + p_.decodeTokens);
+        // Distinct deterministic seed per batch and phase.
+        const std::uint64_t batch_seed =
+            p_.seed ^ (first_id * 0x9e3779b97f4a7c15ULL);
+
+        // Prefill: GEMM-like tiled pass over the tenant's weights --
+        // compute-dense, high reuse, activation write-back.
+        TraceParams pre;
+        pre.pattern = AccessPattern::TiledShared;
+        pre.sharedLines = weightLines_;
+        pre.sharedBase = weightBase(tenant);
+        pre.sharedFraction = 0.85;
+        pre.tileLines = 256;
+        pre.ctasPerTile = 2;
+        pre.privateLinesPerCta = 512; // activation scratch
+        pre.privateBase = p_.baseAddr + (Addr{1} << 33);
+        pre.writeFraction = 0.08;
+        pre.computePerMem = 8;
+        pre.memInstrsPerWarp = std::max<std::uint64_t>(
+            64, p_.ctxTokens);
+        pre.seed = batch_seed + 7919;
+        KernelInfo prefill = makeSyntheticKernel(
+            "llm_prefill", pre, std::max(1u, batch * 4), 4);
+        chain_.push_back(std::move(prefill));
+
+        // Decode: token generation -- private KV streaming dominates,
+        // with skewed shared weight reuse; bandwidth-bound.
+        TraceParams dec;
+        dec.pattern = AccessPattern::ZipfShared;
+        dec.sharedLines = weightLines_;
+        dec.sharedBase = weightBase(tenant);
+        dec.sharedFraction = 0.30;
+        dec.zipfAlpha = 0.7;
+        const std::uint32_t dec_ctas = std::max(1u, batch * 2);
+        dec.privateLinesPerCta = std::max<std::uint64_t>(
+            1, kv_lines_per_req * batch / dec_ctas);
+        dec.privateBase = kvBase(first_id);
+        dec.writeFraction = 0.02;
+        dec.computePerMem = 1;
+        dec.memInstrsPerWarp = std::max<std::uint64_t>(
+            64, std::uint64_t{p_.decodeTokens} * 16);
+        dec.seed = batch_seed + 104729;
+        KernelInfo decode =
+            makeSyntheticKernel("llm_decode", dec, dec_ctas, 4);
+        chain_.push_back(std::move(decode));
+
+        // KV-append: store the newly generated entries -- write-heavy
+        // short streams into the tail of each request's KV region.
+        TraceParams app;
+        app.pattern = AccessPattern::PrivateStream;
+        app.sharedFraction = 0.0;
+        const std::uint32_t app_ctas = std::max(1u, batch);
+        app.privateLinesPerCta = std::max<std::uint64_t>(
+            1,
+            kvLinesPerToken_ * p_.decodeTokens * batch / app_ctas);
+        app.privateBase = kvBase(first_id) +
+            static_cast<Addr>(kvLinesPerToken_) * p_.ctxTokens *
+                p_.lineBytes;
+        app.writeFraction = 0.90;
+        app.computePerMem = 0;
+        app.memInstrsPerWarp = std::max<std::uint64_t>(
+            32, std::uint64_t{p_.decodeTokens} * 8);
+        app.seed = batch_seed + 1299709;
+        KernelInfo kv_append =
+            makeSyntheticKernel("llm_kv_append", app, app_ctas, 4);
+        chain_.push_back(std::move(kv_append));
+    }
+
+    const LlmServingParams p_;
+    Rng rng_;
+    ZipfSampler tenantZipf_;
+
+    std::uint64_t weightLines_ = 0;
+    std::uint64_t kvLinesPerToken_ = 0;
+    Addr kvOffset_ = 0;
+
+    Cycle nextArrival_ = kNoCycle;
+    std::uint64_t arrivals_ = 0;
+    std::deque<Request> queue_;
+    /** Composition of the current (or last) batch's chain. */
+    std::vector<Request> batch_;
+    std::vector<KernelInfo> chain_;
+    bool chainActive_ = false;
+    std::size_t phaseIdx_ = 0;
+
+    ServingStats stats_;
+    ServingObserver obs_;
+};
+
+} // namespace
+
+LlmServingParams
+llmServingParamsFromConfig(const SimConfig &cfg, AppId app)
+{
+    LlmServingParams p;
+    p.ratePerKCycle = cfg.servingRate;
+    p.tenants = cfg.servingTenants;
+    p.zipfAlpha = cfg.servingZipfAlpha;
+    p.maxBatch = cfg.servingBatch;
+    p.totalRequests = cfg.servingRequests;
+    p.ctxTokens = cfg.servingCtx;
+    p.decodeTokens = cfg.servingDecode;
+    p.dModel = cfg.llmDModel;
+    p.layers = cfg.llmLayers;
+    p.lineBytes = cfg.lineBytes;
+    // The suite's per-app address-space split (suite.cc idiom).
+    p.baseAddr = static_cast<Addr>(app) << 36;
+    p.seed = cfg.seed + 7919ull * 131 + 104729ull * app;
+    return p;
+}
+
+std::unique_ptr<WorkloadProgram>
+makeLlmInferenceProgram(const LlmServingParams &params)
+{
+    return std::make_unique<LlmServingProgram>(params);
+}
+
+} // namespace amsc

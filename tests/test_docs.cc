@@ -81,7 +81,7 @@ TEST(Docs, RegistryCoversEverySimConfigField)
     // the struct's size on the reference platform -- adding a field
     // changes it, and the test text tells the author what to update.
 #if defined(__x86_64__) && defined(__linux__) && defined(__GLIBCXX__)
-    EXPECT_EQ(sizeof(SimConfig), 592u)
+    EXPECT_EQ(sizeof(SimConfig), 640u)
         << "SimConfig changed. If you added or resized a field: add "
            "a ConfigRegistry entry for it in src/sim/sim_config.cc, "
            "regenerate docs/configuration.md (build/amsc describe "
@@ -100,7 +100,7 @@ TEST(Docs, EmitColumnsCoverRunResult)
     // snapshots, which are exported as derived energy columns
     // instead). Growing RunResult changes the size and lands here.
 #if defined(__x86_64__) && defined(__linux__) && defined(__GLIBCXX__)
-    EXPECT_EQ(sizeof(RunResult), 392u)
+    EXPECT_EQ(sizeof(RunResult), 440u)
         << "RunResult changed. If you added a field: emit it as a "
            "column in src/scenario/emit.cc metricCells() (before the "
            "power block so sys_energy_uj stays last), regenerate the "
@@ -168,7 +168,7 @@ TEST(Docs, ReferencedDocsExist)
          {"docs/DESIGN.md", "docs/configuration.md",
           "docs/architecture.md", "docs/trace_format.md",
           "docs/performance.md", "docs/observability.md",
-          "docs/robustness.md"}) {
+          "docs/robustness.md", "docs/workloads.md"}) {
         const std::string text = readFile(kSourceDir + "/" + doc);
         EXPECT_GT(text.size(), 500u) << doc;
     }

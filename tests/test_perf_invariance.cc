@@ -33,6 +33,7 @@
 #include "trace/recording_gen.hh"
 #include "trace/trace_reader.hh"
 #include "trace/trace_writer.hh"
+#include "workloads/llm_inference.hh"
 #include "workloads/suite.hh"
 #include "workloads/trace_gen.hh"
 
@@ -348,6 +349,61 @@ TEST(PerfInvariance, FastForwardRespectsInstructionBudget)
     const RunResult r_fast = fast.run();
 
     EXPECT_TRUE(identicalResults(r_slow, r_fast));
+}
+
+// ------------------------------------ runtime-appended work vs the budget
+
+namespace
+{
+
+LlmServingParams
+smallServingParams()
+{
+    LlmServingParams p;
+    p.ratePerKCycle = 6.0;
+    p.tenants = 2;
+    p.maxBatch = 2;
+    p.totalRequests = 12;
+    p.ctxTokens = 64;
+    p.decodeTokens = 8;
+    p.dModel = 256;
+    p.layers = 2;
+    p.seed = 77;
+    return p;
+}
+
+} // namespace
+
+TEST(PerfInvariance, InstructionBudgetHandlesRuntimeAppendedWork)
+{
+    // The budget bookkeeping counts *retired* instructions -- never a
+    // per-app total fixed at t=0 -- so a request driver that appends
+    // work long after launch must still stop the run on the same
+    // 128-cycle check boundary under the plain tick loop, the
+    // quiescence fast-forward and the event core.
+    SimConfig cfg = smallConfig();
+    cfg.maxCycles = 400000;
+    cfg.maxInstructions = 20000;
+
+    const auto once = [&cfg]() {
+        GpuSystem gpu(cfg);
+        gpu.setProgram(
+            0, makeLlmInferenceProgram(smallServingParams()));
+        return gpu.run();
+    };
+
+    cfg.fastForward = false;
+    const RunResult r_slow = once();
+    cfg.fastForward = true;
+    const RunResult r_fast = once();
+    cfg.simMode = SimMode::Event;
+    const RunResult r_event = once();
+
+    ASSERT_GE(r_slow.instructions, cfg.maxInstructions);
+    ASSERT_FALSE(r_slow.finishedWork);
+    EXPECT_EQ(r_slow.cycles & 127u, 0u);
+    EXPECT_TRUE(identicalResults(r_slow, r_fast));
+    EXPECT_TRUE(identicalResults(r_slow, r_event));
 }
 
 // ----------------------------------------------------- counter invariants

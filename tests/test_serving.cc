@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Open-loop serving (WorkloadProgram + llm_inference) tests.
+ *
+ * The request driver's contract mirrors the rest of the simulator:
+ * everything is deterministic per seed and bit-identical across
+ * execution modes. This file pins
+ *
+ *  - arrival-stream determinism: the same seed yields byte-identical
+ *    RunResults under repeated runs and at any sweep thread count;
+ *  - tick-vs-event bit-exactness on serving runs (the event core
+ *    lands exactly on the advertised next-arrival cycles);
+ *  - checkpoint/restore with requests in flight and queued: resuming
+ *    mid-queue equals the unbroken run, bit for bit;
+ *  - single-phase wrapper identity: setWorkload(kernels) and an
+ *    explicit StaticProgram install are the same program;
+ *  - the serving emitter columns: appended only when a point ran a
+ *    request driver, golden-pinned, absent from static sweeps;
+ *  - timeline lifecycle instants validate structurally.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_check.hh"
+#include "scenario/emit.hh"
+#include "scenario/scenario.hh"
+#include "sim/gpu_system.hh"
+#include "sim/sweep.hh"
+#include "workloads/llm_inference.hh"
+#include "workloads/program.hh"
+#include "workloads/trace_gen.hh"
+
+namespace amsc
+{
+
+namespace
+{
+
+const std::string kSourceDir = AMSC_SOURCE_DIR;
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "amsc_serving_" + name;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    EXPECT_TRUE(f.is_open()) << "missing file: " << path;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+SimConfig
+smallConfig()
+{
+    SimConfig cfg;
+    cfg.numSms = 16;
+    cfg.numClusters = 4;
+    cfg.numMcs = 4;
+    cfg.slicesPerMc = 4;
+    cfg.maxResidentWarps = 16;
+    cfg.maxResidentCtas = 2;
+    cfg.maxCycles = 120000;
+    cfg.profileLen = 1000;
+    cfg.epochLen = 20000;
+    return cfg;
+}
+
+LlmServingParams
+smallServing(std::uint64_t seed = 42)
+{
+    LlmServingParams p;
+    p.ratePerKCycle = 4.0;
+    p.tenants = 2;
+    p.zipfAlpha = 0.8;
+    p.maxBatch = 2;
+    p.totalRequests = 8;
+    p.ctxTokens = 64;
+    p.decodeTokens = 8;
+    p.dModel = 256;
+    p.layers = 2;
+    p.seed = seed;
+    return p;
+}
+
+RunResult
+servingRun(const SimConfig &cfg,
+           const LlmServingParams &params)
+{
+    GpuSystem gpu(cfg);
+    gpu.setProgram(0, makeLlmInferenceProgram(params));
+    return gpu.run();
+}
+
+std::vector<KernelInfo>
+staticKernels()
+{
+    TraceParams t;
+    t.pattern = AccessPattern::ZipfShared;
+    t.sharedLines = 2048;
+    t.sharedFraction = 0.6;
+    t.privateLinesPerCta = 256;
+    t.memInstrsPerWarp = 60;
+    t.computePerMem = 3;
+    t.seed = 11;
+    return {makeSyntheticKernel("k0", t, 32, 4)};
+}
+
+} // namespace
+
+// ------------------------------------------------ arrival determinism
+
+TEST(Serving, SameSeedIsByteIdentical)
+{
+    const SimConfig cfg = smallConfig();
+    const RunResult a = servingRun(cfg, smallServing());
+    const RunResult b = servingRun(cfg, smallServing());
+    ASSERT_TRUE(a.servingActive);
+    ASSERT_GT(a.requestsCompleted, 0u);
+    EXPECT_TRUE(identicalResults(a, b));
+    // A different arrival seed is a different run.
+    const RunResult c = servingRun(cfg, smallServing(43));
+    EXPECT_FALSE(identicalResults(a, c));
+}
+
+TEST(Serving, LatencyPercentilesAreOrdered)
+{
+    const RunResult r = servingRun(smallConfig(), smallServing());
+    ASSERT_TRUE(r.servingActive);
+    ASSERT_TRUE(r.finishedWork);
+    EXPECT_EQ(r.requestsCompleted, 8u);
+    EXPECT_GT(r.reqLatencyP50, 0.0);
+    EXPECT_LE(r.reqLatencyP50, r.reqLatencyP99);
+    EXPECT_GE(r.batchOccupancy, 1.0);
+    EXPECT_LE(r.batchOccupancy, 2.0); // maxBatch
+}
+
+TEST(Serving, SweepThreadCountIsInvariant)
+{
+    // Three serving points (policy axis) through the sweep engine:
+    // 1-thread, 4-thread and sequential-reference results must be
+    // bit-identical and identically ordered.
+    std::vector<SweepPoint> points;
+    for (const LlcPolicy p : {LlcPolicy::ForceShared,
+                              LlcPolicy::ForcePrivate,
+                              LlcPolicy::Adaptive}) {
+        SweepPoint pt;
+        pt.cfg = smallConfig();
+        pt.cfg.llcPolicy = p;
+        pt.setup = [](GpuSystem &gpu) {
+            gpu.setProgram(0,
+                           makeLlmInferenceProgram(smallServing()));
+        };
+        points.push_back(std::move(pt));
+    }
+    std::vector<RunResult> seq;
+    for (const SweepPoint &pt : points)
+        seq.push_back(SweepRunner::runPoint(pt));
+    const std::vector<RunResult> par1 = SweepRunner(1).run(points);
+    const std::vector<RunResult> par4 = SweepRunner(4).run(points);
+    ASSERT_EQ(seq.size(), par4.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        ASSERT_TRUE(seq[i].servingActive) << "point " << i;
+        EXPECT_TRUE(identicalResults(seq[i], par1[i]))
+            << "point " << i;
+        EXPECT_TRUE(identicalResults(seq[i], par4[i]))
+            << "point " << i;
+    }
+}
+
+// ------------------------------------------------ tick vs event core
+
+TEST(Serving, TickAndEventCoresAreBitExact)
+{
+    // The driver advertises exact next-arrival cycles; the event core
+    // must land on them and produce the identical RunResult,
+    // including the request-latency fields.
+    SimConfig cfg = smallConfig();
+    const RunResult tick = servingRun(cfg, smallServing());
+    cfg.simMode = SimMode::Event;
+    const RunResult event = servingRun(cfg, smallServing());
+    ASSERT_TRUE(tick.servingActive);
+    ASSERT_GT(tick.requestsCompleted, 0u);
+    EXPECT_TRUE(identicalResults(tick, event));
+}
+
+TEST(Serving, TickAndEventCoresAgreeUnderAdaptivePolicy)
+{
+    SimConfig cfg = smallConfig();
+    cfg.llcPolicy = LlcPolicy::Adaptive;
+    cfg.missTolerance = 0.3;
+    const RunResult tick = servingRun(cfg, smallServing());
+    cfg.simMode = SimMode::Event;
+    const RunResult event = servingRun(cfg, smallServing());
+    EXPECT_TRUE(identicalResults(tick, event));
+}
+
+// ------------------------------------------- checkpoint / restore
+
+TEST(Serving, RestoreMidQueueEqualsUnbrokenRun)
+{
+    // Snapshot while requests sit in the queue (and a batch is in
+    // flight), restore into a fresh system with the same program
+    // description, run to completion: bit-identical to never having
+    // stopped. Cycle 1 (nothing arrived) and a late cycle ride along.
+    const SimConfig cfg = smallConfig();
+    const LlmServingParams params = smallServing();
+    const RunResult unbroken = servingRun(cfg, params);
+    ASSERT_TRUE(unbroken.finishedWork);
+
+    bool saw_mid_queue = false;
+    for (const Cycle k : {Cycle{1}, Cycle{4000}, Cycle{30000}}) {
+        SimConfig head = cfg;
+        head.maxCycles = k;
+        GpuSystem gpu(head);
+        gpu.setProgram(0, makeLlmInferenceProgram(params));
+        gpu.run();
+        const ServingStats *stats =
+            gpu.program(0)->servingStats();
+        ASSERT_NE(stats, nullptr);
+        if (stats->requestsArrived > stats->requestsCompleted)
+            saw_mid_queue = true;
+        std::ostringstream os;
+        gpu.checkpoint(os);
+
+        GpuSystem fresh(cfg);
+        fresh.setProgram(0, makeLlmInferenceProgram(params));
+        std::istringstream is(os.str());
+        fresh.restore(is);
+        const RunResult resumed = fresh.run();
+        EXPECT_TRUE(identicalResults(unbroken, resumed))
+            << "restore at cycle " << k;
+    }
+    // At least one of the snapshot cycles must actually have caught
+    // the queue mid-flight, or this test proves nothing.
+    EXPECT_TRUE(saw_mid_queue);
+}
+
+// ------------------------------------- single-phase wrapper identity
+
+TEST(Serving, StaticProgramWrapperMatchesSetWorkload)
+{
+    // setWorkload() is sugar for installing a StaticProgram; both
+    // spellings must be the same simulation.
+    const SimConfig cfg = smallConfig();
+    GpuSystem a(cfg);
+    a.setWorkload(0, staticKernels());
+    const RunResult ra = a.run();
+
+    GpuSystem b(cfg);
+    b.setProgram(0, std::make_unique<StaticProgram>(staticKernels()));
+    const RunResult rb = b.run();
+
+    ASSERT_TRUE(ra.finishedWork);
+    EXPECT_FALSE(ra.servingActive);
+    EXPECT_EQ(ra.requestsCompleted, 0u);
+    EXPECT_TRUE(identicalResults(ra, rb));
+}
+
+// ------------------------------------------------- emitter columns
+
+namespace
+{
+
+RunResult
+fabricatedServingResult(unsigned salt)
+{
+    RunResult r;
+    r.cycles = 120000;
+    r.instructions = 400000 + salt;
+    r.ipc = static_cast<double>(r.instructions) /
+        static_cast<double>(r.cycles);
+    r.appIpc = {r.ipc};
+    r.appInstructions = {r.instructions};
+    r.finishedWork = true;
+    r.servingActive = true;
+    r.requestsCompleted = 24 - salt;
+    r.reqLatencyP50 = 56121.0 + salt;
+    r.reqLatencyP99 = 98389.0 + salt;
+    r.batchOccupancy = 4.8;
+    r.queueDepthMean = 9.4;
+    return r;
+}
+
+void
+checkGolden(const std::string &name, const std::string &content)
+{
+    const std::string path = kSourceDir + "/tests/golden/" + name;
+    if (std::getenv("AMSC_UPDATE_GOLDEN")) {
+        std::ofstream f(path, std::ios::binary);
+        f << content;
+        return;
+    }
+    EXPECT_EQ(readFile(path), content)
+        << "golden file " << name
+        << " drifted; run with AMSC_UPDATE_GOLDEN=1 to regenerate";
+}
+
+} // namespace
+
+TEST(ServingEmit, ColumnsAppendedOnlyForServingResults)
+{
+    const std::vector<scenario::EmitPoint> points = {{"p", {}}};
+    // Static result: the historical schema, no serving columns.
+    const std::string plain =
+        scenario::emitCsv(points, {RunResult{}});
+    EXPECT_EQ(plain.find("req_lat_p50"), std::string::npos);
+    EXPECT_EQ(plain.find("requests_completed"), std::string::npos);
+    // Serving result: the columns appear after sys_energy_uj.
+    const std::string serving =
+        scenario::emitCsv(points, {fabricatedServingResult(0)});
+    EXPECT_NE(
+        serving.find("sys_energy_uj,requests_completed,req_lat_p50,"
+                     "req_lat_p99,batch_occupancy,queue_depth_mean"),
+        std::string::npos);
+    // Same contract in JSON.
+    const std::string json =
+        scenario::emitJson("s", points, {RunResult{}});
+    EXPECT_EQ(json.find("req_lat_p50"), std::string::npos);
+    const std::string sjson = scenario::emitJson(
+        "s", points, {fabricatedServingResult(0)});
+    EXPECT_NE(sjson.find("\"req_lat_p50\": 56121"),
+              std::string::npos);
+}
+
+TEST(ServingEmit, CsvAndJsonMatchGoldenFiles)
+{
+    const std::vector<scenario::EmitPoint> points = {
+        {"8/2/adaptive",
+         {{"serving_batch", "8"}, {"llc_policy", "adaptive"}}},
+        {"8/2/shared",
+         {{"serving_batch", "8"}, {"llc_policy", "shared"}}},
+    };
+    const std::vector<RunResult> results = {
+        fabricatedServingResult(0), fabricatedServingResult(1)};
+    checkGolden("serving_emit.csv",
+                scenario::emitCsv(points, results));
+    checkGolden("serving_emit.json",
+                scenario::emitJson("serving", points, results));
+}
+
+TEST(ServingEmit, ServingColumnNamesAreStable)
+{
+    const auto &cols = scenario::servingColumns();
+    ASSERT_EQ(cols.size(), 5u);
+    EXPECT_EQ(cols[0], "requests_completed");
+    EXPECT_EQ(cols[1], "req_lat_p50");
+    EXPECT_EQ(cols[2], "req_lat_p99");
+    EXPECT_EQ(cols[3], "batch_occupancy");
+    EXPECT_EQ(cols[4], "queue_depth_mean");
+}
+
+// -------------------------------------------- scenario + timeline
+
+TEST(Serving, ScenarioClassAppRoundTripsAndRuns)
+{
+    // `app { class = llm_inference }` parses, dumps canonically and
+    // expands to a point whose setup installs the request driver.
+    scenario::Scenario scn = scenario::Scenario::fromKv(
+        scenario::Scenario::parseScnText(
+            "name = t\n"
+            "config {\n  max_cycles = 40000\n"
+            "  serving_requests = 4\n  serving_ctx = 32\n"
+            "  serving_decode = 4\n  llm_d_model = 256\n"
+            "  llm_layers = 2\n}\n"
+            "app {\n  class = llm_inference\n}\n"),
+        "t.scn");
+    const std::string dumped = scn.dumpText();
+    EXPECT_NE(dumped.find("class = llm_inference"),
+              std::string::npos);
+    scenario::Scenario again = scenario::Scenario::fromKv(
+        scenario::Scenario::parseScnText(dumped), "t2.scn");
+    EXPECT_EQ(again.dumpText(), dumped);
+
+    const auto points = scn.expand();
+    ASSERT_EQ(points.size(), 1u);
+    const RunResult r = SweepRunner::runPoint(points[0].point);
+    EXPECT_TRUE(r.servingActive);
+    EXPECT_GT(r.requestsCompleted, 0u);
+}
+
+TEST(Serving, ClassConflictsWithOtherModes)
+{
+    EXPECT_THROW(scenario::Scenario::fromKv(
+                     scenario::Scenario::parseScnText(
+                         "name = t\napp {\n  class = llm_inference\n"
+                         "  pattern = zipf\n}\n"),
+                     "t.scn"),
+                 ConfigError);
+    EXPECT_THROW(scenario::Scenario::fromKv(
+                     scenario::Scenario::parseScnText(
+                         "name = t\napp {\n  class = resnet\n}\n"),
+                     "t.scn"),
+                 ConfigError);
+}
+
+TEST(Serving, TimelineLifecycleInstantsValidate)
+{
+    SimConfig cfg = smallConfig();
+    const std::string trace = tmpPath("lifecycle.json");
+    cfg.timelineOut = trace;
+    SweepPoint pt;
+    pt.cfg = cfg;
+    pt.setup = [](GpuSystem &gpu) {
+        gpu.setProgram(0, makeLlmInferenceProgram(smallServing()));
+    };
+    const RunResult r = SweepRunner::runPoint(pt);
+    ASSERT_TRUE(r.finishedWork);
+
+    const obs::TraceCheckResult chk =
+        obs::checkPerfettoTraceFile(trace);
+    EXPECT_TRUE(chk.error.empty()) << chk.error;
+    const std::string text = readFile(trace);
+    // One arrival instant per admitted request, on its own track;
+    // batch launches and completions on the sibling track.
+    std::size_t arrivals = 0, pos = 0;
+    while ((pos = text.find("\"arrival\"", pos)) !=
+           std::string::npos) {
+        ++arrivals;
+        ++pos;
+    }
+    EXPECT_EQ(arrivals, 8u);
+    EXPECT_NE(text.find("\"batch_launch\""), std::string::npos);
+    EXPECT_NE(text.find("\"completion\""), std::string::npos);
+
+    // Observation is pull-only: the recorded run equals a bare one.
+    SimConfig bare = smallConfig();
+    const RunResult plain = servingRun(bare, smallServing());
+    EXPECT_TRUE(identicalResults(plain, r));
+    std::remove(trace.c_str());
+}
+
+} // namespace amsc
